@@ -1,0 +1,309 @@
+// Package beliefdb is an embedded belief database management system (BDMS):
+// a relational database whose tuples — and other users' beliefs about them —
+// can be annotated with higher-order positive and negative belief
+// statements, as introduced in "Believe It or Not: Adding Belief Annotations
+// to Databases" (Gatterbauer, Balazinska, Khoussainova, Suciu; PVLDB 2009).
+//
+// A DB hosts an external schema of belief relations plus a Users table.
+// Content is manipulated in BeliefSQL, plain SQL extended with `BELIEF user`
+// and `not` prefixes on relation names:
+//
+//	insert into BELIEF 'Bob' not Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')
+//	select S.species from Users U, BELIEF U.uid Sightings S where U.name = 'Bob'
+//
+// Internally the system maintains the paper's canonical Kripke structure in
+// relational form and translates queries into plain SQL over it
+// (Algorithm 1); the typed helpers (InsertBelief, Believes, World) bypass
+// the parser but use the same machinery.
+package beliefdb
+
+import (
+	"fmt"
+	"strings"
+
+	"beliefdb/internal/bsql"
+	"beliefdb/internal/core"
+	"beliefdb/internal/query"
+	"beliefdb/internal/store"
+	"beliefdb/internal/val"
+)
+
+// Value is a dynamically typed scalar (NULL, INT, FLOAT, TEXT, BOOL).
+type Value = val.Value
+
+// Convenience constructors for Value.
+var (
+	Int   = val.Int
+	Float = val.Float
+	Str   = val.Str
+	Bool  = val.Bool
+	Null  = val.Null
+)
+
+// Kind enumerates value types for schema declarations.
+type Kind = val.Kind
+
+// The supported column types.
+const (
+	KindInt    = val.KindInt
+	KindFloat  = val.KindFloat
+	KindString = val.KindString
+	KindBool   = val.KindBool
+)
+
+// UserID identifies a registered user.
+type UserID = core.UserID
+
+// Sign marks a belief as positive or negative.
+type Sign = core.Sign
+
+// The two belief signs.
+const (
+	Pos = core.Pos
+	Neg = core.Neg
+)
+
+// Path is a belief path: Path{2, 1} means "user 2 believes that user 1
+// believes". The empty path addresses the plain database content.
+type Path = core.Path
+
+// Tuple is a ground tuple of an external relation; Vals[0] is the external
+// key.
+type Tuple = core.Tuple
+
+// Statement is one belief annotation.
+type Statement = core.Statement
+
+// Column declares one attribute of an external relation.
+type Column = store.Column
+
+// Relation declares one belief-annotated relation; the first column is the
+// external key.
+type Relation = store.Relation
+
+// Schema is the external schema of a belief database.
+type Schema struct {
+	Relations []Relation
+}
+
+// Result is a query result: column names, rows, and the number of affected
+// statements for DML.
+type Result = query.Result
+
+// Stats reports the size of the relational representation (|R*|, n, N, m).
+type Stats = store.Stats
+
+// BeliefEntry is one signed tuple of a belief world, with its provenance.
+type BeliefEntry struct {
+	Tuple    Tuple
+	Sign     Sign
+	Explicit bool // explicitly asserted vs. inherited by default
+}
+
+// DB is an embedded belief database.
+type DB struct {
+	st *store.Store
+	tr *bsql.Translator
+}
+
+// Open creates a belief database with the given external schema, using the
+// eager representation (every implicit belief materialized, as in the
+// paper's prototype).
+func Open(schema Schema) (*DB, error) {
+	st, err := store.Open(schema.Relations)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{st: st, tr: bsql.NewTranslator(st)}, nil
+}
+
+// OpenLazy creates a belief database with the lazy representation sketched
+// in the paper's future work (Sect. 6.3): only explicit statements are
+// stored (|R*|/n approaches 1) and the message-board default rule is
+// applied when worlds are read. The trade-off: BeliefSQL SELECT is
+// unavailable (it needs materialized valuations); use the typed entailment
+// and World APIs, which pay the closure cost per call.
+func OpenLazy(schema Schema) (*DB, error) {
+	st, err := store.OpenLazy(schema.Relations)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{st: st, tr: bsql.NewTranslator(st)}, nil
+}
+
+// Lazy reports whether the database uses the lazy representation.
+func (db *DB) Lazy() bool { return db.st.Lazy() }
+
+// AddUser registers a community member and returns their id.
+func (db *DB) AddUser(name string) (UserID, error) { return db.st.AddUser(name) }
+
+// UserID resolves a user name to an id.
+func (db *DB) UserID(name string) (UserID, bool) { return db.st.UserID(name) }
+
+// UserName resolves a user id to a name.
+func (db *DB) UserName(id UserID) (string, bool) { return db.st.UserName(id) }
+
+// Users lists all registered user ids.
+func (db *DB) Users() []UserID { return db.st.Users() }
+
+// Exec runs one BeliefSQL statement (query or DML).
+func (db *DB) Exec(beliefSQL string) (*Result, error) { return db.tr.Exec(beliefSQL) }
+
+// ExecScript runs a semicolon-separated BeliefSQL script and returns the
+// last result.
+func (db *DB) ExecScript(script string) (*Result, error) { return db.tr.ExecScript(script) }
+
+// Query is Exec for statements expected to return rows.
+func (db *DB) Query(beliefSQL string) (*Result, error) { return db.tr.Exec(beliefSQL) }
+
+// Translate compiles a BeliefSQL SELECT into the plain SQL that Exec would
+// run against the internal schema (Algorithm 1), without executing it.
+func (db *DB) Translate(beliefSQL string) (string, error) {
+	stmt, err := bsql.Parse(beliefSQL)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(bsql.Select)
+	if !ok {
+		return "", fmt.Errorf("beliefdb: Translate expects a SELECT")
+	}
+	return db.tr.TranslateSelect(sel)
+}
+
+// SQL runs plain SQL directly against the internal schema (for inspection
+// and power users; the internal tables are Users, _e, _d, _s, <rel>_star,
+// <rel>_v).
+func (db *DB) SQL(sql string) (*Result, error) { return db.st.DB().Exec(sql) }
+
+// NewTuple builds a tuple for the typed API, converting Go values: string,
+// int/int64, float64, bool, nil, or Value.
+func (db *DB) NewTuple(rel string, vals ...interface{}) (Tuple, error) {
+	vs := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := toValue(v)
+		if err != nil {
+			return Tuple{}, err
+		}
+		vs[i] = cv
+	}
+	return Tuple{Rel: rel, Vals: vs}, nil
+}
+
+func toValue(v interface{}) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return val.Null(), nil
+	case Value:
+		return x, nil
+	case string:
+		return val.Str(x), nil
+	case int:
+		return val.Int(int64(x)), nil
+	case int64:
+		return val.Int(x), nil
+	case float64:
+		return val.Float(x), nil
+	case bool:
+		return val.Bool(x), nil
+	default:
+		return val.Null(), fmt.Errorf("beliefdb: unsupported value type %T", v)
+	}
+}
+
+// InsertBelief asserts that the users along path believe (Pos) or
+// disbelieve (Neg) the tuple. An empty path inserts plain content. It
+// reports changed=false when the statement was already present and an
+// error when it contradicts the same world's explicit beliefs.
+func (db *DB) InsertBelief(path Path, sign Sign, t Tuple) (bool, error) {
+	return db.st.Insert(Statement{Path: path, Sign: sign, Tuple: t})
+}
+
+// DeleteBelief retracts an explicit belief statement.
+func (db *DB) DeleteBelief(path Path, sign Sign, t Tuple) (bool, error) {
+	return db.st.Delete(Statement{Path: path, Sign: sign, Tuple: t})
+}
+
+// Believes reports whether the belief world at path entails the tuple as a
+// positive belief (including beliefs inherited by the message-board
+// default).
+func (db *DB) Believes(path Path, t Tuple) (bool, error) {
+	return db.st.Entails(path, t, core.Pos)
+}
+
+// Disbelieves reports whether the world at path entails the tuple as a
+// negative belief — stated, or unstated because the world holds a
+// different tuple under the same key.
+func (db *DB) Disbelieves(path Path, t Tuple) (bool, error) {
+	return db.st.Entails(path, t, core.Neg)
+}
+
+// World materializes the full belief world at path: every signed tuple the
+// users along the path (are entailed to) believe, with explicit/inherited
+// provenance.
+func (db *DB) World(path Path) ([]BeliefEntry, error) {
+	w, err := db.st.WorldContent(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []BeliefEntry
+	for _, e := range w.Entries(core.Pos) {
+		out = append(out, BeliefEntry{Tuple: e.Tuple, Sign: Pos, Explicit: e.Explicit})
+	}
+	for _, e := range w.Entries(core.Neg) {
+		out = append(out, BeliefEntry{Tuple: e.Tuple, Sign: Neg, Explicit: e.Explicit})
+	}
+	return out, nil
+}
+
+// Statements returns all explicit belief statements.
+func (db *DB) Statements() ([]Statement, error) { return db.st.ExplicitStatements() }
+
+// Dump renders the database's logical content — users and explicit belief
+// statements — as a replayable BeliefSQL script (loadable with ExecScript
+// after re-registering the same schema and users; user registrations are
+// emitted as comments because they are API calls, not BeliefSQL).
+func (db *DB) Dump() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("-- beliefdb dump\n")
+	for _, uid := range db.Users() {
+		name, _ := db.UserName(uid)
+		fmt.Fprintf(&sb, "-- user %d: %s\n", uid, name)
+	}
+	stmts, err := db.Statements()
+	if err != nil {
+		return "", err
+	}
+	for _, st := range stmts {
+		sb.WriteString("insert into ")
+		for _, u := range st.Path {
+			name, ok := db.UserName(u)
+			if !ok {
+				return "", fmt.Errorf("beliefdb: dump found unknown user %d", u)
+			}
+			fmt.Fprintf(&sb, "BELIEF '%s' ", strings.ReplaceAll(name, "'", "''"))
+		}
+		if st.Sign == Neg {
+			sb.WriteString("not ")
+		}
+		sb.WriteString(st.Tuple.Rel)
+		sb.WriteString(" values (")
+		for i, v := range st.Tuple.Vals {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.SQL())
+		}
+		sb.WriteString(");\n")
+	}
+	return sb.String(), nil
+}
+
+// Stats reports the size of the internal representation.
+func (db *DB) Stats() Stats { return db.st.Stats() }
+
+// Rebuild reconstructs the internal representation from the explicit
+// statements (garbage-collecting unsupported states and tuples).
+func (db *DB) Rebuild() error { return db.st.Rebuild() }
+
+// Vacuum removes ground tuples no longer referenced by any belief.
+func (db *DB) Vacuum() (int, error) { return db.st.Vacuum() }

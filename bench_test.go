@@ -1,0 +1,257 @@
+package beliefdb_test
+
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per table/figure (scaled-down parameters; cmd/beliefbench -full runs the
+// paper-scale versions), plus operation-level micro-benchmarks.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"beliefdb"
+	"beliefdb/internal/bench"
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/kripke"
+)
+
+// BenchmarkTable1 regenerates the relative-overhead grid of Table 1.
+// The reported metric overhead/* mirrors the table cells.
+func BenchmarkTable1(b *testing.B) {
+	cfg := bench.Table1Config{N: 500, Reps: 1, Seed: 1, Users: []int{10, 30}}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable1(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range res.Cells {
+				b.ReportMetric(c.Overhead, fmt.Sprintf("ovh-m%d-%s-d%.0f", c.Users, c.Participation, c.DepthDist[0]*100))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the overhead-vs-n series of Figure 6.
+func BenchmarkFigure6(b *testing.B) {
+	cfg := bench.Figure6Config{Ns: []int{10, 100, 500}, Users: 30, Reps: 1, Seed: 2}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure6(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for si, s := range res.Series {
+				for j, n := range cfg.Ns {
+					b.ReportMetric(s.Overheads[j], fmt.Sprintf("ovh-s%d-n%d", si, n))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the query-latency rows of Table 2 (content
+// queries q1,0..q1,4, conflict query q2, user query q3).
+func BenchmarkTable2(b *testing.B) {
+	cfg := bench.Table2Config{N: 1000, Users: 10, QueryReps: 3, Seed: 3}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable2(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range res.Rows {
+				b.ReportMetric(float64(r.Mean)/1e6, "ms-"+r.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkSpaceBounds regenerates the Sect. 5.4 size-bound ablation.
+func BenchmarkSpaceBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunSpaceBounds(300, 8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.ERows), fmt.Sprintf("E-dmax%d", r.MaxDepth))
+			}
+		}
+	}
+}
+
+// BenchmarkLazyAblation regenerates the lazy-vs-eager representation
+// comparison (Sect. 6.3 future work): storage overhead vs. read latency.
+func BenchmarkLazyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunLazyAblation(500, 8, 5, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Overhead, "ovh-"+r.Mode)
+				b.ReportMetric(float64(r.WorldReadMean)/1e3, "us-read-"+r.Mode)
+			}
+		}
+	}
+}
+
+// --- operation micro-benchmarks ---
+
+func benchDB(b *testing.B, n, m int) *beliefdb.DB {
+	b.Helper()
+	db, err := beliefdb.Open(beliefdb.Schema{Relations: []beliefdb.Relation{benchRelation()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= m; i++ {
+		if _, err := db.AddUser(fmt.Sprintf("u%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := gen.New(gen.Config{
+		Users: m, DepthDist: []float64{0.4, 0.4, 0.15, 0.05},
+		Participation: gen.Zipf, KeyPool: n/4 + 8, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := g.Load(n, func(st core.Statement) (bool, error) {
+		return db.InsertBelief(st.Path, st.Sign, st.Tuple)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchRelation() beliefdb.Relation {
+	cols := make([]beliefdb.Column, 0, 5)
+	for _, c := range gen.RelColumns() {
+		cols = append(cols, beliefdb.Column{Name: c, Type: beliefdb.KindString})
+	}
+	return beliefdb.Relation{Name: gen.DefaultRel, Columns: cols}
+}
+
+// BenchmarkInsertRoot measures plain content inserts (depth 0), which
+// propagate to every world.
+func BenchmarkInsertRoot(b *testing.B) {
+	db := benchDB(b, 500, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, _ := db.NewTuple(gen.DefaultRel,
+			fmt.Sprintf("bk%d", i), "obs", "species-x", "6-14-08", "loc")
+		if _, err := db.InsertBelief(nil, beliefdb.Pos, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertDepth2 measures higher-order annotation inserts.
+func BenchmarkInsertDepth2(b *testing.B) {
+	db := benchDB(b, 500, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, _ := db.NewTuple(gen.DefaultRel,
+			fmt.Sprintf("bk%d", i), "obs", "species-x", "6-14-08", "loc")
+		if _, err := db.InsertBelief(beliefdb.Path{1, 2}, beliefdb.Pos, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryContent measures the q1-style content query.
+func BenchmarkQueryContent(b *testing.B) {
+	db := benchDB(b, 1000, 10)
+	q := fmt.Sprintf("select T.sid, T.species from BELIEF 'u1' %s T", gen.DefaultRel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryConflict measures the q2-style conflict query.
+func BenchmarkQueryConflict(b *testing.B) {
+	db := benchDB(b, 1000, 10)
+	q := fmt.Sprintf(`select T1.sid, T1.species
+		from BELIEF 'u2' BELIEF 'u1' %[1]s T1, BELIEF 'u2' not %[1]s T2
+		where T2.sid = T1.sid and T2.observer = T1.observer and T2.species = T1.species
+		and T2.date = T1.date and T2.location = T1.location`, gen.DefaultRel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryUsers measures the q3-style user query (path variable in a
+// negative subgoal).
+func BenchmarkQueryUsers(b *testing.B) {
+	db := benchDB(b, 1000, 10)
+	q := fmt.Sprintf(`select U.uid
+		from Users U, BELIEF 'u1' %[1]s T1, BELIEF U.uid not %[1]s T2
+		where T1.location = 'loc1'
+		and T2.sid = T1.sid and T2.observer = T1.observer and T2.species = T1.species
+		and T2.date = T1.date and T2.location = T1.location`, gen.DefaultRel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslate measures BeliefSQL -> SQL translation alone.
+func BenchmarkTranslate(b *testing.B) {
+	db := benchDB(b, 100, 10)
+	q := fmt.Sprintf(`select T1.sid from BELIEF 'u2' BELIEF 'u1' %[1]s T1, BELIEF 'u2' not %[1]s T2
+		where T2.sid = T1.sid and T2.observer = T1.observer and T2.species = T1.species
+		and T2.date = T1.date and T2.location = T1.location`, gen.DefaultRel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Translate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKripkeBuild measures canonical-structure construction
+// (Theorem 17's O(m^d n) step) from scratch.
+func BenchmarkKripkeBuild(b *testing.B) {
+	base, _, err := gen.Statements(gen.Config{
+		Users: 10, DepthDist: []float64{0.4, 0.4, 0.2},
+		Participation: gen.Zipf, KeyPool: 200, Seed: 7,
+	}, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := make([]core.UserID, 10)
+	for i := range users {
+		users[i] = core.UserID(i + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if kripke.Build(base, users).Len() == 0 {
+			b.Fatal("empty structure")
+		}
+	}
+}
+
+// BenchmarkEntailment measures the typed Believes fast path.
+func BenchmarkEntailment(b *testing.B) {
+	db := benchDB(b, 1000, 10)
+	t, _ := db.NewTuple(gen.DefaultRel, "k1", "obs1", "species0", "6-14-08", "loc1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Believes(beliefdb.Path{1, 2}, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command beliefbench regenerates the paper's evaluation artifacts:
+// Table 1 (relative overhead grid), Figure 6 (overhead vs. number of
+// annotations), Table 2 (query latencies), and the Sect. 5.4 space-bound
+// ablation.
+//
+// Usage:
+//
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-all] [-full] [-n N] [-reps R] [-qreps Q]
+//
+// Without -full, scaled-down parameters keep runtime in seconds; -full uses
+// the paper's parameters (n = 10,000 annotations, 10 databases per Table 1
+// cell, 1,000 executions per query) and can take many minutes and several
+// GB of memory for the m=100/uniform cells.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"beliefdb/internal/bench"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "run the Table 1 overhead grid")
+		figure6 = flag.Bool("figure6", false, "run the Figure 6 overhead-vs-n sweep")
+		table2  = flag.Bool("table2", false, "run the Table 2 query benchmark")
+		bounds  = flag.Bool("bounds", false, "run the Sect. 5.4 space-bound ablation")
+		lazy    = flag.Bool("lazy", false, "run the lazy-vs-eager representation ablation (Sect. 6.3)")
+		all     = flag.Bool("all", false, "run everything")
+		full    = flag.Bool("full", false, "use the paper's full-scale parameters")
+		n       = flag.Int("n", 0, "override the number of annotations")
+		reps    = flag.Int("reps", 0, "override databases per Table 1/Figure 6 cell")
+		qreps   = flag.Int("qreps", 0, "override executions per Table 2 query")
+		verbose = flag.Bool("v", false, "print per-cell progress")
+	)
+	flag.Parse()
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *all) {
+		*all = true
+	}
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	if *all || *table1 {
+		cfg := bench.DefaultTable1()
+		if *full {
+			cfg = bench.FullTable1()
+		}
+		if *n > 0 {
+			cfg.N = *n
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		res, err := bench.RunTable1(cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if *all || *figure6 {
+		cfg := bench.DefaultFigure6()
+		if *full {
+			cfg = bench.FullFigure6()
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		res, err := bench.RunFigure6(cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if *all || *table2 {
+		cfg := bench.DefaultTable2()
+		if *full {
+			cfg = bench.FullTable2()
+		}
+		if *n > 0 {
+			cfg.N = *n
+		}
+		if *qreps > 0 {
+			cfg.QueryReps = *qreps
+		}
+		res, err := bench.RunTable2(cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if *all || *bounds {
+		nb := 1000
+		if *n > 0 {
+			nb = *n
+		}
+		rows, err := bench.RunSpaceBounds(nb, 10, 4)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderSpaceBounds(rows))
+	}
+	if *all || *lazy {
+		nl, ml := 2000, 10
+		if *full {
+			nl = 10000
+		}
+		if *n > 0 {
+			nl = *n
+		}
+		rows, err := bench.RunLazyAblation(nl, ml, 5, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderLazyAblation(rows, nl, ml))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beliefbench:", err)
+	os.Exit(1)
+}

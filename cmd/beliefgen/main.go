@@ -1,0 +1,138 @@
+// Command beliefgen emits a synthetic annotation workload as a BeliefSQL
+// script (consumable by cmd/beliefsql) or as a TSV statement list. The
+// generator is the one used for the paper's evaluation (Sect. 6.1):
+// parameterized by user count, depth distribution, and uniform or Zipf
+// participation.
+//
+// Usage:
+//
+//	beliefgen -n 1000 -users 10 -depths 0.8,0.19,0.01 -zipf -seed 7 -format bsql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1000, "number of annotations")
+		users   = flag.Int("users", 10, "number of users")
+		depths  = flag.String("depths", "0.334,0.333,0.333", "depth distribution Pr[d=0],Pr[d=1],...")
+		zipf    = flag.Bool("zipf", false, "Zipf participation (default uniform)")
+		zipfS   = flag.Float64("zipf-s", 1.0, "Zipf exponent")
+		keys    = flag.Int("keys", 0, "external key pool size (default n/4)")
+		negProb = flag.Float64("neg", 0.25, "probability of a negative annotation")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "bsql", "output format: bsql or tsv")
+	)
+	flag.Parse()
+
+	dist, err := parseDist(*depths)
+	if err != nil {
+		fatal(err)
+	}
+	part := gen.Uniform
+	if *zipf {
+		part = gen.Zipf
+	}
+	cfg := gen.Config{
+		Users:         *users,
+		DepthDist:     dist,
+		Participation: part,
+		ZipfS:         *zipfS,
+		KeyPool:       *keys,
+		NegProb:       *negProb,
+		Seed:          *seed,
+	}
+	if cfg.KeyPool == 0 {
+		cfg.KeyPool = *n / 4
+		if cfg.KeyPool < 8 {
+			cfg.KeyPool = 8
+		}
+	}
+	base, stmts, err := gen.Statements(cfg, *n)
+	if err != nil {
+		fatal(err)
+	}
+	_ = base
+
+	switch *format {
+	case "bsql":
+		fmt.Printf("-- synthetic belief workload: n=%d users=%d depths=%s participation=%s seed=%d\n",
+			*n, *users, *depths, part, *seed)
+		fmt.Printf("-- schema: %s(%s); load with: beliefsql -schema '%s(%s)' script.bsql\n",
+			gen.DefaultRel, strings.Join(gen.RelColumns(), ","),
+			gen.DefaultRel, strings.Join(gen.RelColumns(), ","))
+		for i := 1; i <= *users; i++ {
+			fmt.Printf("-- \\adduser u%d\n", i)
+		}
+		for _, st := range stmts {
+			fmt.Println(toBeliefSQL(st))
+		}
+	case "tsv":
+		for _, st := range stmts {
+			cols := make([]string, 0, len(st.Tuple.Vals)+2)
+			cols = append(cols, st.Path.String(), st.Sign.String())
+			for _, v := range st.Tuple.Vals {
+				cols = append(cols, v.String())
+			}
+			fmt.Println(strings.Join(cols, "\t"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func toBeliefSQL(st core.Statement) string {
+	var sb strings.Builder
+	sb.WriteString("insert into ")
+	for _, u := range st.Path {
+		fmt.Fprintf(&sb, "BELIEF 'u%d' ", u)
+	}
+	if st.Sign == core.Neg {
+		sb.WriteString("not ")
+	}
+	sb.WriteString(st.Tuple.Rel)
+	sb.WriteString(" values (")
+	for i, v := range st.Tuple.Vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.SQL())
+	}
+	sb.WriteString(");")
+	return sb.String()
+}
+
+func parseDist(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	sum := 0.0
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability %q", p)
+		}
+		out[i] = f
+		sum += f
+	}
+	// Normalize small rounding drift so that 0.334,0.333,0.333 works.
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beliefgen:", err)
+	os.Exit(1)
+}

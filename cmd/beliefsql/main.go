@@ -1,0 +1,327 @@
+// Command beliefsql is an interactive BeliefSQL shell over an embedded
+// belief database.
+//
+// Usage:
+//
+//	beliefsql [-demo] [-schema spec] [script.bsql ...]
+//
+// The schema is declared with -schema using one or more
+// "Rel(col:type,...)" items separated by ';' (the first column is the
+// external key; types: int, float, text, bool). -demo preloads the paper's
+// NatureMapping running example (users Alice/Bob/Carol, inserts i1..i8).
+// Script files are executed before the prompt; with no TTY-style
+// interaction desired, pass scripts and pipe input.
+//
+// Meta commands at the prompt:
+//
+//	\adduser NAME      register a community member
+//	\users             list users
+//	\world PATH        show a belief world, e.g. \world Bob.Alice (empty = root)
+//	\translate QUERY   show the SQL that a BeliefSQL SELECT compiles to
+//	\sql STATEMENT     run plain SQL against the internal schema
+//	\stats             representation size (|R*|, n, N, overhead)
+//	\statements        list explicit belief statements
+//	\help, \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"beliefdb"
+	"beliefdb/internal/paperex"
+)
+
+func main() {
+	var (
+		demo   = flag.Bool("demo", false, "preload the paper's running example")
+		schema = flag.String("schema", "", "schema spec: Rel(col:type,...);...")
+	)
+	flag.Parse()
+
+	db, err := openDB(*demo, *schema)
+	if err != nil {
+		fatal(err)
+	}
+	for _, file := range flag.Args() {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		if res, err := db.ExecScript(string(data)); err != nil {
+			fatal(fmt.Errorf("%s: %w", file, err))
+		} else {
+			printResult(res)
+		}
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("beliefdb shell — BeliefSQL statements end with ';', meta commands start with '\\' (\\help)")
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("beliefsql> ")
+		} else {
+			fmt.Print("      ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			run(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		run(db, buf.String())
+	}
+}
+
+func openDB(demo bool, schemaSpec string) (*beliefdb.DB, error) {
+	if demo || schemaSpec == "" {
+		db, err := beliefdb.Open(natureSchema())
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"Alice", "Bob", "Carol"} {
+			if _, err := db.AddUser(name); err != nil {
+				return nil, err
+			}
+		}
+		if demo {
+			for _, st := range paperex.Statements() {
+				if _, err := db.InsertBelief(st.Path, st.Sign, st.Tuple); err != nil {
+					return nil, err
+				}
+			}
+			fmt.Println("loaded running example: users Alice, Bob, Carol; statements i1..i8")
+		} else {
+			fmt.Println("using NatureMapping demo schema: Sightings(sid,uid,species,date,location), Comments(cid,comment,sid)")
+		}
+		return db, nil
+	}
+	sch, err := parseSchema(schemaSpec)
+	if err != nil {
+		return nil, err
+	}
+	return beliefdb.Open(sch)
+}
+
+func natureSchema() beliefdb.Schema {
+	return beliefdb.Schema{Relations: []beliefdb.Relation{
+		{Name: "Sightings", Columns: []beliefdb.Column{
+			{Name: "sid", Type: beliefdb.KindString},
+			{Name: "uid", Type: beliefdb.KindString},
+			{Name: "species", Type: beliefdb.KindString},
+			{Name: "date", Type: beliefdb.KindString},
+			{Name: "location", Type: beliefdb.KindString},
+		}},
+		{Name: "Comments", Columns: []beliefdb.Column{
+			{Name: "cid", Type: beliefdb.KindString},
+			{Name: "comment", Type: beliefdb.KindString},
+			{Name: "sid", Type: beliefdb.KindString},
+		}},
+	}}
+}
+
+// parseSchema parses "Rel(col:type,...);Rel2(...)".
+func parseSchema(spec string) (beliefdb.Schema, error) {
+	var sch beliefdb.Schema
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		open := strings.Index(item, "(")
+		if open < 0 || !strings.HasSuffix(item, ")") {
+			return sch, fmt.Errorf("bad relation spec %q", item)
+		}
+		rel := beliefdb.Relation{Name: strings.TrimSpace(item[:open])}
+		for _, col := range strings.Split(item[open+1:len(item)-1], ",") {
+			parts := strings.SplitN(strings.TrimSpace(col), ":", 2)
+			c := beliefdb.Column{Name: parts[0], Type: beliefdb.KindString}
+			if len(parts) == 2 {
+				switch strings.ToLower(strings.TrimSpace(parts[1])) {
+				case "int":
+					c.Type = beliefdb.KindInt
+				case "float":
+					c.Type = beliefdb.KindFloat
+				case "text", "string":
+					c.Type = beliefdb.KindString
+				case "bool":
+					c.Type = beliefdb.KindBool
+				default:
+					return sch, fmt.Errorf("bad column type %q", parts[1])
+				}
+			}
+			rel.Columns = append(rel.Columns, c)
+		}
+		sch.Relations = append(sch.Relations, rel)
+	}
+	if len(sch.Relations) == 0 {
+		return sch, fmt.Errorf("empty schema spec")
+	}
+	return sch, nil
+}
+
+func run(db *beliefdb.DB, src string) {
+	res, err := db.ExecScript(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *beliefdb.Result) {
+	if res == nil {
+		return
+	}
+	if len(res.Columns) == 0 {
+		fmt.Printf("ok (%d statement(s) affected)\n", res.Affected)
+		return
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+}
+
+// meta executes a backslash command; it returns false to quit.
+func meta(db *beliefdb.DB, line string) bool {
+	cmd, arg, _ := strings.Cut(strings.TrimPrefix(line, "\\"), " ")
+	arg = strings.TrimSpace(arg)
+	switch cmd {
+	case "q", "quit", "exit":
+		return false
+	case "help":
+		fmt.Println(`meta commands:
+  \adduser NAME    register a user
+  \users           list users
+  \world PATH      show a belief world (PATH like Bob.Alice; empty = root)
+  \translate Q     show the SQL a BeliefSQL SELECT compiles to
+  \sql STMT        run plain SQL on the internal schema
+  \stats           representation size
+  \statements      list explicit belief statements
+  \dump            emit a replayable BeliefSQL script
+  \quit`)
+	case "adduser":
+		if arg == "" {
+			fmt.Println("usage: \\adduser NAME")
+			break
+		}
+		uid, err := db.AddUser(arg)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("user %q registered with uid %d\n", arg, uid)
+	case "users":
+		for _, uid := range db.Users() {
+			name, _ := db.UserName(uid)
+			fmt.Printf("%4d  %s\n", uid, name)
+		}
+	case "world":
+		path, err := parsePath(db, arg)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		entries, err := db.World(path)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		for _, e := range entries {
+			flag := "implicit"
+			if e.Explicit {
+				flag = "explicit"
+			}
+			fmt.Printf("  %s%s  (%s)\n", e.Tuple, e.Sign, flag)
+		}
+		fmt.Printf("(%d beliefs)\n", len(entries))
+	case "translate":
+		sql, err := db.Translate(arg)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println(sql)
+	case "sql":
+		res, err := db.SQL(arg)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		printResult(res)
+	case "dump":
+		script, err := db.Dump()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(script)
+	case "stats":
+		fmt.Print(db.Stats())
+	case "statements":
+		stmts, err := db.Statements()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		for _, st := range stmts {
+			fmt.Println(" ", st)
+		}
+		fmt.Printf("(%d statements)\n", len(stmts))
+	default:
+		fmt.Printf("unknown meta command \\%s (try \\help)\n", cmd)
+	}
+	return true
+}
+
+// parsePath turns "Bob.Alice" (names) or "2.1" (uids) into a Path.
+func parsePath(db *beliefdb.DB, s string) (beliefdb.Path, error) {
+	if strings.TrimSpace(s) == "" {
+		return beliefdb.Path{}, nil
+	}
+	var p beliefdb.Path
+	for _, part := range strings.Split(s, ".") {
+		part = strings.TrimSpace(part)
+		if uid, ok := db.UserID(part); ok {
+			p = append(p, uid)
+			continue
+		}
+		var uid int64
+		if _, err := fmt.Sscanf(part, "%d", &uid); err != nil {
+			return nil, fmt.Errorf("unknown user %q", part)
+		}
+		p = append(p, beliefdb.UserID(uid))
+	}
+	return p, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beliefsql:", err)
+	os.Exit(1)
+}

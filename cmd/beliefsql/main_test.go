@@ -1,0 +1,101 @@
+package main
+
+import (
+	"testing"
+
+	"beliefdb"
+)
+
+func TestParseSchema(t *testing.T) {
+	sch, err := parseSchema("R(k:text,n:int,x:float,b:bool); T(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Relations) != 2 {
+		t.Fatalf("relations = %d", len(sch.Relations))
+	}
+	r := sch.Relations[0]
+	if r.Name != "R" || len(r.Columns) != 4 {
+		t.Fatalf("r = %+v", r)
+	}
+	if r.Columns[0].Type != beliefdb.KindString || r.Columns[1].Type != beliefdb.KindInt ||
+		r.Columns[2].Type != beliefdb.KindFloat || r.Columns[3].Type != beliefdb.KindBool {
+		t.Errorf("types = %+v", r.Columns)
+	}
+	// Unspecified type defaults to text.
+	if sch.Relations[1].Columns[0].Type != beliefdb.KindString {
+		t.Error("default type not text")
+	}
+
+	bad := []string{"", "R", "R(", "R(k:wat)"}
+	for _, s := range bad {
+		if _, err := parseSchema(s); err == nil {
+			t.Errorf("parseSchema(%q) succeeded", s)
+		}
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	db, err := openDB(false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parsePath(db, "Bob.Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Fatalf("p = %v", p)
+	}
+	if name, _ := db.UserName(p[0]); name != "Bob" {
+		t.Errorf("p[0] = %v", p[0])
+	}
+	// Numeric uids work too.
+	p, err = parsePath(db, "2.1")
+	if err != nil || len(p) != 2 || p[0] != 2 {
+		t.Errorf("numeric path: %v %v", p, err)
+	}
+	// Empty = root.
+	p, err = parsePath(db, "  ")
+	if err != nil || len(p) != 0 {
+		t.Errorf("empty path: %v %v", p, err)
+	}
+	if _, err := parsePath(db, "Nobody"); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestOpenDBDemo(t *testing.T) {
+	db, err := openDB(true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Annotations; got != 8 {
+		t.Errorf("demo annotations = %d", got)
+	}
+	res, err := db.Query(`select S.species from BELIEF 'Bob' Sightings S`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("demo query: %v %v", res, err)
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db, err := openDB(true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{
+		"\\help", "\\users", "\\stats", "\\statements", "\\dump",
+		"\\world Bob.Alice", "\\world", "\\adduser Dora",
+		"\\translate select S.sid from BELIEF 'Bob' Sightings S",
+		"\\sql SELECT COUNT(*) FROM _e",
+		"\\world Nobody", "\\unknowncmd",
+	} {
+		if !meta(db, cmd) {
+			t.Errorf("meta(%q) requested quit", cmd)
+		}
+	}
+	if meta(db, "\\quit") {
+		t.Error("\\quit did not quit")
+	}
+}

@@ -1,0 +1,105 @@
+// Disputes: Example 18 from the paper — a relation R(sample, category,
+// origin) classifying empirical samples, and the query for *disputed*
+// samples: samples x for which users y and z disagree on category or
+// origin. The disagreement can be a stated negative (an explicit "not"
+// annotation) or an unstated one (the user believes a different tuple under
+// the same key). The example also prints the Datalog-style BCQ and the SQL
+// that Algorithm 1 produces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beliefdb"
+)
+
+func main() {
+	db, err := beliefdb.Open(beliefdb.Schema{Relations: []beliefdb.Relation{
+		{Name: "R", Columns: []beliefdb.Column{
+			{Name: "sample", Type: beliefdb.KindString},
+			{Name: "category", Type: beliefdb.KindString},
+			{Name: "origin", Type: beliefdb.KindString},
+		}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []string{"ana", "ben", "cho", "dee"} {
+		if _, err := db.AddUser(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A lab's classification log. Baseline entries are community content;
+	// individual researchers then record their own readings.
+	script := `
+		insert into R values ('m01','basalt','site-A');
+		insert into R values ('m02','granite','site-A');
+		insert into R values ('m03','obsidian','site-B');
+
+		-- ana re-ran the spectrometer on m01 and classifies it as andesite.
+		insert into BELIEF 'ana' R values ('m01','andesite','site-A');
+
+		-- ben rejects ana's andesite reading outright (stated negative)...
+		insert into BELIEF 'ben' not R values ('m01','andesite','site-A');
+
+		-- ...while cho thinks m02 came from site-B (unstated disagreement
+		-- with everyone who believes the site-A record).
+		insert into BELIEF 'cho' R values ('m02','granite','site-B');
+
+		-- dee agrees with the baseline m03 but doubts its provenance too.
+		insert into BELIEF 'dee' R values ('m03','obsidian','site-C');
+	`
+	if _, err := db.ExecScript(script); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("BCQ (Def. 13):  q(x,y,z) :- [y]R+(x,u,v), [z]R-(x,u,v)")
+	query := `
+		select R1.sample, U1.name, U2.name
+		from Users as U1, Users as U2,
+			BELIEF U1.uid R as R1,
+			BELIEF U2.uid not R as R2
+		where R1.sample = R2.sample
+		and R1.category = R2.category
+		and R1.origin = R2.origin`
+
+	sql, err := db.Translate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAlgorithm 1 translation:")
+	fmt.Println(" ", sql)
+
+	res, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDisputed samples (sample, believer, disputer):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-4s believed by %-4s disputed by %s\n",
+			row[0].String(), row[1].String(), row[2].String())
+	}
+
+	// Narrow the dispute report to a single sample with a typed check.
+	m02ana, _ := db.NewTuple("R", "m02", "granite", "site-A")
+	m02cho, _ := db.NewTuple("R", "m02", "granite", "site-B")
+	ana, _ := db.UserID("ana")
+	cho, _ := db.UserID("cho")
+	b1, _ := db.Believes(beliefdb.Path{ana}, m02ana)
+	b2, _ := db.Disbelieves(beliefdb.Path{cho}, m02ana)
+	b3, _ := db.Believes(beliefdb.Path{cho}, m02cho)
+	fmt.Printf("\nana believes the site-A record of m02: %v\n", b1)
+	fmt.Printf("cho disbelieves it (unstated, via her site-B reading): %v\n", b2)
+	fmt.Printf("cho believes her own site-B reading: %v\n", b3)
+
+	// And what does ben think ana believes? The message-board default
+	// propagates her reading into his model of her.
+	ben, _ := db.UserID("ben")
+	m01ana, _ := db.NewTuple("R", "m01", "andesite", "site-A")
+	b4, _ := db.Believes(beliefdb.Path{ben, ana}, m01ana)
+	b5, _ := db.Believes(beliefdb.Path{ben}, m01ana)
+	fmt.Printf("\nben believes that ana believes her andesite reading: %v\n", b4)
+	fmt.Printf("ben believes the andesite reading himself: %v\n", b5)
+}

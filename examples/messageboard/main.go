@@ -1,0 +1,104 @@
+// Messageboard: the message board assumption in action (Sect. 3.2). When
+// Dora joins a running discussion she is not forced to re-assert everything
+// she agrees with: by default she believes every statement on the board —
+// including what others believe — until she explicitly contradicts one.
+// The example walks through exactly the paper's account: statements flow
+// into newcomers' worlds, explicit disagreement overrides the default, and
+// beliefs about *statements* (2·1 t) propagate even when beliefs about the
+// *facts* (2 t) do not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beliefdb"
+)
+
+func main() {
+	db, err := beliefdb.Open(beliefdb.Schema{Relations: []beliefdb.Relation{
+		{Name: "Claims", Columns: []beliefdb.Column{
+			{Name: "id", Type: beliefdb.KindString},
+			{Name: "claim", Type: beliefdb.KindString},
+		}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, _ := db.AddUser("alice")
+	bob, _ := db.AddUser("bob")
+
+	// Alice posts a claim; Bob posts a rival claim under the same key —
+	// from his world's perspective the two are mutually exclusive.
+	if _, err := db.ExecScript(`
+		insert into BELIEF 'alice' Claims values ('c1','the comet returns in 2027');
+		insert into BELIEF 'bob'   Claims values ('c1','the comet returns in 2031');
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	c2027, _ := db.NewTuple("Claims", "c1", "the comet returns in 2027")
+	c2031, _ := db.NewTuple("Claims", "c1", "the comet returns in 2031")
+
+	check := func(label string, path beliefdb.Path, t beliefdb.Tuple, want bool) {
+		got, err := db.Believes(path, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := " "
+		if got != want {
+			marker = "!"
+		}
+		fmt.Printf("%s %-58s %v\n", marker, label, got)
+	}
+
+	fmt.Println("Before Dora joins:")
+	check("alice believes 2027", beliefdb.Path{alice}, c2027, true)
+	check("bob believes 2031", beliefdb.Path{bob}, c2031, true)
+	// Each believes the other holds their own claim (default on statements)...
+	check("alice believes that bob believes 2031", beliefdb.Path{alice, bob}, c2031, true)
+	check("bob believes that alice believes 2027", beliefdb.Path{bob, alice}, c2027, true)
+	// ...but not the rival fact itself: their own claim occupies the key.
+	check("alice believes 2031 herself", beliefdb.Path{alice}, c2031, false)
+	check("bob believes 2027 himself", beliefdb.Path{bob}, c2027, false)
+
+	// Dora joins. With no statements of her own, she believes what the
+	// board states — both *that* alice and bob believe their claims, and,
+	// since the rival claims block each other only within one world, the
+	// first one the default reaches... here: nothing at the root, so
+	// neither fact, but both second-order statements.
+	dora, err := db.AddUser("dora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDora joins (no statements of her own):")
+	check("dora believes 2027", beliefdb.Path{dora}, c2027, false)
+	check("dora believes that alice believes 2027", beliefdb.Path{dora, alice}, c2027, true)
+	check("dora believes that bob believes 2031", beliefdb.Path{dora, bob}, c2031, true)
+
+	// The facts were never board-level content. Alice now posts hers as
+	// plain content: newcomers (and silent users) inherit it.
+	if _, err := db.Exec(`insert into Claims values ('c1','the comet returns in 2027')`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAfter the 2027 claim is posted as board content:")
+	check("dora believes 2027 (default)", beliefdb.Path{dora}, c2027, true)
+	check("bob still believes 2031 (his explicit claim wins)", beliefdb.Path{bob}, c2031, true)
+	check("bob believes 2027", beliefdb.Path{bob}, c2027, false)
+
+	// Dora eventually makes up her own mind and contradicts the default.
+	if _, err := db.Exec(`insert into BELIEF 'dora' not Claims values ('c1','the comet returns in 2027')`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAfter Dora explicitly disagrees:")
+	check("dora believes 2027", beliefdb.Path{dora}, c2027, false)
+	disb, _ := db.Disbelieves(beliefdb.Path{dora}, c2027)
+	fmt.Printf("  dora disbelieves 2027 (stated): %v\n", disb)
+	check("dora believes that alice believes 2027 (unchanged)", beliefdb.Path{dora, alice}, c2027, true)
+
+	fmt.Println("\nExplicit statements on the board:")
+	stmts, _ := db.Statements()
+	for _, st := range stmts {
+		fmt.Println(" ", st)
+	}
+}

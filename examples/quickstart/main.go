@@ -1,0 +1,132 @@
+// Quickstart: the paper's running example (Sect. 2) end to end — Carol's
+// bald-eagle sighting, Bob's disagreement and correction, Alice's crow,
+// Bob's higher-order explanation of Alice's mistake, and the two example
+// queries q1 and q2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beliefdb"
+)
+
+func main() {
+	db, err := beliefdb.Open(beliefdb.Schema{Relations: []beliefdb.Relation{
+		{Name: "Sightings", Columns: []beliefdb.Column{
+			{Name: "sid", Type: beliefdb.KindString},
+			{Name: "uid", Type: beliefdb.KindString},
+			{Name: "species", Type: beliefdb.KindString},
+			{Name: "date", Type: beliefdb.KindString},
+			{Name: "location", Type: beliefdb.KindString},
+		}},
+		{Name: "Comments", Columns: []beliefdb.Column{
+			{Name: "cid", Type: beliefdb.KindString},
+			{Name: "comment", Type: beliefdb.KindString},
+			{Name: "sid", Type: beliefdb.KindString},
+		}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alice, _ := db.AddUser("Alice")
+	bob, _ := db.AddUser("Bob")
+	if _, err := db.AddUser("Carol"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The eight inserts i1..i8 of Sect. 2, in BeliefSQL.
+	inserts := []string{
+		// i1: little Carol reports a bald eagle (plain content insert).
+		`insert into Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')`,
+		// i2/i3: Bob does not believe Carol saw a bald eagle — nor a fish
+		// eagle, so his disagreement survives an update of Carol's tuple.
+		`insert into BELIEF 'Bob' not Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')`,
+		`insert into BELIEF 'Bob' not Sightings values ('s1','Carol','fish eagle','6-14-08','Lake Forest')`,
+		// i4/i5: Alice believes there was a crow — she found feathers.
+		`insert into BELIEF 'Alice' Sightings values ('s2','Alice','crow','6-14-08','Lake Placid')`,
+		`insert into BELIEF 'Alice' Comments values ('c1','found feathers','s2')`,
+		// i6-i8: Bob thinks it was a raven, and explains Alice's mistake
+		// with a higher-order belief: she believed the feathers were black,
+		// but they were purple-black.
+		`insert into BELIEF 'Bob' Sightings values ('s2','Alice','raven','6-14-08','Lake Placid')`,
+		`insert into BELIEF 'Bob' BELIEF 'Alice' Comments values ('c2','black feathers','s2')`,
+		`insert into BELIEF 'Bob' Comments values ('c2','purple-black feathers','s2')`,
+	}
+	for _, stmt := range inserts {
+		if _, err := db.Exec(stmt); err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
+	}
+
+	fmt.Println("== Belief worlds (canonical Kripke structure, Fig. 4) ==")
+	for _, p := range []struct {
+		label string
+		path  beliefdb.Path
+	}{
+		{"root (message board)", nil},
+		{"Alice believes", beliefdb.Path{alice}},
+		{"Bob believes", beliefdb.Path{bob}},
+		{"Bob believes Alice believes", beliefdb.Path{bob, alice}},
+	} {
+		entries, err := db.World(p.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", p.label)
+		for _, e := range entries {
+			src := "inherited"
+			if e.Explicit {
+				src = "explicit"
+			}
+			fmt.Printf("  %s%s  (%s)\n", e.Tuple, e.Sign, src)
+		}
+	}
+
+	fmt.Println("\n== q1: sightings at Lake Placid that Bob believes ==")
+	mustQuery(db, `
+		select S.sid, S.uid, S.species
+		from Users as U, BELIEF U.uid Sightings as S
+		where U.name = 'Bob' and S.location = 'Lake Placid'`)
+
+	fmt.Println("\n== q2: entries on which users disagree with Alice ==")
+	mustQuery(db, `
+		select U2.name, S1.species, S2.species
+		from Users as U1, Users as U2,
+			BELIEF U1.uid Sightings as S1,
+			BELIEF U2.uid Sightings as S2
+		where U1.name = 'Alice'
+		and S1.sid = S2.sid
+		and S1.species <> S2.species`)
+
+	fmt.Println("\n== The SQL q2 compiles to (Algorithm 1) ==")
+	sql, err := db.Translate(`
+		select U2.name, S1.species, S2.species
+		from Users as U1, Users as U2,
+			BELIEF U1.uid Sightings as S1, BELIEF U2.uid Sightings as S2
+		where U1.name = 'Alice' and S1.sid = S2.sid and S1.species <> S2.species`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sql)
+
+	fmt.Println("\n== Representation size ==")
+	fmt.Print(db.Stats())
+}
+
+func mustQuery(db *beliefdb.DB, q string) {
+	res, err := db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/store"
+	"beliefdb/internal/val"
+)
+
+// LazyAblationRow compares the eager representation (the paper's canonical
+// materialization) with the lazy one (Sect. 6.3 future work) on the same
+// workload: storage overhead versus read-time cost.
+type LazyAblationRow struct {
+	Mode          string // "eager" or "lazy"
+	TotalRows     int
+	Overhead      float64
+	BuildTime     time.Duration
+	WorldReadMean time.Duration // mean WorldContent latency over sample paths
+	EntailsMean   time.Duration // mean Entails latency over sample probes
+}
+
+// RunLazyAblation loads the same generated workload into an eager and a
+// lazy store and measures both sides of the trade-off.
+func RunLazyAblation(n, m int, seed int64, progress func(string)) ([]LazyAblationRow, error) {
+	cfg := gen.Config{
+		Users:         m,
+		DepthDist:     []float64{0.3, 0.4, 0.2, 0.1},
+		Participation: gen.Zipf,
+		KeyPool:       keyPoolFor(n),
+		Seed:          seed,
+	}
+	var rows []LazyAblationRow
+	for _, mode := range []string{"eager", "lazy"} {
+		var st *store.Store
+		var err error
+		if mode == "lazy" {
+			st, err = store.OpenLazy([]store.Relation{GenRelation()})
+		} else {
+			st, err = store.Open([]store.Relation{GenRelation()})
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i <= m; i++ {
+			if _, err := st.AddUser(fmt.Sprintf("u%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		g, err := gen.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, _, err := g.Load(n, st.Insert); err != nil {
+			return nil, err
+		}
+		buildTime := time.Since(start)
+		stats := st.Stats()
+
+		// Sample read paths: every state of depth <= 2 plus some deeper
+		// probes, identical across modes because the workload is identical.
+		var paths []core.Path
+		for _, p := range st.States() {
+			if len(p) <= 2 {
+				paths = append(paths, p)
+			}
+		}
+		const rounds = 5
+		start = time.Now()
+		reads := 0
+		for r := 0; r < rounds; r++ {
+			for _, p := range paths {
+				if _, err := st.WorldContent(p); err != nil {
+					return nil, err
+				}
+				reads++
+			}
+		}
+		worldMean := time.Duration(int64(time.Since(start)) / int64(reads))
+
+		probeTuple := core.NewTuple(gen.DefaultRel,
+			val.Str("k1"), val.Str("obs1"), val.Str("species0"), val.Str("6-14-08"), val.Str("loc1"))
+		start = time.Now()
+		probes := 0
+		for r := 0; r < rounds; r++ {
+			for _, p := range paths {
+				if _, err := st.Entails(p, probeTuple, core.Pos); err != nil {
+					return nil, err
+				}
+				probes++
+			}
+		}
+		entailsMean := time.Duration(int64(time.Since(start)) / int64(probes))
+
+		row := LazyAblationRow{
+			Mode:          mode,
+			TotalRows:     stats.TotalRows,
+			Overhead:      stats.Overhead(),
+			BuildTime:     buildTime,
+			WorldReadMean: worldMean,
+			EntailsMean:   entailsMean,
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("lazy-ablation %-5s |R*|=%-8d overhead=%6.1f build=%-10s world-read=%-10s",
+				mode, row.TotalRows, row.Overhead, row.BuildTime.Round(time.Millisecond), row.WorldReadMean.Round(time.Microsecond)))
+		}
+	}
+	return rows, nil
+}
+
+// RenderLazyAblation prints the comparison.
+func RenderLazyAblation(rows []LazyAblationRow, n, m int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Lazy vs. eager representation (Sect. 6.3 future work; n=%d annotations, m=%d users)\n\n", n, m)
+	fmt.Fprintf(&sb, "%-7s %10s %10s %12s %14s %14s\n", "mode", "|R*|", "|R*|/n", "build", "world read", "entails")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-7s %10d %10.1f %12s %14s %14s\n",
+			r.Mode, r.TotalRows, r.Overhead,
+			r.BuildTime.Round(time.Millisecond),
+			r.WorldReadMean.Round(time.Microsecond),
+			r.EntailsMean.Round(time.Microsecond))
+	}
+	return sb.String()
+}

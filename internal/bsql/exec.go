@@ -1,0 +1,229 @@
+package bsql
+
+import (
+	"fmt"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/query"
+	"beliefdb/internal/sqlparser"
+	"beliefdb/internal/val"
+)
+
+// Exec parses and executes one BeliefSQL statement: SELECTs are translated
+// to SQL (Algorithm 1) and run on the embedded engine; INSERT/DELETE/UPDATE
+// route to the store's update algorithms.
+func (tr *Translator) Exec(src string) (*query.Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return tr.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated BeliefSQL script, returning the
+// last statement's result.
+func (tr *Translator) ExecScript(src string) (*query.Result, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("bsql: empty script")
+	}
+	var res *query.Result
+	for _, s := range stmts {
+		res, err = tr.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecStmt executes one parsed BeliefSQL statement.
+func (tr *Translator) ExecStmt(stmt Statement) (*query.Result, error) {
+	switch s := stmt.(type) {
+	case Select:
+		sql, err := tr.TranslateSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return tr.st.DB().Query(sql)
+	case Insert:
+		return tr.execInsert(s)
+	case Delete:
+		return tr.execDelete(s)
+	case Update:
+		return tr.execUpdate(s)
+	default:
+		return nil, fmt.Errorf("bsql: unsupported statement %T", stmt)
+	}
+}
+
+// targetPathSign resolves a DML target's belief path (literal users only)
+// and sign.
+func (tr *Translator) targetPathSign(ref BeliefRef) (core.Path, core.Sign, error) {
+	var p core.Path
+	for _, e := range ref.Path {
+		if e.IsRef {
+			return nil, 0, fmt.Errorf("bsql: BELIEF in data manipulation must name users literally, got %s", e.Ref)
+		}
+		uid, ok := tr.st.UserID(e.Literal)
+		if !ok {
+			return nil, 0, fmt.Errorf("bsql: unknown user %q", e.Literal)
+		}
+		p = append(p, uid)
+	}
+	if !p.Valid() {
+		return nil, 0, fmt.Errorf("bsql: invalid belief path in %s", ref)
+	}
+	sign := core.Pos
+	if ref.Negated {
+		sign = core.Neg
+	}
+	return p, sign, nil
+}
+
+// constValue folds a VALUES expression to a constant.
+func constValue(e sqlparser.Expr) (val.Value, error) {
+	switch ex := e.(type) {
+	case sqlparser.Literal:
+		return ex.Val, nil
+	case sqlparser.UnaryExpr:
+		if ex.Op == "-" {
+			v, err := constValue(ex.X)
+			if err != nil {
+				return val.Null(), err
+			}
+			switch v.Kind() {
+			case val.KindInt:
+				return val.Int(-v.AsInt()), nil
+			case val.KindFloat:
+				return val.Float(-v.AsFloat()), nil
+			}
+		}
+	}
+	return val.Null(), fmt.Errorf("bsql: VALUES entries must be constants, got %s", e.String())
+}
+
+func (tr *Translator) execInsert(ins Insert) (*query.Result, error) {
+	p, sign, err := tr.targetPathSign(ins.Target)
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := tr.st.Relation(ins.Target.Table)
+	if !ok {
+		return nil, fmt.Errorf("bsql: unknown belief relation %q", ins.Target.Table)
+	}
+	affected := 0
+	for _, row := range ins.Rows {
+		if len(row) != len(rel.Columns) {
+			return nil, fmt.Errorf("bsql: %d values for %d columns of %s", len(row), len(rel.Columns), rel.Name)
+		}
+		vals := make([]val.Value, len(row))
+		for i, e := range row {
+			v, err := constValue(e)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		changed, err := tr.st.Insert(core.Statement{
+			Path: p, Sign: sign, Tuple: core.Tuple{Rel: rel.Name, Vals: vals},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if changed {
+			affected++
+		}
+	}
+	return &query.Result{Affected: affected}, nil
+}
+
+// matchTargets returns the explicit statements in the target world matching
+// the WHERE clause.
+func (tr *Translator) matchTargets(target BeliefRef, where sqlparser.Expr) ([]core.Statement, []string, error) {
+	p, sign, err := tr.targetPathSign(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, ok := tr.st.Relation(target.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("bsql: unknown belief relation %q", target.Table)
+	}
+	cols := make([]string, len(rel.Columns))
+	for i, c := range rel.Columns {
+		cols[i] = c.Name
+	}
+	all, err := tr.st.ExplicitStatements()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []core.Statement
+	for _, st := range all {
+		if st.Tuple.Rel != rel.Name || st.Sign != sign || !st.Path.Equal(p) {
+			continue
+		}
+		ok, err := query.PredicateOnRow(where, target.Table, cols, st.Tuple.Vals)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			out = append(out, st)
+		}
+	}
+	return out, cols, nil
+}
+
+func (tr *Translator) execDelete(del Delete) (*query.Result, error) {
+	targets, _, err := tr.matchTargets(del.Target, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, st := range targets {
+		changed, err := tr.st.Delete(st)
+		if err != nil {
+			return nil, err
+		}
+		if changed {
+			affected++
+		}
+	}
+	return &query.Result{Affected: affected}, nil
+}
+
+func (tr *Translator) execUpdate(upd Update) (*query.Result, error) {
+	targets, cols, err := tr.matchTargets(upd.Target, upd.Where)
+	if err != nil {
+		return nil, err
+	}
+	colPos := make(map[string]int, len(cols))
+	for i, c := range cols {
+		colPos[c] = i
+	}
+	affected := 0
+	for _, st := range targets {
+		newVals := append([]val.Value(nil), st.Tuple.Vals...)
+		for _, a := range upd.Set {
+			pos, ok := colPos[a.Column]
+			if !ok {
+				return nil, fmt.Errorf("bsql: no column %q in %s", a.Column, upd.Target.Table)
+			}
+			v, err := query.EvalOnRow(a.Value, upd.Target.Table, cols, st.Tuple.Vals)
+			if err != nil {
+				return nil, err
+			}
+			newVals[pos] = v
+		}
+		changed, err := tr.st.Replace(st, core.Tuple{Rel: st.Tuple.Rel, Vals: newVals})
+		if err != nil {
+			return nil, err
+		}
+		if changed {
+			affected++
+		}
+	}
+	return &query.Result{Affected: affected}, nil
+}

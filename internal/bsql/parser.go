@@ -1,0 +1,425 @@
+package bsql
+
+import (
+	"fmt"
+	"strings"
+
+	"beliefdb/internal/sqlparser"
+)
+
+// Parse parses one BeliefSQL statement (Fig. 1 grammar).
+func Parse(src string) (Statement, error) {
+	p, err := sqlparser.NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := parseStatement(p)
+	if err != nil {
+		return nil, err
+	}
+	if p.IsSymbol(";") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.AtEOF() {
+		return nil, p.Errorf("unexpected trailing input %q", p.Tok().Text)
+	}
+	return stmt, nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	var out []Statement
+	p, err := sqlparser.NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		for p.IsSymbol(";") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.AtEOF() {
+			return out, nil
+		}
+		stmt, err := parseStatement(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+		if !p.AtEOF() && !p.IsSymbol(";") {
+			return nil, p.Errorf("expected ';', got %q", p.Tok().Text)
+		}
+	}
+}
+
+func parseStatement(p *sqlparser.Parser) (Statement, error) {
+	switch {
+	case p.IsKeyword("select"):
+		return parseSelect(p)
+	case p.IsKeyword("insert"):
+		return parseInsert(p)
+	case p.IsKeyword("delete"):
+		return parseDelete(p)
+	case p.IsKeyword("update"):
+		return parseUpdate(p)
+	default:
+		return nil, p.Errorf("expected SELECT, INSERT, DELETE or UPDATE, got %q", p.Tok().Text)
+	}
+}
+
+// parseBeliefRef parses ((BELIEF user)+ not?)? relation (AS? alias)?.
+// The alias is only consumed when allowAlias is set (FROM items).
+func parseBeliefRef(p *sqlparser.Parser, allowAlias bool) (BeliefRef, error) {
+	var ref BeliefRef
+	for p.IsKeyword("belief") {
+		if err := p.Advance(); err != nil {
+			return ref, err
+		}
+		elem, err := parsePathElem(p)
+		if err != nil {
+			return ref, err
+		}
+		ref.Path = append(ref.Path, elem)
+	}
+	if p.IsKeyword("not") {
+		if len(ref.Path) == 0 {
+			return ref, p.Errorf("'not' requires at least one BELIEF prefix (Fig. 1 grammar)")
+		}
+		ref.Negated = true
+		if err := p.Advance(); err != nil {
+			return ref, err
+		}
+	}
+	table, err := p.ExpectIdent()
+	if err != nil {
+		return ref, err
+	}
+	ref.Table = table
+	if allowAlias {
+		if p.IsKeyword("as") {
+			if err := p.Advance(); err != nil {
+				return ref, err
+			}
+			alias, err := p.ExpectIdent()
+			if err != nil {
+				return ref, err
+			}
+			ref.Alias = alias
+		} else if p.Tok().Kind == sqlparser.TokIdent && !sqlparser.IsReserved(p.Tok().Text) {
+			ref.Alias = p.Tok().Text
+			if err := p.Advance(); err != nil {
+				return ref, err
+			}
+		}
+	}
+	return ref, nil
+}
+
+// parsePathElem parses the believer after BELIEF: a string literal user
+// name ('Bob'), a bare identifier user name (Bob), or a qualified column
+// reference (U.uid) correlating the believer with another FROM item.
+func parsePathElem(p *sqlparser.Parser) (PathElem, error) {
+	tok := p.Tok()
+	switch tok.Kind {
+	case sqlparser.TokString:
+		if err := p.Advance(); err != nil {
+			return PathElem{}, err
+		}
+		return PathElem{Literal: tok.Text}, nil
+	case sqlparser.TokIdent:
+		if sqlparser.IsReserved(tok.Text) {
+			return PathElem{}, p.Errorf("expected user after BELIEF, got %q", tok.Text)
+		}
+		name := tok.Text
+		if err := p.Advance(); err != nil {
+			return PathElem{}, err
+		}
+		if p.IsSymbol(".") {
+			if err := p.Advance(); err != nil {
+				return PathElem{}, err
+			}
+			col, err := p.ExpectIdent()
+			if err != nil {
+				return PathElem{}, err
+			}
+			return PathElem{IsRef: true, Ref: sqlparser.ColumnRef{Table: name, Column: col}}, nil
+		}
+		return PathElem{Literal: name}, nil
+	default:
+		return PathElem{}, p.Errorf("expected user after BELIEF, got %q", tok.Text)
+	}
+}
+
+func parseSelect(p *sqlparser.Parser) (Statement, error) {
+	if err := p.Advance(); err != nil { // SELECT
+		return nil, err
+	}
+	sel := Select{Limit: -1}
+	for {
+		item, err := p.ParseSelectItemExt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.IsSymbol(",") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.ExpectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := parseBeliefRef(p, true)
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if p.IsSymbol(",") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.IsKeyword("where") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.ParseExpression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.IsKeyword("group") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if err := p.ExpectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.ParseExpression()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.IsSymbol(",") {
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.IsKeyword("order") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if err := p.ExpectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.ParseExpression()
+			if err != nil {
+				return nil, err
+			}
+			item := sqlparser.OrderItem{Expr: e}
+			if p.IsKeyword("asc") {
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+			} else if p.IsKeyword("desc") {
+				item.Desc = true
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.IsSymbol(",") {
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.IsKeyword("limit") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if p.Tok().Kind != sqlparser.TokNumber {
+			return nil, p.Errorf("expected number after LIMIT")
+		}
+		n := 0
+		if _, err := fmt.Sscanf(p.Tok().Text, "%d", &n); err != nil {
+			return nil, p.Errorf("bad LIMIT %q", p.Tok().Text)
+		}
+		sel.Limit = n
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+	}
+	// Check for duplicate binding names early.
+	seen := map[string]bool{}
+	for _, ref := range sel.From {
+		n := ref.Name()
+		if seen[n] {
+			return nil, fmt.Errorf("bsql: duplicate binding %q in FROM", n)
+		}
+		seen[n] = true
+	}
+	return sel, nil
+}
+
+func parseInsert(p *sqlparser.Parser) (Statement, error) {
+	if err := p.Advance(); err != nil { // INSERT
+		return nil, err
+	}
+	if err := p.ExpectKeyword("into"); err != nil {
+		return nil, err
+	}
+	target, err := parseBeliefRef(p, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ExpectKeyword("values"); err != nil {
+		return nil, err
+	}
+	ins := Insert{Target: target}
+	for {
+		if err := p.ExpectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []sqlparser.Expr
+		for {
+			e, err := p.ParseExpression()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.IsSymbol(",") {
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.ExpectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.IsSymbol(",") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func parseDelete(p *sqlparser.Parser) (Statement, error) {
+	if err := p.Advance(); err != nil { // DELETE
+		return nil, err
+	}
+	if err := p.ExpectKeyword("from"); err != nil {
+		return nil, err
+	}
+	target, err := parseBeliefRef(p, false)
+	if err != nil {
+		return nil, err
+	}
+	del := Delete{Target: target}
+	if p.IsKeyword("where") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.ParseExpression()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+func parseUpdate(p *sqlparser.Parser) (Statement, error) {
+	if err := p.Advance(); err != nil { // UPDATE
+		return nil, err
+	}
+	target, err := parseBeliefRef(p, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ExpectKeyword("set"); err != nil {
+		return nil, err
+	}
+	upd := Update{Target: target}
+	for {
+		col, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ExpectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.ParseExpression()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, sqlparser.Assignment{Column: col, Value: e})
+		if p.IsSymbol(",") {
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.IsKeyword("where") {
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.ParseExpression()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = w
+	}
+	return upd, nil
+}
+
+// String renders a belief ref for error messages.
+func (br BeliefRef) String() string {
+	var sb strings.Builder
+	for _, e := range br.Path {
+		sb.WriteString("BELIEF ")
+		if e.IsRef {
+			sb.WriteString(e.Ref.String())
+		} else {
+			sb.WriteString("'" + e.Literal + "'")
+		}
+		sb.WriteByte(' ')
+	}
+	if br.Negated {
+		sb.WriteString("not ")
+	}
+	sb.WriteString(br.Table)
+	if br.Alias != "" {
+		sb.WriteString(" AS " + br.Alias)
+	}
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BeliefBase is a belief database D: a consistent set of explicit belief
+// statements, grouped into explicit belief worlds D_w (Def. 8). It offers
+// the declarative (reference) semantics: entailed worlds D̄_w computed by
+// overriding unions along suffix chains, and the entailment relations of
+// Def. 6/12. The relational store (internal/store) and the canonical Kripke
+// structure (internal/kripke) are differentially tested against it.
+type BeliefBase struct {
+	worlds map[string]*World // explicit worlds, by path key
+	paths  map[string]Path
+	n      int // number of explicit statements
+}
+
+// NewBeliefBase returns an empty belief base.
+func NewBeliefBase() *BeliefBase {
+	return &BeliefBase{
+		worlds: make(map[string]*World),
+		paths:  make(map[string]Path),
+	}
+}
+
+// Len returns the number of explicit belief statements (the paper's n).
+func (b *BeliefBase) Len() int { return b.n }
+
+// Insert adds the explicit statement w t^s. It fails when the path is not
+// in Û* or the statement conflicts with explicit statements at the same
+// path (which would make D inconsistent, Def. 8(4)). Inserting a statement
+// that is already present reports changed=false.
+func (b *BeliefBase) Insert(st Statement) (changed bool, err error) {
+	if !st.Path.Valid() {
+		return false, fmt.Errorf("core: invalid belief path %s", st.Path)
+	}
+	if len(st.Tuple.Vals) == 0 {
+		return false, fmt.Errorf("core: empty tuple in %s", st)
+	}
+	k := st.Path.Key()
+	w, ok := b.worlds[k]
+	if !ok {
+		w = NewWorld()
+		b.worlds[k] = w
+		b.paths[k] = st.Path.Clone()
+	}
+	changed, err = w.Add(st.Tuple, st.Sign, true)
+	if err != nil {
+		return false, err
+	}
+	if changed {
+		b.n++
+	}
+	return changed, nil
+}
+
+// Delete removes an explicit statement; it reports whether it was present.
+func (b *BeliefBase) Delete(st Statement) bool {
+	w, ok := b.worlds[st.Path.Key()]
+	if !ok {
+		return false
+	}
+	if e, stated := w.Entry(st.Tuple, st.Sign); !stated || !e.Explicit {
+		return false
+	}
+	w.Remove(st.Tuple, st.Sign)
+	b.n--
+	return true
+}
+
+// ExplicitWorld returns the explicit world D_w (never nil; possibly empty).
+func (b *BeliefBase) ExplicitWorld(p Path) *World {
+	if w, ok := b.worlds[p.Key()]; ok {
+		return w
+	}
+	return NewWorld()
+}
+
+// SupportPaths returns Supp(D): the paths carrying at least one explicit
+// statement, sorted by depth then key for determinism.
+func (b *BeliefBase) SupportPaths() []Path {
+	var out []Path
+	for k, w := range b.worlds {
+		if w.Len() > 0 {
+			out = append(out, b.paths[k])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// Statements returns all explicit statements in deterministic order.
+func (b *BeliefBase) Statements() []Statement {
+	var out []Statement
+	for _, p := range b.SupportPaths() {
+		w := b.worlds[p.Key()]
+		for _, e := range w.Entries(Pos) {
+			out = append(out, Statement{Path: p, Sign: Pos, Tuple: e.Tuple})
+		}
+		for _, e := range w.Entries(Neg) {
+			out = append(out, Statement{Path: p, Sign: Neg, Tuple: e.Tuple})
+		}
+	}
+	return out
+}
+
+// EntailedWorld computes D̄_w, the belief world at w in the theory D̄
+// (Def. 10), by walking the suffix chain of w from ε upward and taking
+// overriding unions (appendix Fig. 9): explicit statements always win;
+// inherited statements join when consistent. Entries carry Explicit=true
+// only for statements explicitly asserted at w itself.
+func (b *BeliefBase) EntailedWorld(p Path) *World {
+	cur := NewWorld()
+	for i := len(p); i >= 0; i-- {
+		suffix := p.Suffix(i)
+		next := b.ExplicitWorld(suffix).Clone()
+		next.InheritFrom(cur)
+		cur = next
+	}
+	return cur
+}
+
+// Entails decides D |= w t^s with the belief semantics of Def. 6: positive
+// beliefs are certain tuples, negative beliefs include unstated negatives
+// (Prop. 7). This is the relation belief conjunctive queries evaluate
+// against.
+func (b *BeliefBase) Entails(p Path, t Tuple, s Sign) bool {
+	w := b.EntailedWorld(p)
+	if s == Pos {
+		return w.HasPos(t)
+	}
+	return w.HasNeg(t)
+}
+
+// EntailsStated decides φ ∈ D̄ literally (Def. 12): for negative
+// statements, only stated negatives count. Queries use Entails instead;
+// both are exposed because the paper uses both readings (see DESIGN.md).
+func (b *BeliefBase) EntailsStated(p Path, t Tuple, s Sign) bool {
+	w := b.EntailedWorld(p)
+	if s == Pos {
+		return w.HasPos(t)
+	}
+	return w.HasStatedNeg(t)
+}
+
+// Consistent verifies every explicit world satisfies Γ1/Γ2. It always
+// holds for bases built through Insert; it exists for tests and for bases
+// assembled by direct manipulation.
+func (b *BeliefBase) Consistent() bool {
+	for _, w := range b.worlds {
+		check := NewWorld()
+		for _, e := range w.Entries(Pos) {
+			if _, err := check.Add(e.Tuple, Pos, true); err != nil {
+				return false
+			}
+		}
+		for _, e := range w.Entries(Neg) {
+			if _, err := check.Add(e.Tuple, Neg, true); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the belief base.
+func (b *BeliefBase) Clone() *BeliefBase {
+	c := NewBeliefBase()
+	for k, w := range b.worlds {
+		c.worlds[k] = w.Clone()
+		c.paths[k] = b.paths[k].Clone()
+	}
+	c.n = b.n
+	return c
+}

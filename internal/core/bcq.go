@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"beliefdb/internal/val"
+)
+
+// Term is a variable or constant in a BCQ tuple position.
+type Term struct {
+	Var   string // non-empty for variables
+	Const val.Value
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v val.Value) Term { return Term{Const: v} }
+
+// PathTerm is a variable or constant user position in a belief path.
+type PathTerm struct {
+	Var  string
+	User UserID
+}
+
+// IsVar reports whether the path term is a variable.
+func (t PathTerm) IsVar() bool { return t.Var != "" }
+
+// PV returns a path variable.
+func PV(name string) PathTerm { return PathTerm{Var: name} }
+
+// PU returns a constant path term.
+func PU(u UserID) PathTerm { return PathTerm{User: u} }
+
+// Atom is one modal subgoal w̄ R^s(x̄) of a belief conjunctive query
+// (Def. 13).
+type Atom struct {
+	Path []PathTerm
+	Sign Sign
+	Rel  string
+	Args []Term
+}
+
+// Pred is an arithmetic predicate between two terms.
+type Pred struct {
+	Op   string // "=", "<>", "<", ">", "<=", ">="
+	L, R Term
+}
+
+// Query is a belief conjunctive query q(x̄) :- atoms, preds.
+type Query struct {
+	Head  []Term
+	Atoms []Atom
+	Preds []Pred
+}
+
+// CheckSafety verifies the paper's safety condition: every variable must
+// have at least one positive occurrence — in a belief path (of any atom) or
+// in the tuple of a positive atom.
+func (q Query) CheckSafety() error {
+	positive := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, pt := range a.Path {
+			if pt.IsVar() {
+				positive[pt.Var] = true
+			}
+		}
+		if a.Sign == Pos {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					positive[t.Var] = true
+				}
+			}
+		}
+	}
+	checkTerm := func(t Term, where string) error {
+		if t.IsVar() && !positive[t.Var] {
+			return fmt.Errorf("core: unsafe query: variable %s in %s has no positive occurrence", t.Var, where)
+		}
+		return nil
+	}
+	for _, t := range q.Head {
+		if err := checkTerm(t, "head"); err != nil {
+			return err
+		}
+	}
+	for _, a := range q.Atoms {
+		if a.Sign == Neg {
+			for _, t := range a.Args {
+				if err := checkTerm(t, "negative subgoal"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, p := range q.Preds {
+		if err := checkTerm(p.L, "predicate"); err != nil {
+			return err
+		}
+		if err := checkTerm(p.R, "predicate"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalCtx carries the state of the reference evaluation.
+type evalCtx struct {
+	base   *BeliefBase
+	users  []UserID
+	binds  map[string]val.Value // variable -> bound constant (uids as ints)
+	worlds map[string]*World    // entailed-world cache by path key
+	out    map[string][]val.Value
+	head   []Term
+	preds  []Pred
+}
+
+// Eval answers the query over the belief base with the given user universe
+// using naive backtracking over entailed worlds. It is exponential in the
+// number of path variables (m^k) and exists as the executable specification
+// that the Algorithm 1 SQL translation is differentially tested against.
+func Eval(base *BeliefBase, users []UserID, q Query) ([][]val.Value, error) {
+	if err := q.CheckSafety(); err != nil {
+		return nil, err
+	}
+	// Evaluate positive atoms first so negative atoms see bound tuples.
+	atoms := append([]Atom(nil), q.Atoms...)
+	sort.SliceStable(atoms, func(i, j int) bool {
+		return atoms[i].Sign == Pos && atoms[j].Sign == Neg
+	})
+	ctx := &evalCtx{
+		base:   base,
+		users:  users,
+		binds:  make(map[string]val.Value),
+		worlds: make(map[string]*World),
+		out:    make(map[string][]val.Value),
+		head:   q.Head,
+		preds:  q.Preds,
+	}
+	if err := ctx.solve(atoms); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(ctx.out))
+	for k := range ctx.out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([][]val.Value, len(keys))
+	for i, k := range keys {
+		rows[i] = ctx.out[k]
+	}
+	return rows, nil
+}
+
+func (ctx *evalCtx) entailedWorld(p Path) *World {
+	k := p.Key()
+	if w, ok := ctx.worlds[k]; ok {
+		return w
+	}
+	w := ctx.base.EntailedWorld(p)
+	ctx.worlds[k] = w
+	return w
+}
+
+func (ctx *evalCtx) solve(atoms []Atom) error {
+	if len(atoms) == 0 {
+		ok, err := ctx.checkPreds()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		row := make([]val.Value, len(ctx.head))
+		for i, t := range ctx.head {
+			v, bound := ctx.termValue(t)
+			if !bound {
+				return fmt.Errorf("core: head variable %s unbound (safety should have caught this)", t.Var)
+			}
+			row[i] = v
+		}
+		ctx.out[val.RowKey(row)] = row
+		return nil
+	}
+	atom := atoms[0]
+	rest := atoms[1:]
+	return ctx.enumPaths(atom.Path, 0, nil, func(p Path) error {
+		world := ctx.entailedWorld(p)
+		if atom.Sign == Pos {
+			return ctx.matchPositive(atom, world, rest)
+		}
+		return ctx.matchNegative(atom, world, rest)
+	})
+}
+
+// enumPaths enumerates valuations of the path terms consistent with current
+// bindings and the Û* adjacency restriction.
+func (ctx *evalCtx) enumPaths(terms []PathTerm, i int, acc Path, fn func(Path) error) error {
+	if i == len(terms) {
+		return fn(acc)
+	}
+	tryUser := func(u UserID) error {
+		if i > 0 && acc[i-1] == u {
+			return nil // adjacent repetition: not in Û*
+		}
+		return ctx.enumPaths(terms, i+1, append(acc, u), fn)
+	}
+	t := terms[i]
+	if !t.IsVar() {
+		return tryUser(t.User)
+	}
+	if v, ok := ctx.binds[t.Var]; ok {
+		return tryUser(UserID(v.AsInt()))
+	}
+	for _, u := range ctx.users {
+		ctx.binds[t.Var] = val.Int(int64(u))
+		if err := tryUser(u); err != nil {
+			delete(ctx.binds, t.Var)
+			return err
+		}
+		delete(ctx.binds, t.Var)
+	}
+	return nil
+}
+
+func (ctx *evalCtx) matchPositive(atom Atom, world *World, rest []Atom) error {
+	for _, e := range world.Entries(Pos) {
+		t := e.Tuple
+		if t.Rel != atom.Rel || len(t.Vals) != len(atom.Args) {
+			continue
+		}
+		newVars, ok := ctx.unify(atom.Args, t.Vals)
+		if !ok {
+			continue
+		}
+		err := ctx.solve(rest)
+		for _, v := range newVars {
+			delete(ctx.binds, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ctx *evalCtx) matchNegative(atom Atom, world *World, rest []Atom) error {
+	// Safety guarantees all argument variables are bound by now.
+	vals := make([]val.Value, len(atom.Args))
+	for i, t := range atom.Args {
+		v, bound := ctx.termValue(t)
+		if !bound {
+			return fmt.Errorf("core: variable %s in negative subgoal unbound at evaluation time", t.Var)
+		}
+		vals[i] = v
+	}
+	t := Tuple{Rel: atom.Rel, Vals: vals}
+	if !world.HasNeg(t) {
+		return nil
+	}
+	return ctx.solve(rest)
+}
+
+// unify matches argument terms against tuple values, extending bindings.
+// It returns the list of newly bound variables for backtracking.
+func (ctx *evalCtx) unify(args []Term, vals []val.Value) ([]string, bool) {
+	var newVars []string
+	undo := func() {
+		for _, v := range newVars {
+			delete(ctx.binds, v)
+		}
+	}
+	for i, t := range args {
+		if !t.IsVar() {
+			if !val.Equal(t.Const, vals[i]) {
+				undo()
+				return nil, false
+			}
+			continue
+		}
+		if b, ok := ctx.binds[t.Var]; ok {
+			if !val.Equal(b, vals[i]) {
+				undo()
+				return nil, false
+			}
+			continue
+		}
+		ctx.binds[t.Var] = vals[i]
+		newVars = append(newVars, t.Var)
+	}
+	return newVars, true
+}
+
+func (ctx *evalCtx) termValue(t Term) (val.Value, bool) {
+	if !t.IsVar() {
+		return t.Const, true
+	}
+	v, ok := ctx.binds[t.Var]
+	return v, ok
+}
+
+func (ctx *evalCtx) checkPreds() (bool, error) {
+	for _, p := range ctx.preds {
+		l, lok := ctx.termValue(p.L)
+		r, rok := ctx.termValue(p.R)
+		if !lok || !rok {
+			return false, fmt.Errorf("core: predicate %s %s %s has unbound variable", p.L.Var, p.Op, p.R.Var)
+		}
+		cmp, ok := val.Compare(l, r)
+		if !ok {
+			// Incomparable values: equality is false, inequality true.
+			switch p.Op {
+			case "=":
+				return false, nil
+			case "<>":
+				continue
+			default:
+				return false, fmt.Errorf("core: cannot compare %s with %s", l.Kind(), r.Kind())
+			}
+		}
+		sat := false
+		switch p.Op {
+		case "=":
+			sat = cmp == 0
+		case "<>":
+			sat = cmp != 0
+		case "<":
+			sat = cmp < 0
+		case ">":
+			sat = cmp > 0
+		case "<=":
+			sat = cmp <= 0
+		case ">=":
+			sat = cmp >= 0
+		default:
+			return false, fmt.Errorf("core: unknown predicate operator %q", p.Op)
+		}
+		if !sat {
+			return false, nil
+		}
+	}
+	return true, nil
+}

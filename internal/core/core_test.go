@@ -1,0 +1,474 @@
+package core_test
+
+import (
+	"testing"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/paperex"
+	"beliefdb/internal/val"
+)
+
+func TestPathValidity(t *testing.T) {
+	cases := []struct {
+		p    core.Path
+		want bool
+	}{
+		{core.Path{}, true},
+		{core.Path{1}, true},
+		{core.Path{1, 2, 1}, true},
+		{core.Path{1, 1}, false},
+		{core.Path{2, 1, 1, 2}, false},
+		{core.Path{0}, false},
+		{core.Path{-1}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPathOps(t *testing.T) {
+	p := core.Path{2, 1}
+	if p.String() != "2·1" || (core.Path{}).String() != "ε" {
+		t.Errorf("String = %q", p.String())
+	}
+	if !p.HasSuffix(core.Path{1}) || !p.HasSuffix(core.Path{}) || !p.HasSuffix(p) {
+		t.Error("HasSuffix failed")
+	}
+	if p.HasSuffix(core.Path{2}) {
+		t.Error("2 is not a suffix of 2·1")
+	}
+	if !p.Append(3).Equal(core.Path{2, 1, 3}) {
+		t.Error("Append failed")
+	}
+	if !p.Prepend(3).Equal(core.Path{3, 2, 1}) {
+		t.Error("Prepend failed")
+	}
+	if !p.Suffix(1).Equal(core.Path{1}) {
+		t.Error("Suffix failed")
+	}
+	if p.Last() != 1 || p.Front() != 2 || (core.Path{}).Last() != 0 {
+		t.Error("Front/Last failed")
+	}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 2 {
+		t.Error("Clone aliases underlying array")
+	}
+}
+
+func TestTupleIdentity(t *testing.T) {
+	a := core.NewTuple("R", val.Str("k"), val.Int(1))
+	b := core.NewTuple("R", val.Str("k"), val.Int(2))
+	c := core.NewTuple("S", val.Str("k"), val.Int(1))
+	if a.ID() == b.ID() {
+		t.Error("different tuples share ID")
+	}
+	if a.KeyID() != b.KeyID() {
+		t.Error("same-key tuples have different KeyID")
+	}
+	if a.KeyID() == c.KeyID() {
+		t.Error("different relations share KeyID")
+	}
+	if !val.Equal(a.Key(), val.Str("k")) {
+		t.Error("Key() wrong")
+	}
+}
+
+func TestWorldConsistency(t *testing.T) {
+	w := core.NewWorld()
+	t1 := core.NewTuple("R", val.Str("k"), val.Str("a"))
+	t2 := core.NewTuple("R", val.Str("k"), val.Str("b"))
+	t3 := core.NewTuple("R", val.Str("j"), val.Str("c"))
+
+	if _, err := w.Add(t1, core.Pos, true); err != nil {
+		t.Fatal(err)
+	}
+	// Γ1: second positive with same key rejected.
+	if _, err := w.Add(t2, core.Pos, true); err == nil {
+		t.Error("Γ1 violation accepted")
+	}
+	// Γ2: negative of a positive tuple rejected.
+	if _, err := w.Add(t1, core.Neg, true); err == nil {
+		t.Error("Γ2 violation accepted")
+	}
+	// Negative of a *different* tuple with the same key is fine (stated
+	// negative alongside a positive alternative).
+	if _, err := w.Add(t2, core.Neg, true); err != nil {
+		t.Errorf("stated negative with shared key rejected: %v", err)
+	}
+	// Multiple negatives with the same key are fine (I- has no key constraint).
+	if _, err := w.Add(t3, core.Neg, true); err != nil {
+		t.Errorf("negative rejected: %v", err)
+	}
+	if _, err := w.Add(core.NewTuple("R", val.Str("j"), val.Str("d")), core.Neg, true); err != nil {
+		t.Errorf("second negative with same key rejected: %v", err)
+	}
+	// Positive conflicting with stated negative rejected.
+	if _, err := w.Add(t3, core.Pos, true); err == nil {
+		t.Error("positive over stated negative accepted")
+	}
+}
+
+func TestWorldUnstatedNegative(t *testing.T) {
+	w := core.NewWorld()
+	t1 := core.NewTuple("R", val.Str("k"), val.Str("a"))
+	t2 := core.NewTuple("R", val.Str("k"), val.Str("b"))
+	w.Add(t1, core.Pos, true)
+	if !w.HasNeg(t2) {
+		t.Error("unstated negative not detected (Prop. 7)")
+	}
+	if w.HasStatedNeg(t2) {
+		t.Error("unstated negative reported as stated")
+	}
+	if w.HasNeg(t1) {
+		t.Error("positive tuple reported negative")
+	}
+}
+
+func TestWorldAddIdempotence(t *testing.T) {
+	w := core.NewWorld()
+	t1 := core.NewTuple("R", val.Str("k"), val.Str("a"))
+	if ch, _ := w.Add(t1, core.Pos, false); !ch {
+		t.Error("first add not changed")
+	}
+	if ch, _ := w.Add(t1, core.Pos, false); ch {
+		t.Error("duplicate add changed")
+	}
+	// Upgrading implicit to explicit is a change; downgrading is not.
+	if ch, _ := w.Add(t1, core.Pos, true); !ch {
+		t.Error("explicit upgrade not changed")
+	}
+	if ch, _ := w.Add(t1, core.Pos, false); ch {
+		t.Error("implicit downgrade changed")
+	}
+	e, ok := w.Entry(t1, core.Pos)
+	if !ok || !e.Explicit {
+		t.Error("explicitness lost")
+	}
+}
+
+func TestWorldRemove(t *testing.T) {
+	w := core.NewWorld()
+	t1 := core.NewTuple("R", val.Str("k"), val.Str("a"))
+	w.Add(t1, core.Pos, true)
+	if !w.Remove(t1, core.Pos) {
+		t.Error("remove failed")
+	}
+	if w.Remove(t1, core.Pos) {
+		t.Error("double remove succeeded")
+	}
+	if w.HasPos(t1) {
+		t.Error("tuple survived removal")
+	}
+	// Key slot is free again.
+	t2 := core.NewTuple("R", val.Str("k"), val.Str("b"))
+	if _, err := w.Add(t2, core.Pos, true); err != nil {
+		t.Errorf("key not released: %v", err)
+	}
+}
+
+func TestRunningExampleWorlds(t *testing.T) {
+	b := paperex.Base()
+	if !b.Consistent() {
+		t.Fatal("running example inconsistent")
+	}
+	if b.Len() != 8 {
+		t.Fatalf("n = %d, want 8", b.Len())
+	}
+
+	// Fig. 4 world contents.
+	type check struct {
+		path core.Path
+		pos  []core.Tuple
+		neg  []core.Tuple
+	}
+	checks := []check{
+		{core.Path{}, []core.Tuple{paperex.S11}, nil},
+		{core.Path{paperex.Alice}, []core.Tuple{paperex.S11, paperex.S21, paperex.C11}, nil},
+		{core.Path{paperex.Bob}, []core.Tuple{paperex.S22, paperex.C22}, []core.Tuple{paperex.S11, paperex.S12}},
+		{core.Path{paperex.Bob, paperex.Alice}, []core.Tuple{paperex.S11, paperex.S21, paperex.C11, paperex.C21}, nil},
+	}
+	for _, c := range checks {
+		w := b.EntailedWorld(c.path)
+		if got := len(w.Entries(core.Pos)); got != len(c.pos) {
+			t.Errorf("world %s: %d positive entries, want %d (%s)", c.path, got, len(c.pos), w)
+		}
+		for _, tp := range c.pos {
+			if !w.HasPos(tp) {
+				t.Errorf("world %s missing positive %s", c.path, tp)
+			}
+		}
+		if got := len(w.Entries(core.Neg)); got != len(c.neg) {
+			t.Errorf("world %s: %d negative entries, want %d (%s)", c.path, got, len(c.neg), w)
+		}
+		for _, tn := range c.neg {
+			if !w.HasStatedNeg(tn) {
+				t.Errorf("world %s missing negative %s", c.path, tn)
+			}
+		}
+	}
+}
+
+func TestRunningExampleEntailment(t *testing.T) {
+	b := paperex.Base()
+	// After i1, Alice believes the bald-eagle sighting by default.
+	if !b.Entails(core.Path{paperex.Alice}, paperex.S11, core.Pos) {
+		t.Error("D |= [Alice] s11+ should hold (message board assumption)")
+	}
+	// Bob explicitly disagrees with it.
+	if !b.Entails(core.Path{paperex.Bob}, paperex.S11, core.Neg) {
+		t.Error("D |= [Bob] s11- should hold")
+	}
+	if b.Entails(core.Path{paperex.Bob}, paperex.S11, core.Pos) {
+		t.Error("D |= [Bob] s11+ should not hold")
+	}
+	// But Bob still believes Alice believes it (Sect. 3.2).
+	if !b.Entails(core.Path{paperex.Bob, paperex.Alice}, paperex.S11, core.Pos) {
+		t.Error("D |= [Bob][Alice] s11+ should hold")
+	}
+	// Bob's raven makes the crow an unstated negative for Bob (Prop. 7).
+	if !b.Entails(core.Path{paperex.Bob}, paperex.S21, core.Neg) {
+		t.Error("D |= [Bob] s21- should hold (unstated negative)")
+	}
+	if b.EntailsStated(core.Path{paperex.Bob}, paperex.S21, core.Neg) {
+		t.Error("[Bob] s21- is unstated; EntailsStated must reject it")
+	}
+	// Deep default propagation: Alice believes Bob believes the raven.
+	if !b.Entails(core.Path{paperex.Alice, paperex.Bob}, paperex.S22, core.Pos) {
+		t.Error("D |= [Alice][Bob] s22+ should hold")
+	}
+	// Carol (no explicit beliefs) believes everything at the root.
+	if !b.Entails(core.Path{paperex.Carol}, paperex.S11, core.Pos) {
+		t.Error("D |= [Carol] s11+ should hold")
+	}
+}
+
+func TestInsertConflicts(t *testing.T) {
+	b := paperex.Base()
+	// Alice adding the fish eagle as alternative for s1 (statement i9 in
+	// Sect. 3.1) is fine: her world has no explicit s1 tuple yet.
+	if _, err := b.Insert(core.Statement{Path: core.Path{paperex.Alice}, Sign: core.Pos, Tuple: paperex.S12}); err != nil {
+		t.Errorf("i9 rejected: %v", err)
+	}
+	// But a second positive alternative for the same key is inconsistent.
+	if _, err := b.Insert(core.Statement{Path: core.Path{paperex.Alice}, Sign: core.Pos, Tuple: paperex.S11}); err == nil {
+		t.Error("conflicting positive accepted")
+	}
+	// Bob negating his own raven is inconsistent.
+	if _, err := b.Insert(core.Statement{Path: core.Path{paperex.Bob}, Sign: core.Neg, Tuple: paperex.S22}); err == nil {
+		t.Error("negative over own positive accepted")
+	}
+	// Duplicate insert: no change, no error.
+	ch, err := b.Insert(core.Statement{Path: core.Path{paperex.Bob}, Sign: core.Pos, Tuple: paperex.S22})
+	if err != nil || ch {
+		t.Errorf("duplicate insert: changed=%v err=%v", ch, err)
+	}
+	// Invalid path.
+	if _, err := b.Insert(core.Statement{Path: core.Path{1, 1}, Sign: core.Pos, Tuple: paperex.S11}); err == nil {
+		t.Error("invalid path accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	b := paperex.Base()
+	st := core.Statement{Path: core.Path{paperex.Bob}, Sign: core.Neg, Tuple: paperex.S11}
+	if !b.Delete(st) {
+		t.Fatal("delete failed")
+	}
+	if b.Delete(st) {
+		t.Error("double delete succeeded")
+	}
+	if b.Len() != 7 {
+		t.Errorf("n = %d", b.Len())
+	}
+	// With Bob's disagreement on the bald eagle gone (but s12 still
+	// negated), the root's s11+ flows into Bob's world again.
+	if !b.Entails(core.Path{paperex.Bob}, paperex.S11, core.Pos) {
+		t.Error("s11+ should reach Bob after deleting his negative")
+	}
+}
+
+func TestEntailedWorldExplicitFlags(t *testing.T) {
+	b := paperex.Base()
+	w := b.EntailedWorld(core.Path{paperex.Bob, paperex.Alice})
+	e, ok := w.Entry(paperex.C21, core.Pos)
+	if !ok || !e.Explicit {
+		t.Error("c21 should be explicit at Bob·Alice")
+	}
+	e, ok = w.Entry(paperex.S21, core.Pos)
+	if !ok || e.Explicit {
+		t.Error("s21 should be implicit at Bob·Alice")
+	}
+}
+
+func TestDefaultOverrideChain(t *testing.T) {
+	// The blocking scenario from DESIGN.md: an explicit tuple at an
+	// intermediate world stops inheritance further up the chain.
+	b := core.NewBeliefBase()
+	t1 := core.NewTuple("R", val.Str("k"), val.Str("v1"))
+	t2 := core.NewTuple("R", val.Str("k"), val.Str("v2"))
+	q := core.NewTuple("R", val.Str("q"), val.Str("x"))
+	mustInsert(t, b, core.Statement{Path: core.Path{1}, Sign: core.Pos, Tuple: t1})
+	mustInsert(t, b, core.Statement{Path: core.Path{2, 1}, Sign: core.Pos, Tuple: q})
+	mustInsert(t, b, core.Statement{Path: core.Path{}, Sign: core.Pos, Tuple: t2})
+
+	// Root has t2; world 1 blocks it with explicit t1; world 2·1 inherits
+	// t1 (via world 1), not t2.
+	if !b.Entails(core.Path{1}, t1, core.Pos) || b.Entails(core.Path{1}, t2, core.Pos) {
+		t.Error("world 1 wrong")
+	}
+	if !b.Entails(core.Path{2, 1}, t1, core.Pos) {
+		t.Error("t1 should reach 2·1")
+	}
+	if b.Entails(core.Path{2, 1}, t2, core.Pos) {
+		t.Error("t2 must be blocked at 2·1 (blocked at world 1)")
+	}
+	// World 2 (no explicit statements on that chain) inherits t2 from root.
+	if !b.Entails(core.Path{2}, t2, core.Pos) {
+		t.Error("t2 should reach world 2")
+	}
+}
+
+func mustInsert(t *testing.T, b *core.BeliefBase, st core.Statement) {
+	t.Helper()
+	if _, err := b.Insert(st); err != nil {
+		t.Fatalf("insert %s: %v", st, err)
+	}
+}
+
+func TestBCQSafety(t *testing.T) {
+	good := core.Query{
+		Head: []core.Term{core.V("x")},
+		Atoms: []core.Atom{
+			{Path: []core.PathTerm{core.PV("x")}, Sign: core.Neg, Rel: "S",
+				Args: []core.Term{core.V("y")}},
+			{Path: []core.PathTerm{core.PU(1)}, Sign: core.Pos, Rel: "S",
+				Args: []core.Term{core.V("y")}},
+		},
+	}
+	if err := good.CheckSafety(); err != nil {
+		t.Errorf("q3-style query rejected: %v", err)
+	}
+	bad := core.Query{
+		Head: []core.Term{core.V("z")},
+		Atoms: []core.Atom{
+			{Path: []core.PathTerm{core.PU(1)}, Sign: core.Neg, Rel: "S",
+				Args: []core.Term{core.V("z")}},
+		},
+	}
+	if err := bad.CheckSafety(); err == nil {
+		t.Error("unsafe query accepted (variable only in negative subgoal)")
+	}
+}
+
+func TestBCQEvalRunningExample(t *testing.T) {
+	b := paperex.Base()
+	users := paperex.Users()
+
+	// q2 of Sect. 6.2: sightings Bob believes Alice believes but he does
+	// not believe himself. Expect the crow (s21).
+	args := make([]core.Term, 5)
+	for i := range args {
+		args[i] = core.V(string(rune('a' + i)))
+	}
+	q2 := core.Query{
+		Head: []core.Term{core.V("a"), core.V("c")},
+		Atoms: []core.Atom{
+			{Path: []core.PathTerm{core.PU(paperex.Bob), core.PU(paperex.Alice)}, Sign: core.Pos, Rel: paperex.SightingsRel, Args: args},
+			{Path: []core.PathTerm{core.PU(paperex.Bob)}, Sign: core.Neg, Rel: paperex.SightingsRel, Args: args},
+		},
+	}
+	rows, err := core.Eval(b, users, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob believes Alice believes s11 (bald eagle), s21 (crow) — both are
+	// negative beliefs for Bob (stated s11-, unstated s21-).
+	want := map[string]bool{"s1|bald eagle": true, "s2|crow": true}
+	if len(rows) != len(want) {
+		t.Fatalf("q2 rows = %v", rows)
+	}
+	for _, r := range rows {
+		k := r[0].AsString() + "|" + r[1].AsString()
+		if !want[k] {
+			t.Errorf("unexpected q2 row %v", r)
+		}
+	}
+
+	// q3-style: who disagrees with any of Alice's sighting beliefs?
+	q3 := core.Query{
+		Head: []core.Term{core.V("u")},
+		Atoms: []core.Atom{
+			{Path: []core.PathTerm{core.PV("u")}, Sign: core.Neg, Rel: paperex.SightingsRel, Args: args},
+			{Path: []core.PathTerm{core.PU(paperex.Alice)}, Sign: core.Pos, Rel: paperex.SightingsRel, Args: args},
+		},
+	}
+	rows, err = core.Eval(b, users, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != int64(paperex.Bob) {
+		t.Errorf("q3 rows = %v, want only Bob", rows)
+	}
+}
+
+func TestBCQEvalWithPredicates(t *testing.T) {
+	b := paperex.Base()
+	users := paperex.Users()
+	// Users x and y who disagree about a sighting's species: x believes a
+	// species u, y believes species v, same sighting, u <> v.
+	argsX := []core.Term{core.V("k"), core.V("w"), core.V("u"), core.V("d"), core.V("l")}
+	argsY := []core.Term{core.V("k"), core.V("w2"), core.V("v"), core.V("d2"), core.V("l2")}
+	q := core.Query{
+		Head: []core.Term{core.V("x"), core.V("y"), core.V("u"), core.V("v")},
+		Atoms: []core.Atom{
+			{Path: []core.PathTerm{core.PV("x")}, Sign: core.Pos, Rel: paperex.SightingsRel, Args: argsX},
+			{Path: []core.PathTerm{core.PV("y")}, Sign: core.Pos, Rel: paperex.SightingsRel, Args: argsY},
+		},
+		Preds: []core.Pred{{Op: "<>", L: core.V("u"), R: core.V("v")}},
+	}
+	rows, err := core.Eval(b, users, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice believes crow (s2), Bob believes raven (s2) -> disagreements in
+	// both directions; Carol believes crow too (default from... Carol has no
+	// explicit world: she believes root content = s11 only; s21 is Alice's).
+	found := false
+	for _, r := range rows {
+		if r[0].AsInt() == int64(paperex.Alice) && r[1].AsInt() == int64(paperex.Bob) &&
+			r[2].AsString() == "crow" && r[3].AsString() == "raven" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing Alice/Bob crow/raven disagreement: %v", rows)
+	}
+}
+
+func TestBCQAdjacentDistinctPaths(t *testing.T) {
+	// A path (x, y) must never bind x = y (Û* restriction).
+	b := paperex.Base()
+	users := paperex.Users()
+	args := []core.Term{core.V("k"), core.V("w"), core.V("s"), core.V("d"), core.V("l")}
+	q := core.Query{
+		Head: []core.Term{core.V("x"), core.V("y")},
+		Atoms: []core.Atom{
+			{Path: []core.PathTerm{core.PV("x"), core.PV("y")}, Sign: core.Pos, Rel: paperex.SightingsRel, Args: args},
+		},
+	}
+	rows, err := core.Eval(b, users, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r[0].AsInt() == r[1].AsInt() {
+			t.Errorf("adjacent-equal path binding leaked: %v", r)
+		}
+	}
+	if len(rows) == 0 {
+		t.Error("depth-2 query returned nothing")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+)
+
+// UserID identifies a user (the paper's U = {1..m}).
+type UserID int64
+
+// Path is a belief path w ∈ Û*: a sequence of user ids with no two equal
+// ids in adjacent positions. Path[0] is the outermost believer: the path
+// 2·1 ("Bob believes Alice believes") is Path{2, 1}. The empty path denotes
+// the root world (plain database content).
+type Path []UserID
+
+// Valid reports whether the path is in Û* (no adjacent repetition) and all
+// ids are positive.
+func (p Path) Valid() bool {
+	for i, u := range p {
+		if u <= 0 {
+			return false
+		}
+		if i > 0 && p[i-1] == u {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the nesting depth |w|.
+func (p Path) Depth() int { return len(p) }
+
+// Suffix returns the suffix w[i+1, d] in the paper's 1-based notation, i.e.
+// the path with the first i elements dropped.
+func (p Path) Suffix(i int) Path { return p[i:] }
+
+// Front returns the first (outermost) user id; the path must be non-empty.
+func (p Path) Front() UserID { return p[0] }
+
+// Last returns the innermost user id, or 0 for the empty path.
+func (p Path) Last() UserID {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[len(p)-1]
+}
+
+// Append returns the path w·u. The result is invalid if u equals Last.
+func (p Path) Append(u UserID) Path {
+	out := make(Path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = u
+	return out
+}
+
+// Prepend returns the path u·w (the default rule's derivation direction).
+func (p Path) Prepend(u UserID) Path {
+	out := make(Path, len(p)+1)
+	out[0] = u
+	copy(out[1:], p)
+	return out
+}
+
+// HasSuffix reports whether s is a suffix of p.
+func (p Path) HasSuffix(s Path) bool {
+	if len(s) > len(p) {
+		return false
+	}
+	off := len(p) - len(s)
+	for i, u := range s {
+		if p[off+i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the path.
+func (p Path) Clone() Path { return append(Path(nil), p...) }
+
+// Key returns a canonical map key for the path.
+func (p Path) Key() string {
+	if len(p) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, u := range p {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.FormatInt(int64(u), 10))
+	}
+	return sb.String()
+}
+
+// String renders the path like "2·1"; the empty path renders as "ε".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(p))
+	for i, u := range p {
+		parts[i] = strconv.FormatInt(int64(u), 10)
+	}
+	return strings.Join(parts, "·")
+}
+
+// Modal renders the path as a modal-operator prefix, e.g. "☐2☐1 ".
+func (p Path) Modal() string {
+	if len(p) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, u := range p {
+		sb.WriteString("[" + strconv.FormatInt(int64(u), 10) + "]")
+	}
+	sb.WriteByte(' ')
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog is the root object of an engine instance: the set of tables plus
+// the (single) active transaction. A Catalog is safe for concurrent use;
+// callers that need multi-statement atomicity should hold Lock around a
+// Begin/Commit pair.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	txn    *Txn
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Lock acquires the catalog's writer lock. It is exposed so that higher
+// layers can group several statements into one critical section.
+func (c *Catalog) Lock() { c.mu.Lock() }
+
+// Unlock releases the writer lock.
+func (c *Catalog) Unlock() { c.mu.Unlock() }
+
+// RLock acquires the reader lock.
+func (c *Catalog) RLock() { c.mu.RLock() }
+
+// RUnlock releases the reader lock.
+func (c *Catalog) RUnlock() { c.mu.RUnlock() }
+
+// CreateTable registers a new table. The caller must hold Lock.
+func (c *Catalog) CreateTable(name string, schema Schema, pkCol int) (*Table, error) {
+	if _, dup := c.tables[name]; dup {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t, err := NewTable(name, schema, pkCol)
+	if err != nil {
+		return nil, err
+	}
+	t.cat = c
+	c.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table. Dropping inside a transaction is not undoable
+// and therefore rejected. The caller must hold Lock.
+func (c *Catalog) DropTable(name string) error {
+	if c.txn != nil {
+		return fmt.Errorf("engine: cannot drop table %q inside a transaction", name)
+	}
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("engine: no table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Table returns the named table, or nil. The caller must hold RLock or Lock.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// TableNames returns the sorted names of all tables.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,61 @@
+package engine
+
+import "beliefdb/internal/val"
+
+// Index is a secondary hash index over one or more columns. It maps the
+// composite key of the indexed column values to the set of row ids holding
+// that key. Unlike the primary key, it permits duplicates.
+type Index struct {
+	name string
+	cols []int
+	m    map[string][]RowID
+}
+
+func newIndex(name string, cols []int) *Index {
+	return &Index{name: name, cols: cols, m: make(map[string][]RowID)}
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Cols returns the indexed column positions.
+func (ix *Index) Cols() []int { return ix.cols }
+
+func (ix *Index) keyOf(row []val.Value) string {
+	vs := make([]val.Value, len(ix.cols))
+	for i, c := range ix.cols {
+		vs[i] = row[c]
+	}
+	return val.RowKey(vs)
+}
+
+func (ix *Index) insert(row []val.Value, id RowID) {
+	k := ix.keyOf(row)
+	ix.m[k] = append(ix.m[k], id)
+}
+
+func (ix *Index) remove(row []val.Value, id RowID) {
+	k := ix.keyOf(row)
+	ids := ix.m[k]
+	for i, x := range ids {
+		if x == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.m, k)
+	} else {
+		ix.m[k] = ids
+	}
+}
+
+// Lookup returns the ids of all rows whose indexed columns equal vs.
+// The returned slice is owned by the index and must not be mutated.
+func (ix *Index) Lookup(vs []val.Value) []RowID {
+	return ix.m[val.RowKey(vs)]
+}
+
+// Len returns the number of distinct keys in the index.
+func (ix *Index) Len() int { return len(ix.m) }

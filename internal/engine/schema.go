@@ -1,0 +1,67 @@
+// Package engine is the embedded storage substrate: typed in-memory tables
+// with primary-key and secondary hash indexes, a catalog, and single-writer
+// transactions with an undo log. It plays the role of the "standard RDBMS"
+// that the paper's belief database prototype runs on top of.
+package engine
+
+import (
+	"fmt"
+
+	"beliefdb/internal/val"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type val.Kind
+}
+
+// Schema is an ordered list of columns with by-name lookup.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema, rejecting duplicate column names.
+func NewSchema(cols []Column) (Schema, error) {
+	s := Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("engine: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return Schema{}, fmt.Errorf("engine: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// CheckRow validates arity and coerces each value to the column type.
+// It returns the (possibly coerced) row.
+func (s *Schema) CheckRow(row []val.Value) ([]val.Value, error) {
+	if len(row) != len(s.Columns) {
+		return nil, fmt.Errorf("engine: row arity %d does not match schema arity %d", len(row), len(s.Columns))
+	}
+	out := make([]val.Value, len(row))
+	for i, v := range row {
+		cv, ok := val.Coerce(v, s.Columns[i].Type)
+		if !ok {
+			return nil, fmt.Errorf("engine: value %s (%s) not assignable to column %s %s",
+				v, v.Kind(), s.Columns[i].Name, s.Columns[i].Type)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}

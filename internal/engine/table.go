@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"fmt"
+
+	"beliefdb/internal/val"
+)
+
+// RowID identifies a live row within a table. IDs are stable for the life of
+// the row but may be reused after deletion.
+type RowID int
+
+// Table is an in-memory heap of rows plus its indexes. All mutations go
+// through the owning Catalog's lock; Table methods themselves do not lock.
+type Table struct {
+	name    string
+	schema  Schema
+	pkCol   int // primary key column index, or -1
+	rows    [][]val.Value
+	live    int
+	free    []RowID
+	pk      map[string]RowID
+	indexes map[string]*Index
+	cat     *Catalog // for undo logging; nil for detached tables
+}
+
+// NewTable creates a detached table (not registered in any catalog).
+// pkCol is the primary-key column position, or -1 for none.
+func NewTable(name string, schema Schema, pkCol int) (*Table, error) {
+	if pkCol >= schema.Arity() {
+		return nil, fmt.Errorf("engine: pk column %d out of range for %s", pkCol, name)
+	}
+	t := &Table{
+		name:    name,
+		schema:  schema,
+		pkCol:   pkCol,
+		indexes: make(map[string]*Index),
+	}
+	if pkCol >= 0 {
+		t.pk = make(map[string]RowID)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return &t.schema }
+
+// PKCol returns the primary key column index, or -1.
+func (t *Table) PKCol() int { return t.pkCol }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// Get returns the row stored under id, or nil if the slot is dead.
+// The returned slice must not be mutated by the caller.
+func (t *Table) Get(id RowID) []val.Value {
+	if int(id) < 0 || int(id) >= len(t.rows) {
+		return nil
+	}
+	return t.rows[id]
+}
+
+// ErrDuplicateKey is returned when an insert or update violates the
+// primary-key constraint.
+type ErrDuplicateKey struct {
+	Table string
+	Key   val.Value
+}
+
+func (e *ErrDuplicateKey) Error() string {
+	return fmt.Sprintf("engine: duplicate primary key %s in table %s", e.Key, e.Table)
+}
+
+// Insert validates, stores, and indexes a row, returning its id.
+func (t *Table) Insert(row []val.Value) (RowID, error) {
+	row, err := t.schema.CheckRow(row)
+	if err != nil {
+		return -1, fmt.Errorf("%s: %w", t.name, err)
+	}
+	if t.pkCol >= 0 {
+		k := row[t.pkCol].Key()
+		if _, exists := t.pk[k]; exists {
+			return -1, &ErrDuplicateKey{Table: t.name, Key: row[t.pkCol]}
+		}
+	}
+	var id RowID
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[id] = row
+	} else {
+		id = RowID(len(t.rows))
+		t.rows = append(t.rows, row)
+	}
+	t.live++
+	if t.pkCol >= 0 {
+		t.pk[row[t.pkCol].Key()] = id
+	}
+	for _, idx := range t.indexes {
+		idx.insert(row, id)
+	}
+	t.logUndo(undoRec{op: undoInsert, table: t, id: id})
+	return id, nil
+}
+
+// Delete removes the row with the given id. Deleting a dead id is an error.
+func (t *Table) Delete(id RowID) error {
+	row := t.Get(id)
+	if row == nil {
+		return fmt.Errorf("engine: delete of missing row %d in %s", id, t.name)
+	}
+	t.logUndo(undoRec{op: undoDelete, table: t, id: id, before: row})
+	t.unindex(row, id)
+	t.rows[id] = nil
+	t.free = append(t.free, id)
+	t.live--
+	return nil
+}
+
+// Update replaces the row with the given id.
+func (t *Table) Update(id RowID, row []val.Value) error {
+	old := t.Get(id)
+	if old == nil {
+		return fmt.Errorf("engine: update of missing row %d in %s", id, t.name)
+	}
+	row, err := t.schema.CheckRow(row)
+	if err != nil {
+		return fmt.Errorf("%s: %w", t.name, err)
+	}
+	if t.pkCol >= 0 {
+		newKey := row[t.pkCol].Key()
+		if oldID, exists := t.pk[newKey]; exists && oldID != id {
+			return &ErrDuplicateKey{Table: t.name, Key: row[t.pkCol]}
+		}
+	}
+	t.logUndo(undoRec{op: undoUpdate, table: t, id: id, before: old})
+	t.unindex(old, id)
+	t.rows[id] = row
+	t.reindex(row, id)
+	return nil
+}
+
+func (t *Table) unindex(row []val.Value, id RowID) {
+	if t.pkCol >= 0 {
+		delete(t.pk, row[t.pkCol].Key())
+	}
+	for _, idx := range t.indexes {
+		idx.remove(row, id)
+	}
+}
+
+func (t *Table) reindex(row []val.Value, id RowID) {
+	if t.pkCol >= 0 {
+		t.pk[row[t.pkCol].Key()] = id
+	}
+	for _, idx := range t.indexes {
+		idx.insert(row, id)
+	}
+}
+
+// LookupPK returns the id of the row whose primary key equals v.
+func (t *Table) LookupPK(v val.Value) (RowID, bool) {
+	if t.pkCol < 0 {
+		return -1, false
+	}
+	id, ok := t.pk[v.Key()]
+	return id, ok
+}
+
+// Scan invokes fn for every live row, stopping early if fn returns false.
+func (t *Table) Scan(fn func(id RowID, row []val.Value) bool) {
+	for i, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(RowID(i), row) {
+			return
+		}
+	}
+}
+
+// CreateIndex builds a secondary hash index over the named columns.
+func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
+	if _, dup := t.indexes[name]; dup {
+		return nil, fmt.Errorf("engine: index %q already exists on %s", name, t.name)
+	}
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.schema.ColumnIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: index %q: no column %q in %s", name, c, t.name)
+		}
+		pos[i] = p
+	}
+	idx := newIndex(name, pos)
+	t.Scan(func(id RowID, row []val.Value) bool {
+		idx.insert(row, id)
+		return true
+	})
+	t.indexes[name] = idx
+	return idx, nil
+}
+
+// IndexOn returns an index whose column positions exactly match cols, or nil.
+func (t *Table) IndexOn(cols []int) *Index {
+	for _, idx := range t.indexes {
+		if len(idx.cols) != len(cols) {
+			continue
+		}
+		same := true
+		for i := range cols {
+			if idx.cols[i] != cols[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return idx
+		}
+	}
+	return nil
+}
+
+// Indexes returns the table's secondary indexes keyed by name.
+func (t *Table) Indexes() map[string]*Index { return t.indexes }
+
+func (t *Table) logUndo(rec undoRec) {
+	if t.cat != nil && t.cat.txn != nil {
+		t.cat.txn.log = append(t.cat.txn.log, rec)
+	}
+}

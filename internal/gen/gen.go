@@ -1,0 +1,250 @@
+// Package gen is the synthetic annotation generator of the evaluation
+// (Sect. 6.1): it draws parameterized belief statements with a configurable
+// number of users, nesting-depth distribution Pr[d = x], and user
+// participation that is either uniform or follows a generalized Zipf law
+// (user 1 contributes the most annotations, user 2 half as many, ...).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/val"
+)
+
+// Participation selects how annotation authorship is distributed over users.
+type Participation int
+
+// Participation kinds.
+const (
+	Uniform Participation = iota
+	Zipf
+)
+
+func (p Participation) String() string {
+	if p == Zipf {
+		return "Zipf"
+	}
+	return "uniform"
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	Users int // m
+	// DepthDist[i] = Pr[nesting depth = i]. Depth 0 annotations are plain
+	// (root-world) inserts. Must sum to ~1.
+	DepthDist     []float64
+	Participation Participation
+	ZipfS         float64 // Zipf exponent; 1.0 when zero
+
+	// Tuple shape: statements annotate a single Sightings-like relation
+	// Rel(key, observer, species, date, location).
+	Rel      string
+	KeyPool  int     // number of distinct external keys; default max(8, n/4) chosen by caller
+	Variants int     // alternative species per key (conflict potential); default 4
+	NegProb  float64 // probability of a negative statement; default 0.25
+
+	Seed int64
+}
+
+// DefaultRel is the relation name used when Config.Rel is empty.
+const DefaultRel = "S"
+
+// RelColumns returns the generated relation's column names (key first).
+func RelColumns() []string {
+	return []string{"sid", "observer", "species", "date", "location"}
+}
+
+// Generator draws random belief statements.
+type Generator struct {
+	cfg      Config
+	r        *rand.Rand
+	depthCDF []float64
+	userCDF  []float64
+}
+
+// New validates the config and returns a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Users < 1 {
+		return nil, fmt.Errorf("gen: need at least one user")
+	}
+	if len(cfg.DepthDist) == 0 {
+		return nil, fmt.Errorf("gen: empty depth distribution")
+	}
+	sum := 0.0
+	for _, p := range cfg.DepthDist {
+		if p < 0 {
+			return nil, fmt.Errorf("gen: negative probability in depth distribution")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("gen: depth distribution sums to %g, want 1", sum)
+	}
+	if cfg.Rel == "" {
+		cfg.Rel = DefaultRel
+	}
+	if cfg.KeyPool <= 0 {
+		cfg.KeyPool = 256
+	}
+	if cfg.Variants <= 0 {
+		cfg.Variants = 4
+	}
+	if cfg.NegProb == 0 {
+		cfg.NegProb = 0.25
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.0
+	}
+	g := &Generator{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+	g.depthCDF = cumulative(cfg.DepthDist)
+	weights := make([]float64, cfg.Users)
+	for i := range weights {
+		if cfg.Participation == Zipf {
+			weights[i] = 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		} else {
+			weights[i] = 1
+		}
+	}
+	g.userCDF = cumulative(normalize(weights))
+	return g, nil
+}
+
+func cumulative(ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	acc := 0.0
+	for i, p := range ps {
+		acc += p
+		out[i] = acc
+	}
+	out[len(out)-1] = 1 // guard against rounding
+	return out
+}
+
+func normalize(ws []float64) []float64 {
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = w / sum
+	}
+	return out
+}
+
+func sampleCDF(r *rand.Rand, cdf []float64) int {
+	x := r.Float64()
+	return sort.SearchFloat64s(cdf, x)
+}
+
+// Config returns the generator's (defaulted) configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// sampleDepth draws a nesting depth.
+func (g *Generator) sampleDepth() int { return sampleCDF(g.r, g.depthCDF) }
+
+// sampleUser draws a user id in 1..m from the participation distribution.
+func (g *Generator) sampleUser() core.UserID {
+	return core.UserID(sampleCDF(g.r, g.userCDF) + 1)
+}
+
+// samplePath draws a belief path of the given depth from Û*.
+func (g *Generator) samplePath(depth int) core.Path {
+	p := make(core.Path, 0, depth)
+	for len(p) < depth {
+		u := g.sampleUser()
+		if len(p) > 0 && p[len(p)-1] == u {
+			if g.cfg.Users == 1 {
+				break // single user cannot form deeper paths
+			}
+			continue
+		}
+		p = append(p, u)
+	}
+	return p
+}
+
+// sampleTuple draws a ground tuple. Tuples with the same key but different
+// species are the conflicting alternatives that exercise Γ1 and unstated
+// negatives.
+func (g *Generator) sampleTuple() core.Tuple {
+	k := g.r.Intn(g.cfg.KeyPool)
+	variant := g.r.Intn(g.cfg.Variants)
+	return core.NewTuple(g.cfg.Rel,
+		val.Str(fmt.Sprintf("k%d", k)),
+		val.Str(fmt.Sprintf("obs%d", k%17)),
+		val.Str(fmt.Sprintf("species%d", variant)),
+		val.Str("6-14-08"),
+		val.Str(fmt.Sprintf("loc%d", k%11)),
+	)
+}
+
+// Next draws one belief statement. Statements are not guaranteed to be
+// jointly consistent: callers loading a belief database should skip
+// statements the database rejects (see Load).
+func (g *Generator) Next() core.Statement {
+	sign := core.Pos
+	if g.r.Float64() < g.cfg.NegProb {
+		sign = core.Neg
+	}
+	st := core.Statement{
+		Path:  g.samplePath(g.sampleDepth()),
+		Sign:  sign,
+		Tuple: g.sampleTuple(),
+	}
+	if len(st.Path) == 0 {
+		// Root-world annotations are plain content inserts; the paper's
+		// examples only insert positive ground tuples at the root.
+		st.Sign = core.Pos
+	}
+	return st
+}
+
+// Load draws statements until n of them have been accepted by insert (which
+// must report (changed, err)); duplicates and inconsistent statements are
+// skipped, mirroring how a community only records meaningful annotations.
+// It gives up after a generous retry budget to stay terminating.
+func (g *Generator) Load(n int, insert func(core.Statement) (bool, error)) (accepted int, attempts int, err error) {
+	maxAttempts := 20*n + 1000
+	for accepted < n && attempts < maxAttempts {
+		attempts++
+		st := g.Next()
+		changed, ierr := insert(st)
+		if ierr != nil {
+			continue // inconsistent with current explicit beliefs: skip
+		}
+		if changed {
+			accepted++
+		}
+	}
+	if accepted < n {
+		return accepted, attempts, fmt.Errorf("gen: only %d/%d statements accepted after %d attempts", accepted, n, attempts)
+	}
+	return accepted, attempts, nil
+}
+
+// Statements draws a consistent belief base of n statements and returns it
+// with the statement list.
+func Statements(cfg Config, n int) (*core.BeliefBase, []core.Statement, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := core.NewBeliefBase()
+	var stmts []core.Statement
+	_, _, err = g.Load(n, func(st core.Statement) (bool, error) {
+		changed, err := base.Insert(st)
+		if err == nil && changed {
+			stmts = append(stmts, st)
+		}
+		return changed, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, stmts, nil
+}

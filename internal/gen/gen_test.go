@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"beliefdb/internal/core"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Users: 0, DepthDist: []float64{1}},
+		{Users: 3, DepthDist: nil},
+		{Users: 3, DepthDist: []float64{0.5, 0.4}},
+		{Users: 3, DepthDist: []float64{1.5, -0.5}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{Users: 3, DepthDist: []float64{0.5, 0.5}}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Users: 5, DepthDist: []float64{0.4, 0.4, 0.2}, Seed: 99}
+	g1, _ := New(cfg)
+	g2, _ := New(cfg)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.String() != b.String() {
+			t.Fatalf("draw %d differs: %s vs %s", i, a, b)
+		}
+	}
+}
+
+func TestPathsAreValid(t *testing.T) {
+	g, _ := New(Config{Users: 4, DepthDist: []float64{0.2, 0.3, 0.3, 0.2}, Seed: 3})
+	for i := 0; i < 500; i++ {
+		st := g.Next()
+		if !st.Path.Valid() {
+			t.Fatalf("invalid path %s", st.Path)
+		}
+		if len(st.Path) > 3 {
+			t.Fatalf("depth %d exceeds distribution support", len(st.Path))
+		}
+		if len(st.Path) == 0 && st.Sign != core.Pos {
+			t.Fatal("negative root annotation generated")
+		}
+	}
+}
+
+func TestDepthDistributionRoughlyRespected(t *testing.T) {
+	g, _ := New(Config{Users: 10, DepthDist: []float64{0.5, 0.3, 0.2}, Seed: 11})
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[len(g.Next().Path)]++
+	}
+	for d, want := range []float64{0.5, 0.3, 0.2} {
+		got := float64(counts[d]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Pr[d=%d] = %.3f, want %.2f", d, got, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, _ := New(Config{Users: 10, DepthDist: []float64{0, 1}, Participation: Zipf, Seed: 5})
+	counts := make(map[core.UserID]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Path[0]]++
+	}
+	if counts[1] <= counts[5] || counts[5] <= counts[10] {
+		t.Errorf("Zipf participation not skewed: %v", counts)
+	}
+	// With s=1 user 1 should carry roughly 1/H(10) ≈ 34% of annotations.
+	share := float64(counts[1]) / n
+	if share < 0.28 || share > 0.42 {
+		t.Errorf("user 1 share = %.3f", share)
+	}
+}
+
+func TestUniformParticipation(t *testing.T) {
+	g, _ := New(Config{Users: 5, DepthDist: []float64{0, 1}, Participation: Uniform, Seed: 6})
+	counts := make(map[core.UserID]int)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Path[0]]++
+	}
+	for u := core.UserID(1); u <= 5; u++ {
+		share := float64(counts[u]) / n
+		if math.Abs(share-0.2) > 0.03 {
+			t.Errorf("user %d share = %.3f", u, share)
+		}
+	}
+}
+
+func TestStatementsLoadsConsistentBase(t *testing.T) {
+	base, stmts, err := Statements(Config{
+		Users: 5, DepthDist: []float64{0.4, 0.4, 0.2}, Participation: Zipf,
+		KeyPool: 10, Seed: 17,
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 200 || len(stmts) != 200 {
+		t.Fatalf("loaded %d/%d", base.Len(), len(stmts))
+	}
+	if !base.Consistent() {
+		t.Error("generated base inconsistent")
+	}
+}
+
+func TestLoadGivesUpEventually(t *testing.T) {
+	// A single key with a single variant saturates quickly; Load must not
+	// loop forever when no new statement can be accepted.
+	g, _ := New(Config{Users: 1, DepthDist: []float64{1}, KeyPool: 1, Variants: 1, NegProb: 0, Seed: 1})
+	base := core.NewBeliefBase()
+	accepted, _, err := g.Load(10, base.Insert)
+	if err == nil {
+		t.Errorf("Load of impossible workload succeeded with %d accepted", accepted)
+	}
+	if accepted != 1 {
+		t.Errorf("accepted = %d, want 1", accepted)
+	}
+}

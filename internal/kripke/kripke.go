@@ -1,0 +1,190 @@
+// Package kripke builds the canonical Kripke structure K(D) of a belief
+// database (Sect. 4, Def. 16): a finite rooted structure whose states are
+// the prefixes of support paths, whose worlds carry the entailed content
+// D̄_v, and whose accessibility edges follow E_i = {(w, dss(w·i))}. Theorem
+// 17 (D |= φ ⟺ K(D) |= φ) is differentially tested against the reference
+// semantics in internal/core.
+package kripke
+
+import (
+	"fmt"
+	"sort"
+
+	"beliefdb/internal/core"
+)
+
+// StateID indexes a state; the root ε is always state 0 (matching the
+// world-id convention of the relational representation, Fig. 5).
+type StateID int
+
+// State is one world of the canonical structure.
+type State struct {
+	ID    StateID
+	Path  core.Path
+	Depth int
+	// Edges maps each user i (with i != Path.Last()) to dss(Path·i).
+	Edges map[core.UserID]StateID
+	// SuffixLink is wid(dss(Path[1:])), the world this one inherits from —
+	// the S relation of the internal schema. The root links to itself.
+	SuffixLink StateID
+	// World is the entailed world D̄_Path with explicitness flags.
+	World *core.World
+}
+
+// Structure is the canonical Kripke structure for a belief base and a user
+// universe.
+type Structure struct {
+	states []*State
+	byPath map[string]StateID
+	users  []core.UserID
+}
+
+// Build constructs K(D) for the given user universe. Users not mentioned in
+// any statement still get edges (they behave like believers of everything,
+// per the message board assumption). Complexity is O(m·N·d + n·N) as in
+// Theorem 17(2).
+func Build(base *core.BeliefBase, users []core.UserID) *Structure {
+	k := &Structure{byPath: make(map[string]StateID)}
+	k.users = append([]core.UserID(nil), users...)
+	sort.Slice(k.users, func(i, j int) bool { return k.users[i] < k.users[j] })
+
+	// States(D): all prefixes of support paths, root first, sorted by depth
+	// (parents before children) then lexicographically.
+	seen := map[string]core.Path{"": {}}
+	for _, p := range base.SupportPaths() {
+		for i := 1; i <= len(p); i++ {
+			prefix := p[:i]
+			seen[prefix.Key()] = prefix.Clone()
+		}
+	}
+	paths := make([]core.Path, 0, len(seen))
+	for _, p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		if len(paths[i]) != len(paths[j]) {
+			return len(paths[i]) < len(paths[j])
+		}
+		return paths[i].Key() < paths[j].Key()
+	})
+	for _, p := range paths {
+		id := StateID(len(k.states))
+		k.states = append(k.states, &State{ID: id, Path: p, Depth: len(p)})
+		k.byPath[p.Key()] = id
+	}
+
+	// Worlds: D̄_w = override(D_w, D̄_{dss(w[1:])}), computable in depth
+	// order because the suffix link always points at a shallower state.
+	for _, s := range k.states {
+		s.SuffixLink = k.DSS(s.Path.Suffix(min(1, len(s.Path))))
+		if s.Depth == 0 {
+			s.World = base.ExplicitWorld(s.Path).Clone()
+			continue
+		}
+		s.World = base.ExplicitWorld(s.Path).Clone()
+		s.World.InheritFrom(k.states[s.SuffixLink].World)
+	}
+
+	// Edges: for every state w and user i != last(w), E_i(w) = dss(w·i).
+	for _, s := range k.states {
+		s.Edges = make(map[core.UserID]StateID, len(k.users))
+		for _, u := range k.users {
+			if u == s.Path.Last() {
+				continue
+			}
+			s.Edges[u] = k.DSS(s.Path.Append(u))
+		}
+	}
+	return k
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DSS returns the deepest suffix state of w: the longest suffix of w that
+// is a state. The root qualifies for every path, so DSS is total.
+func (k *Structure) DSS(w core.Path) StateID {
+	for i := 0; i <= len(w); i++ {
+		if id, ok := k.byPath[w.Suffix(i).Key()]; ok {
+			return id
+		}
+	}
+	return 0 // unreachable: ε is always a state
+}
+
+// StateOf returns the state whose path is exactly w, if one exists.
+func (k *Structure) StateOf(w core.Path) (*State, bool) {
+	id, ok := k.byPath[w.Key()]
+	if !ok {
+		return nil, false
+	}
+	return k.states[id], true
+}
+
+// State returns the state with the given id.
+func (k *Structure) State(id StateID) *State { return k.states[int(id)] }
+
+// Len returns the number of states N.
+func (k *Structure) Len() int { return len(k.states) }
+
+// States returns all states in id order.
+func (k *Structure) States() []*State { return k.states }
+
+// Users returns the user universe.
+func (k *Structure) Users() []core.UserID { return k.users }
+
+// Walk follows the accessibility edges for the belief path w from the root
+// and returns the reached state. Because States(D) is prefix-closed, the
+// reached state is exactly dss(w), whose world equals D̄_w.
+func (k *Structure) Walk(w core.Path) (*State, error) {
+	if !w.Valid() {
+		return nil, fmt.Errorf("kripke: invalid belief path %s", w)
+	}
+	cur := k.states[0]
+	for _, u := range w {
+		next, ok := cur.Edges[u]
+		if !ok {
+			return nil, fmt.Errorf("kripke: no %d-edge at state %s (unknown user?)", u, cur.Path)
+		}
+		cur = k.states[next]
+	}
+	return cur, nil
+}
+
+// Entails decides K(D) |= w t^s with the Def. 6 belief semantics (unstated
+// negatives included). By Theorem 17 this agrees with core's Entails.
+func (k *Structure) Entails(w core.Path, t core.Tuple, s core.Sign) (bool, error) {
+	st, err := k.Walk(w)
+	if err != nil {
+		return false, err
+	}
+	if s == core.Pos {
+		return st.World.HasPos(t), nil
+	}
+	return st.World.HasNeg(t), nil
+}
+
+// EntailsStated is Entails restricted to stated beliefs (Def. 12).
+func (k *Structure) EntailsStated(w core.Path, t core.Tuple, s core.Sign) (bool, error) {
+	st, err := k.Walk(w)
+	if err != nil {
+		return false, err
+	}
+	if s == core.Pos {
+		return st.World.HasPos(t), nil
+	}
+	return st.World.HasStatedNeg(t), nil
+}
+
+// EdgeCount returns |E| = Σ_i |E_i| (the paper bounds it by O(mN)).
+func (k *Structure) EdgeCount() int {
+	n := 0
+	for _, s := range k.states {
+		n += len(s.Edges)
+	}
+	return n
+}

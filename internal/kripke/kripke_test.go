@@ -1,0 +1,327 @@
+package kripke_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/kripke"
+	"beliefdb/internal/paperex"
+	"beliefdb/internal/val"
+)
+
+func buildExample(t *testing.T) *kripke.Structure {
+	t.Helper()
+	return kripke.Build(paperex.Base(), paperex.Users())
+}
+
+// TestFigure4States checks the canonical structure of the running example:
+// four states #0..#3 with the worlds of Fig. 4.
+func TestFigure4States(t *testing.T) {
+	k := buildExample(t)
+	if k.Len() != 4 {
+		t.Fatalf("N = %d, want 4", k.Len())
+	}
+	root := k.State(0)
+	if root.Depth != 0 || len(root.Path) != 0 {
+		t.Fatalf("state 0 is not the root: %+v", root)
+	}
+	if !root.World.HasPos(paperex.S11) || root.World.Len() != 1 {
+		t.Errorf("root world = %s", root.World)
+	}
+
+	alice, ok := k.StateOf(core.Path{paperex.Alice})
+	if !ok {
+		t.Fatal("no state for Alice")
+	}
+	for _, tp := range []core.Tuple{paperex.S11, paperex.S21, paperex.C11} {
+		if !alice.World.HasPos(tp) {
+			t.Errorf("Alice world missing %s", tp)
+		}
+	}
+	if alice.World.Len() != 3 {
+		t.Errorf("Alice world = %s", alice.World)
+	}
+
+	bob, _ := k.StateOf(core.Path{paperex.Bob})
+	if !bob.World.HasPos(paperex.S22) || !bob.World.HasPos(paperex.C22) ||
+		!bob.World.HasStatedNeg(paperex.S11) || !bob.World.HasStatedNeg(paperex.S12) {
+		t.Errorf("Bob world = %s", bob.World)
+	}
+
+	ba, ok := k.StateOf(core.Path{paperex.Bob, paperex.Alice})
+	if !ok {
+		t.Fatal("no state for Bob·Alice")
+	}
+	for _, tp := range []core.Tuple{paperex.S11, paperex.S21, paperex.C11, paperex.C21} {
+		if !ba.World.HasPos(tp) {
+			t.Errorf("Bob·Alice world missing %s", tp)
+		}
+	}
+	if ba.World.Len() != 4 {
+		t.Errorf("Bob·Alice world = %s", ba.World)
+	}
+}
+
+// TestFigure5Edges checks the E and S relations of Fig. 5 (state ids: 0=ε,
+// 1=Alice, 2=Bob, 3=Bob·Alice; the id assignment matches because Build
+// orders states by depth then path key).
+func TestFigure5Edges(t *testing.T) {
+	k := buildExample(t)
+	type edge struct {
+		from kripke.StateID
+		uid  core.UserID
+		to   kripke.StateID
+	}
+	want := []edge{
+		{0, 1, 1}, {0, 2, 2}, {0, 3, 0},
+		{1, 2, 2}, {1, 3, 0},
+		{2, 1, 3}, {2, 3, 0},
+		{3, 2, 2}, {3, 3, 0},
+	}
+	total := 0
+	for _, e := range want {
+		got, ok := k.State(e.from).Edges[e.uid]
+		if !ok || got != e.to {
+			t.Errorf("edge (%d, %d) = %v, want %d", e.from, e.uid, got, e.to)
+		}
+	}
+	for _, s := range k.States() {
+		total += len(s.Edges)
+		if _, selfEdge := s.Edges[s.Path.Last()]; selfEdge {
+			t.Errorf("state %s has an edge for its innermost user", s.Path)
+		}
+	}
+	if total != len(want) {
+		t.Errorf("edge count = %d, want %d", total, len(want))
+	}
+	// S relation: (1,0), (2,0), (3,1); root links to itself.
+	wantS := map[kripke.StateID]kripke.StateID{0: 0, 1: 0, 2: 0, 3: 1}
+	for id, link := range wantS {
+		if got := k.State(id).SuffixLink; got != link {
+			t.Errorf("S(%d) = %d, want %d", id, got, link)
+		}
+	}
+}
+
+func TestDSS(t *testing.T) {
+	k := buildExample(t)
+	cases := []struct {
+		w    core.Path
+		want kripke.StateID
+	}{
+		{core.Path{}, 0},
+		{core.Path{paperex.Alice}, 1},
+		{core.Path{paperex.Bob, paperex.Alice}, 3},
+		{core.Path{paperex.Carol}, 0},                             // Carol is silent
+		{core.Path{paperex.Alice, paperex.Bob}, 2},                // suffix "Bob"
+		{core.Path{paperex.Carol, paperex.Bob, paperex.Alice}, 3}, // suffix "Bob·Alice"
+		{core.Path{paperex.Alice, paperex.Carol}, 0},              // no suffix state
+		{core.Path{paperex.Alice, paperex.Bob, paperex.Alice}, 3}, // suffix "Bob·Alice"
+	}
+	for _, c := range cases {
+		if got := k.DSS(c.w); got != c.want {
+			t.Errorf("dss(%s) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestWalkReachesDSS(t *testing.T) {
+	k := buildExample(t)
+	paths := []core.Path{
+		{},
+		{paperex.Alice},
+		{paperex.Bob, paperex.Alice},
+		{paperex.Alice, paperex.Bob, paperex.Alice},
+		{paperex.Carol, paperex.Bob},
+		{paperex.Carol, paperex.Alice, paperex.Carol},
+	}
+	for _, p := range paths {
+		st, err := k.Walk(p)
+		if err != nil {
+			t.Fatalf("Walk(%s): %v", p, err)
+		}
+		if st.ID != k.DSS(p) {
+			t.Errorf("Walk(%s) = state %d, want dss = %d", p, st.ID, k.DSS(p))
+		}
+	}
+	if _, err := k.Walk(core.Path{1, 1}); err == nil {
+		t.Error("Walk accepted invalid path")
+	}
+}
+
+// TestTheorem17RunningExample: K(D) |= φ agrees with the reference
+// semantics on the running example, including deep paths through back
+// edges.
+func TestTheorem17RunningExample(t *testing.T) {
+	b := paperex.Base()
+	k := kripke.Build(b, paperex.Users())
+	tuples := []core.Tuple{paperex.S11, paperex.S12, paperex.S21, paperex.S22, paperex.C11, paperex.C21, paperex.C22}
+	paths := []core.Path{
+		{},
+		{paperex.Alice}, {paperex.Bob}, {paperex.Carol},
+		{paperex.Bob, paperex.Alice}, {paperex.Alice, paperex.Bob},
+		{paperex.Carol, paperex.Bob, paperex.Alice},
+		{paperex.Alice, paperex.Bob, paperex.Alice, paperex.Carol},
+	}
+	for _, p := range paths {
+		for _, tp := range tuples {
+			for _, s := range []core.Sign{core.Pos, core.Neg} {
+				want := b.Entails(p, tp, s)
+				got, err := k.Entails(p, tp, s)
+				if err != nil {
+					t.Fatalf("Entails(%s, %s, %s): %v", p, tp, s, err)
+				}
+				if got != want {
+					t.Errorf("Theorem 17 violated at %s %s%s: kripke=%v core=%v", p, tp, s, got, want)
+				}
+				wantSt := b.EntailsStated(p, tp, s)
+				gotSt, _ := k.EntailsStated(p, tp, s)
+				if gotSt != wantSt {
+					t.Errorf("stated entailment differs at %s %s%s", p, tp, s)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickTheorem17 is the property-based version over random belief
+// bases: the canonical Kripke structure and the reference closure agree on
+// entailment for random paths and tuples.
+func TestQuickTheorem17(t *testing.T) {
+	cfg := quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(4)
+		base, _, err := gen.Statements(gen.Config{
+			Users:         m,
+			DepthDist:     []float64{0.3, 0.4, 0.2, 0.1},
+			Participation: gen.Zipf,
+			KeyPool:       6,
+			Variants:      3,
+			NegProb:       0.3,
+			Seed:          seed,
+		}, 25+r.Intn(50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := make([]core.UserID, m)
+		for i := range users {
+			users[i] = core.UserID(i + 1)
+		}
+		k := kripke.Build(base, users)
+		// Probe random paths (beyond the states) and tuples.
+		for probe := 0; probe < 60; probe++ {
+			p := randomPath(r, users)
+			tup := randomTuple(r)
+			for _, s := range []core.Sign{core.Pos, core.Neg} {
+				want := base.Entails(p, tup, s)
+				got, err := k.Entails(p, tup, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Logf("seed=%d mismatch at %s %s%s kripke=%v core=%v", seed, p, tup, s, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomPath(r *rand.Rand, users []core.UserID) core.Path {
+	d := r.Intn(5)
+	p := make(core.Path, 0, d)
+	for len(p) < d {
+		u := users[r.Intn(len(users))]
+		if len(p) > 0 && p[len(p)-1] == u {
+			continue
+		}
+		p = append(p, u)
+	}
+	return p
+}
+
+func randomTuple(r *rand.Rand) core.Tuple {
+	return core.NewTuple(gen.DefaultRel,
+		val.Str("k"+itoa(r.Intn(6))),
+		val.Str("obs"+itoa(r.Intn(6))),
+		val.Str("species"+itoa(r.Intn(3))),
+		val.Str("6-14-08"),
+		val.Str("loc"+itoa(r.Intn(6))),
+	)
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i%10))
+}
+
+// TestEdgeCountBound: |E| <= m*N (Sect. 5.4).
+func TestEdgeCountBound(t *testing.T) {
+	base, _, err := gen.Statements(gen.Config{
+		Users:         10,
+		DepthDist:     []float64{0.4, 0.4, 0.2},
+		Participation: gen.Uniform,
+		Seed:          7,
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]core.UserID, 10)
+	for i := range users {
+		users[i] = core.UserID(i + 1)
+	}
+	k := kripke.Build(base, users)
+	if k.EdgeCount() > 10*k.Len() {
+		t.Errorf("|E| = %d exceeds m*N = %d", k.EdgeCount(), 10*k.Len())
+	}
+	// Every non-innermost user has exactly one edge per state.
+	for _, s := range k.States() {
+		want := len(users)
+		if s.Depth > 0 {
+			want--
+		}
+		if len(s.Edges) != want {
+			t.Errorf("state %s has %d edges, want %d", s.Path, len(s.Edges), want)
+		}
+	}
+}
+
+// TestSilentUserBehavesLikeRoot: a user with no statements believes
+// exactly the root-world content (message board assumption).
+func TestSilentUserBehavesLikeRoot(t *testing.T) {
+	b := paperex.Base()
+	k := kripke.Build(b, paperex.Users())
+	st, err := k.Walk(core.Path{paperex.Carol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != 0 {
+		t.Errorf("Carol's world should resolve to the root, got state %d", st.ID)
+	}
+}
+
+// TestBuildWithExtraUsers: the structure accommodates users beyond those
+// mentioned in the base (new users joining, Sect. 5.3 "other updates").
+func TestBuildWithExtraUsers(t *testing.T) {
+	b := paperex.Base()
+	users := append(paperex.Users(), core.UserID(4)) // Dora joins
+	k := kripke.Build(b, users)
+	got, err := k.Entails(core.Path{4}, paperex.S11, core.Pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("Dora should believe the root content by default")
+	}
+	got, err = k.Entails(core.Path{4, paperex.Bob}, paperex.S22, core.Pos)
+	if err != nil || !got {
+		t.Errorf("Dora should believe Bob's raven by default: %v %v", got, err)
+	}
+}

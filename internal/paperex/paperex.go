@@ -1,0 +1,84 @@
+// Package paperex encodes the paper's running example (Sect. 2, Fig. 2):
+// the NatureMapping schema, users Alice/Bob/Carol, the ground tuples
+// s11..s22 and c11..c22, and the eight belief statements i1..i8. It is the
+// shared fixture for correctness tests against Figures 2, 4 and 5 and for
+// the quickstart example.
+package paperex
+
+import (
+	"beliefdb/internal/core"
+	"beliefdb/internal/val"
+)
+
+// User ids as in Fig. 5: 1 = Alice, 2 = Bob, 3 = Carol.
+const (
+	Alice core.UserID = 1
+	Bob   core.UserID = 2
+	Carol core.UserID = 3
+)
+
+// UserNames maps ids to names.
+var UserNames = map[core.UserID]string{Alice: "Alice", Bob: "Bob", Carol: "Carol"}
+
+// Relation names of the external schema.
+const (
+	SightingsRel = "Sightings"
+	CommentsRel  = "Comments"
+)
+
+// SightingsCols and CommentsCols are the external schema columns; the first
+// column is the external key.
+var (
+	SightingsCols = []string{"sid", "uid", "species", "date", "location"}
+	CommentsCols  = []string{"cid", "comment", "sid"}
+)
+
+func sighting(sid, uid, species string) core.Tuple {
+	return core.NewTuple(SightingsRel,
+		val.Str(sid), val.Str(uid), val.Str(species), val.Str("6-14-08"),
+		val.Str(map[string]string{"s1": "Lake Forest", "s2": "Lake Placid"}[sid]))
+}
+
+func comment(cid, text string) core.Tuple {
+	return core.NewTuple(CommentsRel, val.Str(cid), val.Str(text), val.Str("s2"))
+}
+
+// The ground tuples of Fig. 2. Conflicting alternatives share external keys.
+var (
+	S11 = sighting("s1", "Carol", "bald eagle")
+	S12 = sighting("s1", "Carol", "fish eagle")
+	S21 = sighting("s2", "Alice", "crow")
+	S22 = sighting("s2", "Alice", "raven")
+	C11 = comment("c1", "found feathers")
+	C21 = comment("c2", "black feathers")
+	C22 = comment("c2", "purple-black feathers")
+)
+
+// Statements returns the eight belief statements i1..i8 of the running
+// example, in insertion order.
+func Statements() []core.Statement {
+	return []core.Statement{
+		{Path: core.Path{}, Sign: core.Pos, Tuple: S11},           // i1: Carol's plain insert
+		{Path: core.Path{Bob}, Sign: core.Neg, Tuple: S11},        // i2
+		{Path: core.Path{Bob}, Sign: core.Neg, Tuple: S12},        // i3
+		{Path: core.Path{Alice}, Sign: core.Pos, Tuple: S21},      // i4
+		{Path: core.Path{Alice}, Sign: core.Pos, Tuple: C11},      // i5
+		{Path: core.Path{Bob}, Sign: core.Pos, Tuple: S22},        // i6
+		{Path: core.Path{Bob, Alice}, Sign: core.Pos, Tuple: C21}, // i7
+		{Path: core.Path{Bob}, Sign: core.Pos, Tuple: C22},        // i8
+	}
+}
+
+// Base builds the running-example belief base.
+func Base() *core.BeliefBase {
+	b := core.NewBeliefBase()
+	for _, st := range Statements() {
+		if _, err := b.Insert(st); err != nil {
+			panic("paperex: running example rejected: " + err.Error())
+		}
+	}
+	return b
+}
+
+// Users returns the user universe of the example.
+func Users() []core.UserID { return []core.UserID{Alice, Bob, Carol} }

@@ -1,0 +1,34 @@
+package query
+
+import (
+	"beliefdb/internal/sqlparser"
+	"beliefdb/internal/val"
+)
+
+// EvalOnRow evaluates an expression against a single row whose columns are
+// named cols and optionally qualified by relName. It backs the WHERE
+// clauses of BeliefSQL DML, which filter explicit statements of one world
+// rather than engine tables.
+func EvalOnRow(e sqlparser.Expr, relName string, cols []string, row []val.Value) (val.Value, error) {
+	schema := make(relSchema, len(cols))
+	for i, c := range cols {
+		schema[i] = colID{rel: relName, name: c}
+	}
+	ce, err := compileExpr(e, schema)
+	if err != nil {
+		return val.Null(), err
+	}
+	return ce(row)
+}
+
+// PredicateOnRow is EvalOnRow coerced to a boolean (NULL counts as false).
+func PredicateOnRow(e sqlparser.Expr, relName string, cols []string, row []val.Value) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := EvalOnRow(e, relName, cols, row)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Kind() == val.KindBool && v.AsBool(), nil
+}

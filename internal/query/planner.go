@@ -1,0 +1,747 @@
+package query
+
+import (
+	"fmt"
+	"os"
+
+	"beliefdb/internal/engine"
+	"beliefdb/internal/sqlparser"
+	"beliefdb/internal/val"
+)
+
+// tracePlan enables join-order tracing to stderr when the environment
+// variable BELIEFDB_TRACE_PLAN is non-empty.
+var tracePlan = os.Getenv("BELIEFDB_TRACE_PLAN") != ""
+
+func tracef(format string, args ...interface{}) {
+	if tracePlan {
+		fmt.Fprintf(os.Stderr, "plan: "+format+"\n", args...)
+	}
+}
+
+// rowSet is a materialized intermediate relation.
+type rowSet struct {
+	schema relSchema
+	rows   [][]val.Value
+}
+
+// binding ties a FROM-list alias to its table.
+type binding struct {
+	alias string
+	table *engine.Table
+}
+
+// joinEdge is an equi-join conjunct between two bindings.
+type joinEdge struct {
+	a, b       string // aliases
+	aCol, bCol string // column names on each side
+	consumed   bool
+}
+
+// residual is a conjunct that needs several bindings before it can run.
+type residual struct {
+	refs map[string]bool
+	expr sqlparser.Expr
+	done bool
+}
+
+// constEq is a column = literal conjunct usable for index access.
+type constEq struct {
+	col string
+	v   val.Value
+}
+
+// tableCtx is the per-binding planning state.
+type tableCtx struct {
+	b        binding
+	schema   relSchema // single-table schema (qualified by alias)
+	constEqs []constEq
+	filters  []sqlparser.Expr // all single-table conjuncts (includes constEqs)
+	mat      *rowSet          // materialized filtered rows, lazily computed
+}
+
+func tableSchema(b binding) relSchema {
+	cols := b.table.Schema().Columns
+	s := make(relSchema, len(cols))
+	for i, c := range cols {
+		s[i] = colID{rel: b.alias, name: c.Name}
+	}
+	return s
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e sqlparser.Expr, out []sqlparser.Expr) []sqlparser.Expr {
+	if be, ok := e.(sqlparser.BinaryExpr); ok && be.Op == "AND" {
+		out = splitAnd(be.L, out)
+		return splitAnd(be.R, out)
+	}
+	return append(out, e)
+}
+
+// asConstEq recognizes col = literal (either order) conjuncts.
+func asConstEq(e sqlparser.Expr) (sqlparser.ColumnRef, val.Value, bool) {
+	be, ok := e.(sqlparser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return sqlparser.ColumnRef{}, val.Value{}, false
+	}
+	if c, ok := be.L.(sqlparser.ColumnRef); ok {
+		if l, ok := be.R.(sqlparser.Literal); ok {
+			return c, l.Val, true
+		}
+	}
+	if c, ok := be.R.(sqlparser.ColumnRef); ok {
+		if l, ok := be.L.(sqlparser.Literal); ok {
+			return c, l.Val, true
+		}
+	}
+	return sqlparser.ColumnRef{}, val.Value{}, false
+}
+
+// asJoinEdge recognizes colref = colref conjuncts across two bindings.
+func asJoinEdge(e sqlparser.Expr, schema relSchema) (joinEdge, bool) {
+	be, ok := e.(sqlparser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return joinEdge{}, false
+	}
+	lc, lok := be.L.(sqlparser.ColumnRef)
+	rc, rok := be.R.(sqlparser.ColumnRef)
+	if !lok || !rok {
+		return joinEdge{}, false
+	}
+	li, err := schema.find(lc)
+	if err != nil {
+		return joinEdge{}, false
+	}
+	ri, err := schema.find(rc)
+	if err != nil {
+		return joinEdge{}, false
+	}
+	if schema[li].rel == schema[ri].rel {
+		return joinEdge{}, false
+	}
+	return joinEdge{
+		a: schema[li].rel, aCol: schema[li].name,
+		b: schema[ri].rel, bCol: schema[ri].name,
+	}, true
+}
+
+// estimate guesses the post-filter cardinality of a base table.
+func (tc *tableCtx) estimate() int {
+	if tc.mat != nil {
+		return len(tc.mat.rows)
+	}
+	n := tc.b.table.Len()
+	if len(tc.constEqs) == 0 {
+		if len(tc.filters) > 0 {
+			return n/2 + 1
+		}
+		return n
+	}
+	pk := tc.b.table.PKCol()
+	for _, ce := range tc.constEqs {
+		if pk >= 0 && tc.b.table.Schema().ColumnIndex(ce.col) == pk {
+			return 1
+		}
+	}
+	if idx := tc.bestIndex(); idx != nil {
+		if k := idx.Len(); k > 0 {
+			return n/k + 1
+		}
+		return 1
+	}
+	return n/3 + 1
+}
+
+// coveredByPK reports whether a const-eq binds the primary key.
+func (tc *tableCtx) coveredByPK() bool {
+	pk := tc.b.table.PKCol()
+	if pk < 0 {
+		return false
+	}
+	for _, ce := range tc.constEqs {
+		if tc.b.table.Schema().ColumnIndex(ce.col) == pk {
+			return true
+		}
+	}
+	return false
+}
+
+// bestIndex picks the secondary index with the most columns all bound by
+// const-eq conjuncts.
+func (tc *tableCtx) bestIndex() *engine.Index {
+	bound := make(map[int]bool)
+	sch := tc.b.table.Schema()
+	for _, ce := range tc.constEqs {
+		bound[sch.ColumnIndex(ce.col)] = true
+	}
+	var best *engine.Index
+	for _, idx := range tc.b.table.Indexes() {
+		ok := true
+		for _, c := range idx.Cols() {
+			if !bound[c] {
+				ok = false
+				break
+			}
+		}
+		if ok && (best == nil || len(idx.Cols()) > len(best.Cols())) {
+			best = idx
+		}
+	}
+	return best
+}
+
+// materialize scans (or index-probes) the base table, applying pushdown
+// filters, and caches the result.
+func (tc *tableCtx) materialize() (*rowSet, error) {
+	if tc.mat != nil {
+		return tc.mat, nil
+	}
+	t := tc.b.table
+	sch := t.Schema()
+	var preds []compiledExpr
+	for _, f := range tc.filters {
+		p, err := compileExpr(f, tc.schema)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	out := &rowSet{schema: tc.schema}
+	emit := func(row []val.Value) (bool, error) {
+		for _, p := range preds {
+			ok, err := truthy(p, row)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		out.rows = append(out.rows, row)
+		return true, nil
+	}
+	// Primary-key point lookup.
+	pk := t.PKCol()
+	if pk >= 0 {
+		for _, ce := range tc.constEqs {
+			if sch.ColumnIndex(ce.col) == pk {
+				if id, ok := t.LookupPK(ce.v); ok {
+					if _, err := emit(t.Get(id)); err != nil {
+						return nil, err
+					}
+				}
+				tc.mat = out
+				return out, nil
+			}
+		}
+	}
+	// Secondary index point lookup.
+	if idx := tc.bestIndex(); idx != nil {
+		vals := make([]val.Value, len(idx.Cols()))
+		for i, c := range idx.Cols() {
+			for _, ce := range tc.constEqs {
+				if sch.ColumnIndex(ce.col) == c {
+					vals[i] = ce.v
+					break
+				}
+			}
+		}
+		for _, id := range idx.Lookup(vals) {
+			if _, err := emit(t.Get(id)); err != nil {
+				return nil, err
+			}
+		}
+		tc.mat = out
+		return out, nil
+	}
+	// Full scan.
+	var scanErr error
+	t.Scan(func(_ engine.RowID, row []val.Value) bool {
+		if _, err := emit(row); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	tc.mat = out
+	return out, nil
+}
+
+// planJoins materializes and joins all FROM bindings, applying pushdown,
+// join edges, and residual conjuncts. It returns the joined row set.
+func planJoins(bindings []binding, where sqlparser.Expr) (*rowSet, error) {
+	full := relSchema{}
+	ctxs := make(map[string]*tableCtx, len(bindings))
+	var order []string
+	for _, b := range bindings {
+		if _, dup := ctxs[b.alias]; dup {
+			return nil, fmt.Errorf("query: duplicate table binding %q", b.alias)
+		}
+		tc := &tableCtx{b: b, schema: tableSchema(b)}
+		ctxs[b.alias] = tc
+		order = append(order, b.alias)
+		full = append(full, tc.schema...)
+	}
+
+	var edges []*joinEdge
+	var residuals []*residual
+	var constTrue = true
+	if where != nil {
+		for _, conj := range splitAnd(where, nil) {
+			refs := make(map[string]bool)
+			if err := exprRefs(conj, full, refs); err != nil {
+				return nil, err
+			}
+			switch len(refs) {
+			case 0:
+				p, err := compileExpr(conj, relSchema{})
+				if err != nil {
+					return nil, err
+				}
+				ok, err := truthy(p, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					constTrue = false
+				}
+			case 1:
+				var alias string
+				for a := range refs {
+					alias = a
+				}
+				tc := ctxs[alias]
+				tc.filters = append(tc.filters, conj)
+				if c, v, ok := asConstEq(conj); ok {
+					// Resolve the unqualified case to be sure of the column.
+					i, err := full.find(c)
+					if err == nil && full[i].rel == alias {
+						tc.constEqs = append(tc.constEqs, constEq{col: full[i].name, v: v})
+					}
+				}
+			case 2:
+				if e, ok := asJoinEdge(conj, full); ok {
+					edges = append(edges, &e)
+					continue
+				}
+				residuals = append(residuals, &residual{refs: refs, expr: conj})
+			default:
+				residuals = append(residuals, &residual{refs: refs, expr: conj})
+			}
+		}
+	}
+	if !constTrue {
+		// A constant-false conjunct empties the result.
+		return &rowSet{schema: full}, nil
+	}
+
+	// Greedy left-deep join order: start from the cheapest binding; then
+	// repeatedly add the cheapest binding connected by a join edge, falling
+	// back to a cross product when the join graph is disconnected.
+	joined := make(map[string]bool)
+	pick := func(candidates []string) string {
+		best, bestCard := "", int(^uint(0)>>1)
+		for _, a := range candidates {
+			if c := ctxs[a].estimate(); c < bestCard || best == "" {
+				best, bestCard = a, c
+			}
+		}
+		return best
+	}
+	remaining := append([]string(nil), order...)
+	removeRemaining := func(alias string) {
+		for i, a := range remaining {
+			if a == alias {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				return
+			}
+		}
+	}
+
+	start := pick(remaining)
+	cur, err := ctxs[start].materialize()
+	if err != nil {
+		return nil, err
+	}
+	joined[start] = true
+	removeRemaining(start)
+	tracef("start %s -> %d rows", start, len(cur.rows))
+
+	// Eagerly fold in near-singleton tables (point lookups on constants):
+	// crossing with at most a couple of rows is free and seeds join edges
+	// that keep later fanouts bound — e.g. the E-chain anchors of
+	// translated belief queries, which must join before the much larger V
+	// tables. Tables whose constant predicates are fully index-covered are
+	// materialized first so the estimate is exact.
+	for _, a := range remaining {
+		tc := ctxs[a]
+		if tc.mat != nil || len(tc.constEqs) == 0 {
+			continue
+		}
+		if tc.coveredByPK() || tc.bestIndex() != nil {
+			if _, err := tc.materialize(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for {
+		folded := false
+		for _, a := range append([]string(nil), remaining...) {
+			if ctxs[a].mat == nil || ctxs[a].estimate() > 2 {
+				continue
+			}
+			var active []*joinEdge
+			for _, e := range edges {
+				if e.consumed {
+					continue
+				}
+				if (e.a == a && joined[e.b]) || (e.b == a && joined[e.a]) {
+					active = append(active, e)
+					e.consumed = true
+				}
+			}
+			cur, err = joinNext(cur, ctxs[a], active)
+			if err != nil {
+				return nil, err
+			}
+			joined[a] = true
+			removeRemaining(a)
+			folded = true
+			tracef("fold %s (%d edges) -> %d rows", a, len(active), len(cur.rows))
+		}
+		if !folded {
+			break
+		}
+	}
+
+	applyResiduals := func(rs *rowSet) (*rowSet, error) {
+		for _, r := range residuals {
+			if r.done {
+				continue
+			}
+			ready := true
+			for a := range r.refs {
+				if !joined[a] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			p, err := compileExpr(r.expr, rs.schema)
+			if err != nil {
+				return nil, err
+			}
+			kept := rs.rows[:0:0]
+			for _, row := range rs.rows {
+				ok, err := truthy(p, row)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, row)
+				}
+			}
+			rs = &rowSet{schema: rs.schema, rows: kept}
+			r.done = true
+		}
+		return rs, nil
+	}
+	cur, err = applyResiduals(cur)
+	if err != nil {
+		return nil, err
+	}
+
+	// fanout estimates the per-left-row output of joining candidate a next:
+	// near 1 for PK or selective index joins, the filtered table size for
+	// hash joins.
+	fanout := func(a string) float64 {
+		tc := ctxs[a]
+		sch := tc.b.table.Schema()
+		joinCols := make(map[int]bool)
+		for _, e := range edges {
+			if e.consumed {
+				continue
+			}
+			if e.a == a && joined[e.b] {
+				joinCols[sch.ColumnIndex(e.aCol)] = true
+			} else if e.b == a && joined[e.a] {
+				joinCols[sch.ColumnIndex(e.bCol)] = true
+			}
+		}
+		if pk := tc.b.table.PKCol(); pk >= 0 && joinCols[pk] {
+			return 1
+		}
+		constCols := make(map[int]bool)
+		for _, ce := range tc.constEqs {
+			constCols[sch.ColumnIndex(ce.col)] = true
+		}
+		best := 0
+		for _, idx := range tc.b.table.Indexes() {
+			usable, hasJoin := true, false
+			for _, c := range idx.Cols() {
+				switch {
+				case joinCols[c]:
+					hasJoin = true
+				case constCols[c]:
+				default:
+					usable = false
+				}
+			}
+			if usable && hasJoin && idx.Len() > best {
+				best = idx.Len()
+			}
+		}
+		if best > 0 {
+			return float64(tc.b.table.Len()) / float64(best)
+		}
+		return float64(tc.estimate())
+	}
+
+	for len(remaining) > 0 {
+		var connected []string
+		for _, a := range remaining {
+			for _, e := range edges {
+				if e.consumed {
+					continue
+				}
+				if (e.a == a && joined[e.b]) || (e.b == a && joined[e.a]) {
+					connected = append(connected, a)
+					break
+				}
+			}
+		}
+		var next string
+		if len(connected) > 0 {
+			next = connected[0]
+			bestF := fanout(next)
+			for _, a := range connected[1:] {
+				if f := fanout(a); f < bestF {
+					next, bestF = a, f
+				}
+			}
+		} else {
+			next = pick(remaining)
+		}
+		// Collect the edges that join next to the current set.
+		var active []*joinEdge
+		for _, e := range edges {
+			if e.consumed {
+				continue
+			}
+			if (e.a == next && joined[e.b]) || (e.b == next && joined[e.a]) {
+				active = append(active, e)
+				e.consumed = true
+			}
+		}
+		cur, err = joinNext(cur, ctxs[next], active)
+		if err != nil {
+			return nil, err
+		}
+		joined[next] = true
+		removeRemaining(next)
+		tracef("join %s (%d edges, connected=%v) -> %d rows", next, len(active), len(connected) > 0, len(cur.rows))
+		cur, err = applyResiduals(cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range residuals {
+		if !r.done {
+			return nil, fmt.Errorf("query: internal error: residual predicate %s never applied", r.expr)
+		}
+	}
+	return cur, nil
+}
+
+// joinPair maps one equi-join edge to a left row offset and a right table
+// column position.
+type joinPair struct{ leftIdx, rightIdx int }
+
+// joinNext joins the accumulated row set with one more base table using the
+// given equi-join edges: by index nested loop when the new table has a
+// matching index, otherwise by hash join (or cross product with no edges).
+func joinNext(cur *rowSet, tc *tableCtx, edges []*joinEdge) (*rowSet, error) {
+	outSchema := append(append(relSchema{}, cur.schema...), tc.schema...)
+	pairs := make([]joinPair, 0, len(edges))
+	sch := tc.b.table.Schema()
+	for _, e := range edges {
+		leftAlias, leftCol, rightCol := e.a, e.aCol, e.bCol
+		if e.a == tc.b.alias {
+			leftAlias, leftCol, rightCol = e.b, e.bCol, e.aCol
+		}
+		li, err := cur.schema.find(sqlparser.ColumnRef{Table: leftAlias, Column: leftCol})
+		if err != nil {
+			return nil, err
+		}
+		ri := sch.ColumnIndex(rightCol)
+		if ri < 0 {
+			return nil, fmt.Errorf("query: no column %s in %s", rightCol, tc.b.alias)
+		}
+		pairs = append(pairs, joinPair{leftIdx: li, rightIdx: ri})
+	}
+
+	out := &rowSet{schema: outSchema}
+	emit := func(l, r []val.Value) {
+		row := make([]val.Value, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		out.rows = append(out.rows, row)
+	}
+
+	if len(pairs) == 0 {
+		rs, err := tc.materialize()
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range cur.rows {
+			for _, r := range rs.rows {
+				emit(l, r)
+			}
+		}
+		return out, nil
+	}
+
+	// Index nested-loop join: usable when the table has not yet been
+	// materialized and an index (or the primary key) covers a subset of the
+	// join/const columns.
+	if tc.mat == nil {
+		ok, err := indexJoin(cur, tc, pairs, emit)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+	}
+
+	rs, err := tc.materialize()
+	if err != nil {
+		return nil, err
+	}
+	// Hash join: build on the new (right) side, probe with cur.
+	build := make(map[string][][]val.Value, len(rs.rows))
+	rkey := make([]val.Value, len(pairs))
+	for _, r := range rs.rows {
+		for i, p := range pairs {
+			rkey[i] = r[p.rightIdx]
+		}
+		k := val.RowKey(rkey)
+		build[k] = append(build[k], r)
+	}
+	lkey := make([]val.Value, len(pairs))
+	for _, l := range cur.rows {
+		for i, p := range pairs {
+			lkey[i] = l[p.leftIdx]
+		}
+		for _, r := range build[val.RowKey(lkey)] {
+			emit(l, r)
+		}
+	}
+	return out, nil
+}
+
+// indexJoin attempts an index nested-loop join, calling emit for every
+// joined row pair; it reports ok=false when no suitable index exists.
+func indexJoin(cur *rowSet, tc *tableCtx, pairs []joinPair, emit func(l, r []val.Value)) (bool, error) {
+	t := tc.b.table
+	sch := t.Schema()
+	joinCols := make(map[int]int) // right col -> left offset
+	for _, p := range pairs {
+		joinCols[p.rightIdx] = p.leftIdx
+	}
+	constCols := make(map[int]val.Value)
+	for _, ce := range tc.constEqs {
+		constCols[sch.ColumnIndex(ce.col)] = ce.v
+	}
+	// Compile leftover single-table filters to apply after the lookup.
+	var preds []compiledExpr
+	for _, f := range tc.filters {
+		p, err := compileExpr(f, tc.schema)
+		if err != nil {
+			return false, err
+		}
+		preds = append(preds, p)
+	}
+	checkEmit := func(l, r []val.Value) (bool, error) {
+		for _, p := range preds {
+			ok, err := truthy(p, r)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		// Verify join columns not covered by the index.
+		for _, pr := range pairs {
+			if !val.Equal(l[pr.leftIdx], r[pr.rightIdx]) {
+				return false, nil
+			}
+		}
+		emit(l, r)
+		return true, nil
+	}
+
+	// Primary key join when the pk column participates in the join.
+	if pk := t.PKCol(); pk >= 0 {
+		if leftOff, ok := joinCols[pk]; ok {
+			for _, l := range cur.rows {
+				if id, found := t.LookupPK(l[leftOff]); found {
+					if _, err := checkEmit(l, t.Get(id)); err != nil {
+						return false, err
+					}
+				}
+			}
+			return true, nil
+		}
+	}
+	// Secondary index whose columns are all join or const columns; prefer
+	// the most selective one (smallest expected bucket: highest distinct
+	// key count), breaking ties toward wider indexes.
+	var best *engine.Index
+	for _, idx := range t.Indexes() {
+		usable, hasJoin := true, false
+		for _, c := range idx.Cols() {
+			if _, ok := joinCols[c]; ok {
+				hasJoin = true
+				continue
+			}
+			if _, ok := constCols[c]; ok {
+				continue
+			}
+			usable = false
+			break
+		}
+		if !usable || !hasJoin {
+			continue
+		}
+		if best == nil || idx.Len() > best.Len() ||
+			(idx.Len() == best.Len() && len(idx.Cols()) > len(best.Cols())) {
+			best = idx
+		}
+	}
+	if best == nil {
+		return false, nil
+	}
+	vals := make([]val.Value, len(best.Cols()))
+	for _, l := range cur.rows {
+		for i, c := range best.Cols() {
+			if off, ok := joinCols[c]; ok {
+				vals[i] = l[off]
+			} else {
+				vals[i] = constCols[c]
+			}
+		}
+		for _, id := range best.Lookup(vals) {
+			if _, err := checkEmit(l, t.Get(id)); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,462 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"beliefdb/internal/engine"
+	"beliefdb/internal/sqlparser"
+	"beliefdb/internal/val"
+)
+
+// exec is a test helper running SQL against a catalog.
+func exec(t *testing.T, cat *engine.Catalog, sql string) *Result {
+	t.Helper()
+	res, err := execErr(cat, sql)
+	if err != nil {
+		t.Fatalf("exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func execErr(cat *engine.Catalog, sql string) (*Result, error) {
+	stmts, err := sqlparser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = Run(cat, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func fixture(t *testing.T) *engine.Catalog {
+	t.Helper()
+	cat := engine.NewCatalog()
+	exec(t, cat, `
+		CREATE TABLE users (uid INT PRIMARY KEY, name TEXT);
+		CREATE TABLE orders (oid INT PRIMARY KEY, uid INT, amount FLOAT, item TEXT);
+		CREATE INDEX orders_uid ON orders (uid);
+		INSERT INTO users VALUES (1, 'alice'), (2, 'bob'), (3, 'carol');
+		INSERT INTO orders VALUES
+			(10, 1, 5.0, 'apple'),
+			(11, 1, 7.5, 'pear'),
+			(12, 2, 1.0, 'fig'),
+			(13, 3, 2.25, 'apple');
+	`)
+	return cat
+}
+
+// rowsAsStrings renders result rows for order-insensitive comparison.
+func rowsAsStrings(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSelectAll(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT * FROM users")
+	if !reflect.DeepEqual(res.Columns, []string{"uid", "name"}) {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT name FROM users WHERE uid = 2")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"bob"}) {
+		t.Errorf("got %v", got)
+	}
+	res = exec(t, cat, "SELECT name FROM users WHERE uid <> 2 AND uid < 3")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"alice"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSelectJoin(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, `
+		SELECT u.name, o.item FROM users u, orders o
+		WHERE u.uid = o.uid AND o.amount > 2.0`)
+	want := []string{"alice|apple", "alice|pear", "carol|apple"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, `
+		SELECT a.oid, b.oid FROM orders a, orders b
+		WHERE a.item = b.item AND a.oid < b.oid`)
+	want := []string{"10|13"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestThreeWayJoinWithDisjunction(t *testing.T) {
+	cat := fixture(t)
+	// Shape of the Algorithm 1 translation: join chain plus nested OR.
+	res := exec(t, cat, `
+		SELECT DISTINCT u.name FROM users u, orders o, orders o2
+		WHERE u.uid = o.uid AND o2.uid = u.uid
+		AND (o.item = 'apple' AND o2.item <> 'apple' OR o.item = 'fig')`)
+	want := []string{"alice", "bob"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT u.uid, o.oid FROM users u, orders o")
+	if len(res.Rows) != 12 {
+		t.Errorf("cross product size = %d", len(res.Rows))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT DISTINCT item FROM orders")
+	if len(res.Rows) != 3 {
+		t.Errorf("distinct items = %v", rowsAsStrings(res))
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT item, amount FROM orders ORDER BY amount DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].AsString() != "pear" || res.Rows[1][0].AsString() != "apple" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// ORDER BY on a non-projected column.
+	res = exec(t, cat, "SELECT item FROM orders ORDER BY amount")
+	if res.Rows[0][0].AsString() != "fig" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT COUNT(*), MIN(amount), MAX(amount), SUM(amount), AVG(amount) FROM orders")
+	r := res.Rows[0]
+	if r[0].AsInt() != 4 || r[1].AsFloat() != 1.0 || r[2].AsFloat() != 7.5 {
+		t.Errorf("row = %v", r)
+	}
+	if r[3].AsFloat() != 15.75 || r[4].AsFloat() != 15.75/4 {
+		t.Errorf("sum/avg = %v", r)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, `
+		SELECT u.name, COUNT(*) AS n FROM users u, orders o
+		WHERE u.uid = o.uid GROUP BY u.name ORDER BY n DESC, u.name`)
+	if !reflect.DeepEqual(res.Columns, []string{"name", "n"}) {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	want := []string{"alice|2", "bob|1", "carol|1"}
+	got := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		got[i] = r[0].String() + "|" + r[1].String()
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestAggregateOverEmpty(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT COUNT(*) FROM orders WHERE amount > 100")
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Errorf("count = %v", res.Rows)
+	}
+	res = exec(t, cat, "SELECT MAX(amount) FROM orders WHERE amount > 100")
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("max = %v", res.Rows)
+	}
+}
+
+func TestInsertDeleteUpdate(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "INSERT INTO users (uid, name) VALUES (4, 'dave')")
+	if res.Affected != 1 {
+		t.Errorf("affected = %d", res.Affected)
+	}
+	res = exec(t, cat, "UPDATE users SET name = 'dora' WHERE uid = 4")
+	if res.Affected != 1 {
+		t.Errorf("update affected = %d", res.Affected)
+	}
+	res = exec(t, cat, "SELECT name FROM users WHERE uid = 4")
+	if res.Rows[0][0].AsString() != "dora" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res = exec(t, cat, "DELETE FROM users WHERE uid = 4")
+	if res.Affected != 1 {
+		t.Errorf("delete affected = %d", res.Affected)
+	}
+	res = exec(t, cat, "SELECT COUNT(*) FROM users")
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Errorf("count = %v", res.Rows)
+	}
+}
+
+func TestMultiRowInsertAtomic(t *testing.T) {
+	cat := fixture(t)
+	_, err := execErr(cat, "INSERT INTO users VALUES (5, 'eve'), (1, 'dup')")
+	if err == nil {
+		t.Fatal("duplicate pk insert succeeded")
+	}
+	res := exec(t, cat, "SELECT COUNT(*) FROM users")
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Errorf("partial insert leaked: %v", res.Rows)
+	}
+}
+
+func TestTransactions(t *testing.T) {
+	cat := fixture(t)
+	exec(t, cat, "BEGIN")
+	exec(t, cat, "INSERT INTO users VALUES (9, 'zoe')")
+	exec(t, cat, "DELETE FROM orders WHERE uid = 1")
+	exec(t, cat, "ROLLBACK")
+	res := exec(t, cat, "SELECT COUNT(*) FROM users")
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Errorf("rollback failed: %v", res.Rows)
+	}
+	res = exec(t, cat, "SELECT COUNT(*) FROM orders")
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Errorf("rollback failed: %v", res.Rows)
+	}
+	exec(t, cat, "BEGIN")
+	exec(t, cat, "INSERT INTO users VALUES (9, 'zoe')")
+	exec(t, cat, "COMMIT")
+	res = exec(t, cat, "SELECT COUNT(*) FROM users")
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Errorf("commit failed: %v", res.Rows)
+	}
+	if _, err := execErr(cat, "COMMIT"); err == nil {
+		t.Error("COMMIT outside txn accepted")
+	}
+	if _, err := execErr(cat, "ROLLBACK"); err == nil {
+		t.Error("ROLLBACK outside txn accepted")
+	}
+}
+
+func TestIsNullHandling(t *testing.T) {
+	cat := fixture(t)
+	exec(t, cat, "INSERT INTO orders VALUES (14, 1, NULL, NULL)")
+	res := exec(t, cat, "SELECT oid FROM orders WHERE item IS NULL")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"14"}) {
+		t.Errorf("got %v", got)
+	}
+	res = exec(t, cat, "SELECT COUNT(item) FROM orders")
+	if res.Rows[0][0].AsInt() != 4 {
+		t.Errorf("COUNT(col) should skip NULLs: %v", res.Rows)
+	}
+	// Comparisons with NULL are never satisfied.
+	res = exec(t, cat, "SELECT oid FROM orders WHERE amount > 0 OR amount <= 0")
+	if len(res.Rows) != 4 {
+		t.Errorf("NULL compare leaked: %v", rowsAsStrings(res))
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT amount * 2 + 1 FROM orders WHERE oid = 10")
+	if res.Rows[0][0].AsFloat() != 11.0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if _, err := execErr(cat, "SELECT 1/0 FROM users"); err == nil {
+		t.Error("division by zero succeeded")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cat := fixture(t)
+	bad := []string{
+		"SELECT * FROM missing",
+		"SELECT zzz FROM users",
+		"SELECT u.zzz FROM users u",
+		"SELECT name FROM users u, orders u",
+		"INSERT INTO users (zzz) VALUES (1)",
+		"UPDATE users SET zzz = 1",
+		"DELETE FROM missing",
+		"CREATE TABLE users (uid INT)",
+		"CREATE INDEX i ON missing (x)",
+		"SELECT uid FROM users, orders", // ambiguous unqualified column
+		"SELECT MAX(MAX(uid)) FROM users",
+	}
+	for _, sql := range bad {
+		if _, err := execErr(cat, sql); err == nil {
+			t.Errorf("exec(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestConstantPredicate(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT name FROM users WHERE 1 = 2")
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res = exec(t, cat, "SELECT name FROM users WHERE 1 = 1")
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestLiteralProjection(t *testing.T) {
+	cat := fixture(t)
+	res := exec(t, cat, "SELECT 'x', uid FROM users WHERE uid = 1")
+	if res.Rows[0][0].AsString() != "x" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+// naiveSelect evaluates a conjunctive filter over the full cross product,
+// as a reference for the planner.
+func naiveJoin(tables [][][]val.Value, pred func(row []val.Value) bool) [][]val.Value {
+	rows := [][]val.Value{{}}
+	for _, tb := range tables {
+		var next [][]val.Value
+		for _, acc := range rows {
+			for _, r := range tb {
+				row := append(append([]val.Value{}, acc...), r...)
+				next = append(next, row)
+			}
+		}
+		rows = next
+	}
+	var out [][]val.Value
+	for _, r := range rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Property: for random small databases and random equi-join + filter
+// queries, the planner agrees with naive cross-product evaluation.
+func TestQuickPlannerAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cat := engine.NewCatalog()
+		na := r.Intn(12) + 1
+		nb := r.Intn(12) + 1
+		sqlSetup := "CREATE TABLE a (x INT, y INT); CREATE TABLE b (u INT, v INT);"
+		if r.Intn(2) == 0 {
+			sqlSetup += " CREATE INDEX b_u ON b (u);"
+		}
+		if _, err := execErr(cat, sqlSetup); err != nil {
+			t.Fatal(err)
+		}
+		var aRows, bRows [][]val.Value
+		for i := 0; i < na; i++ {
+			x, y := int64(r.Intn(4)), int64(r.Intn(4))
+			aRows = append(aRows, []val.Value{val.Int(x), val.Int(y)})
+			execMust(cat, fmt.Sprintf("INSERT INTO a VALUES (%d, %d)", x, y))
+		}
+		for i := 0; i < nb; i++ {
+			u, v := int64(r.Intn(4)), int64(r.Intn(4))
+			bRows = append(bRows, []val.Value{val.Int(u), val.Int(v)})
+			execMust(cat, fmt.Sprintf("INSERT INTO b VALUES (%d, %d)", u, v))
+		}
+		c := int64(r.Intn(4))
+		sql := fmt.Sprintf("SELECT a.x, a.y, b.u, b.v FROM a, b WHERE a.x = b.u AND (a.y > %d OR b.v = %d)", c, c)
+		res, err := execErr(cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveJoin([][][]val.Value{aRows, bRows}, func(row []val.Value) bool {
+			return row[0].AsInt() == row[2].AsInt() && (row[1].AsInt() > c || row[3].AsInt() == c)
+		})
+		return multisetEqual(res.Rows, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func execMust(cat *engine.Catalog, sql string) {
+	if _, err := execErr(cat, sql); err != nil {
+		panic(err)
+	}
+}
+
+func multisetEqual(a, b [][]val.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := make(map[string]int)
+	for _, r := range a {
+		count[val.RowKey(r)]++
+	}
+	for _, r := range b {
+		count[val.RowKey(r)]--
+	}
+	for _, n := range count {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the same query with and without secondary indexes returns the
+// same rows (index scans and index joins agree with full scans).
+func TestQuickIndexEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		build := func(withIndex bool) *engine.Catalog {
+			cat := engine.NewCatalog()
+			execMust(cat, "CREATE TABLE e (w1 INT, u INT, w2 INT)")
+			if withIndex {
+				execMust(cat, "CREATE INDEX e_w1u ON e (w1, u); CREATE INDEX e_w1 ON e (w1)")
+			}
+			rr := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				execMust(cat, fmt.Sprintf("INSERT INTO e VALUES (%d, %d, %d)",
+					rr.Intn(5), rr.Intn(4), rr.Intn(5)))
+			}
+			return cat
+		}
+		sql := fmt.Sprintf(`SELECT e1.w2, e2.w2 FROM e e1, e e2
+			WHERE e1.w1 = %d AND e1.u = %d AND e2.w1 = e1.w2 AND e2.u = %d`,
+			r.Intn(5), r.Intn(4), r.Intn(4))
+		r1, err := execErr(build(true), sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := execErr(build(false), sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return multisetEqual(r1.Rows, r2.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package sqldb is the embedded database facade: it owns an engine catalog
+// and executes SQL text through the parser and query planner. It serializes
+// all statements with a single mutex (single-writer semantics), which is the
+// concurrency model the belief-database layers are written against.
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+
+	"beliefdb/internal/engine"
+	"beliefdb/internal/query"
+	"beliefdb/internal/sqlparser"
+)
+
+// DB is an embedded SQL database instance.
+type DB struct {
+	mu  sync.Mutex
+	cat *engine.Catalog
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{cat: engine.NewCatalog()}
+}
+
+// Exec parses and runs a semicolon-separated batch of statements, returning
+// the result of the last one. Statements inside an explicit BEGIN..COMMIT
+// are atomic; a failing statement outside a transaction only affects itself
+// (per-statement atomicity is guaranteed by the engine's implicit
+// transactions for multi-row inserts).
+func (db *DB) Exec(sql string) (*query.Result, error) {
+	stmts, err := sqlparser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("sqldb: empty statement")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var res *query.Result
+	for _, s := range stmts {
+		res, err = query.Run(db.cat, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Query is Exec restricted to a single statement; the name signals intent at
+// call sites that expect rows back.
+func (db *DB) Query(sql string) (*query.Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return query.Run(db.cat, stmt)
+}
+
+// RunStmt executes an already-parsed statement (used by layers that build
+// ASTs directly and by the BeliefSQL translator).
+func (db *DB) RunStmt(stmt sqlparser.Statement) (*query.Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return query.Run(db.cat, stmt)
+}
+
+// Catalog exposes the underlying engine catalog for layers that maintain
+// internal tables directly (the belief store's update algorithms). Callers
+// must serialize access themselves; the belief store does so with its own
+// lock, and mixing direct catalog access with concurrent Exec calls on the
+// same tables is not supported.
+func (db *DB) Catalog() *engine.Catalog { return db.cat }
+
+// Atomically runs fn inside an engine transaction, rolling back on error.
+func (db *DB) Atomically(fn func(cat *engine.Catalog) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	txn, err := db.cat.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(db.cat); err != nil {
+		txn.Rollback()
+		return err
+	}
+	return txn.Commit()
+}

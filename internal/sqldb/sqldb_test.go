@@ -1,0 +1,126 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"beliefdb/internal/engine"
+	"beliefdb/internal/val"
+)
+
+func TestExecAndQuery(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k INT PRIMARY KEY, v TEXT); INSERT INTO t VALUES (1, 'a'), (2, 'b')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT v FROM t WHERE k = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "b" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if _, err := db.Exec(""); err == nil {
+		t.Error("empty statement accepted")
+	}
+	if _, err := db.Exec("SELEC x"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if _, err := db.Query("SELECT 1 FROM t; SELECT 2 FROM t"); err == nil {
+		t.Error("Query accepted two statements")
+	}
+}
+
+func TestExecBatchReturnsLastResult(t *testing.T) {
+	db := New()
+	res, err := db.Exec(`
+		CREATE TABLE t (k INT);
+		INSERT INTO t VALUES (1), (2), (3);
+		SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAtomicallyRollsBack(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k INT PRIMARY KEY); INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Atomically(func(cat *engine.Catalog) error {
+		if _, err := cat.Table("t").Insert([]val.Value{val.Int(2)}); err != nil {
+			return err
+		}
+		return fmt.Errorf("boom")
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("rollback failed: %v", res.Rows)
+	}
+	// And a successful transaction commits.
+	err = db.Atomically(func(cat *engine.Catalog) error {
+		_, err := cat.Table("t").Insert([]val.Value{val.Int(5)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("commit failed: %v", res.Rows)
+	}
+}
+
+func TestRunStmtAndCatalog(t *testing.T) {
+	db := New()
+	if db.Catalog() == nil {
+		t.Fatal("nil catalog")
+	}
+	if _, err := db.Exec("CREATE TABLE t (k INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Catalog().Table("t") == nil {
+		t.Error("table not visible through Catalog")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+				errs <- err
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].AsInt() != 20 {
+		t.Errorf("count = %v", res.Rows)
+	}
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"fmt"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/engine"
+	"beliefdb/internal/val"
+)
+
+// Delete removes one explicit belief statement ("delete from BELIEF u ...
+// R where ..." resolves to a set of such calls). The paper only sketches
+// deletes ("follow a similar semantics as inserts", Sect. 5.3); the
+// semantics implemented here is the declarative one: after removal, every
+// world's content equals the closure of the remaining explicit statements.
+// Removal may therefore *reintroduce* implicit beliefs that the deleted
+// statement had been overriding. States are never garbage-collected: a
+// state with no explicit content carries exactly its deepest suffix state's
+// content, so keeping it is semantically invisible (see Vacuum).
+func (st *Store) Delete(stmt core.Statement) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ri, ok := st.rels[stmt.Tuple.Rel]
+	if !ok {
+		return false, fmt.Errorf("store: unknown relation %q", stmt.Tuple.Rel)
+	}
+	y, ok := st.widOf(stmt.Path)
+	if !ok {
+		return false, nil
+	}
+	tid, ok := st.starFind(ri, stmt.Tuple)
+	if !ok {
+		return false, nil
+	}
+	key, _ := val.Coerce(stmt.Tuple.Key(), ri.def.Columns[0].Type)
+	s := signStr(stmt.Sign)
+
+	var target *vRow
+	for _, r := range st.vRowsByWidKey(ri, y, key) {
+		if r.tid == tid && r.sign == s && r.expl == ExplicitYes {
+			row := r
+			target = &row
+			break
+		}
+	}
+	if target == nil {
+		return false, nil
+	}
+
+	txn, err := st.cat.Begin()
+	if err != nil {
+		return false, err
+	}
+	if err := st.deleteLocked(ri, y, key, *target); err != nil {
+		txn.Rollback()
+		return false, err
+	}
+	if err := txn.Commit(); err != nil {
+		return false, err
+	}
+	st.n--
+	return true, nil
+}
+
+func (st *Store) deleteLocked(ri *relInfo, y int64, key val.Value, target vRow) error {
+	if err := ri.v.Delete(target.rowID); err != nil {
+		return err
+	}
+	if st.lazy {
+		return nil // nothing materialized to reconcile
+	}
+	// The world may now inherit rows the explicit statement was blocking.
+	if err := st.reconcileKeySlice(ri, y, key); err != nil {
+		return err
+	}
+	for _, z := range st.dependents(st.pathByWid[y]) {
+		if err := st.reconcileKeySlice(ri, z, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replace atomically substitutes one explicit statement with another tuple
+// of the same sign in the same world (BeliefSQL UPDATE = delete + insert).
+// It reports changed=false when the old statement does not exist.
+func (st *Store) Replace(old core.Statement, newTuple core.Tuple) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ri, ok := st.rels[old.Tuple.Rel]
+	if !ok {
+		return false, fmt.Errorf("store: unknown relation %q", old.Tuple.Rel)
+	}
+	if newTuple.Rel != old.Tuple.Rel {
+		return false, fmt.Errorf("store: replace cannot change the relation")
+	}
+	y, ok := st.widOf(old.Path)
+	if !ok {
+		return false, nil
+	}
+	tid, ok := st.starFind(ri, old.Tuple)
+	if !ok {
+		return false, nil
+	}
+	key, _ := val.Coerce(old.Tuple.Key(), ri.def.Columns[0].Type)
+	s := signStr(old.Sign)
+	var target *vRow
+	for _, r := range st.vRowsByWidKey(ri, y, key) {
+		if r.tid == tid && r.sign == s && r.expl == ExplicitYes {
+			row := r
+			target = &row
+			break
+		}
+	}
+	if target == nil {
+		return false, nil
+	}
+	txn, err := st.cat.Begin()
+	if err != nil {
+		return false, err
+	}
+	if err := st.deleteLocked(ri, y, key, *target); err != nil {
+		txn.Rollback()
+		return false, err
+	}
+	newStmt := core.Statement{Path: old.Path, Sign: old.Sign, Tuple: newTuple}
+	if _, err := st.insertLocked(ri, newStmt); err != nil {
+		txn.Rollback()
+		return false, err
+	}
+	if err := txn.Commit(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// starFind returns the tid of a ground tuple without creating it.
+func (st *Store) starFind(ri *relInfo, t core.Tuple) (int64, bool) {
+	row, err := st.tupleToStarRow(ri, t)
+	if err != nil {
+		return 0, false
+	}
+	idx := ri.star.IndexOn([]int{1})
+	for _, id := range idx.Lookup([]val.Value{row[1]}) {
+		existing := ri.star.Get(id)
+		same := true
+		for i := 1; i < len(row); i++ {
+			if !val.Equal(existing[i], row[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return existing[0].AsInt(), true
+		}
+	}
+	return 0, false
+}
+
+// Vacuum garbage-collects R_star rows that no valuation references. It does
+// not remove states: their presence is semantically invisible and removing
+// them would require rewiring edges of every dependent (Rebuild does that
+// wholesale).
+func (st *Store) Vacuum() (removed int, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ri := range st.rels {
+		live := make(map[int64]bool)
+		for _, r := range allVRows(ri) {
+			live[r.tid] = true
+		}
+		var doomed []int64
+		ri.star.Scan(func(_ engine.RowID, row []val.Value) bool {
+			if !live[row[0].AsInt()] {
+				doomed = append(doomed, row[0].AsInt())
+			}
+			return true
+		})
+		for _, tid := range doomed {
+			id, ok := ri.star.LookupPK(val.Int(tid))
+			if !ok {
+				continue
+			}
+			if derr := ri.star.Delete(id); derr != nil {
+				return removed, derr
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}

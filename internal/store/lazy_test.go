@@ -1,0 +1,176 @@
+package store_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/paperex"
+	"beliefdb/internal/store"
+)
+
+func openLazyExample(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.OpenLazy(exampleRelations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Alice", "Bob", "Carol"} {
+		if _, err := st.AddUser(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, stmt := range paperex.Statements() {
+		if _, err := st.Insert(stmt); err != nil {
+			t.Fatalf("insert i%d: %v", i+1, err)
+		}
+	}
+	return st
+}
+
+// TestLazyWorldsMatchEager: the lazy representation entails exactly the
+// same worlds as the eager one on the running example.
+func TestLazyWorldsMatchEager(t *testing.T) {
+	lazySt := openLazyExample(t)
+	if !lazySt.Lazy() {
+		t.Fatal("store not lazy")
+	}
+	b := paperex.Base()
+	paths := []core.Path{
+		{}, {paperex.Alice}, {paperex.Bob}, {paperex.Carol},
+		{paperex.Bob, paperex.Alice}, {paperex.Alice, paperex.Bob},
+		{paperex.Carol, paperex.Bob, paperex.Alice},
+	}
+	for _, p := range paths {
+		got, err := lazySt.WorldContent(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := b.EntailedWorld(p)
+		if !got.EqualWithFlags(want) {
+			t.Errorf("lazy world %s = %s, want %s", p, got, want)
+		}
+	}
+}
+
+// TestLazyOverheadNearOne: the lazy store's V relations hold only the n
+// explicit statements, so |V| == n regardless of world count.
+func TestLazyOverheadNearOne(t *testing.T) {
+	lazySt := openLazyExample(t)
+	stats := lazySt.Stats()
+	vRows := stats.TableRows["Sightings_v"] + stats.TableRows["Comments_v"]
+	if vRows != 8 {
+		t.Errorf("lazy V rows = %d, want 8 (explicit statements only)", vRows)
+	}
+	eagerSt := openExample(t)
+	if e := eagerSt.Stats(); e.TotalRows <= stats.TotalRows {
+		t.Errorf("eager (%d rows) should exceed lazy (%d rows)", e.TotalRows, stats.TotalRows)
+	}
+}
+
+// TestQuickLazyMatchesEager: on random workloads with interleaved deletes,
+// lazy and eager stores agree on every world.
+func TestQuickLazyMatchesEager(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(3)
+		n := 15 + r.Intn(30)
+		eager, err := store.Open([]store.Relation{genRelation()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazySt, err := store.OpenLazy([]store.Relation{genRelation()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := make([]core.UserID, m)
+		for i := 0; i < m; i++ {
+			name := fmt.Sprintf("u%d", i+1)
+			uid, err := eager.AddUser(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := lazySt.AddUser(name); err != nil {
+				t.Fatal(err)
+			}
+			users[i] = uid
+		}
+		g, err := gen.New(gen.Config{
+			Users: m, DepthDist: []float64{0.3, 0.4, 0.2, 0.1},
+			Participation: gen.Zipf, KeyPool: 6, Variants: 3, NegProb: 0.3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := g.Load(n, func(stmt core.Statement) (bool, error) {
+			ch1, err1 := eager.Insert(stmt)
+			ch2, err2 := lazySt.Insert(stmt)
+			if (err1 == nil) != (err2 == nil) || ch1 != ch2 {
+				t.Fatalf("lazy/eager disagree on %s: (%v,%v) vs (%v,%v)", stmt, ch1, err1, ch2, err2)
+			}
+			return ch1, err1
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave deletes.
+		stmts, err := eager.ExplicitStatements()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(stmts)/5; i++ {
+			victim := stmts[r.Intn(len(stmts))]
+			ch1, err := eager.Delete(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch2, err := lazySt.Delete(victim)
+			if err != nil || ch1 != ch2 {
+				t.Fatalf("delete disagree: %v %v %v", ch1, ch2, err)
+			}
+		}
+		for probe := 0; probe < 25; probe++ {
+			p := randomPath(r, users)
+			w1, err := eager.WorldContent(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := lazySt.WorldContent(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w1.EqualWithFlags(w2) {
+				t.Logf("seed %d: world %s lazy=%s eager=%s", seed, p, w2, w1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLazyRebuild: rebuilding a lazy store keeps only explicit rows.
+func TestLazyRebuild(t *testing.T) {
+	lazySt := openLazyExample(t)
+	if err := lazySt.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	stats := lazySt.Stats()
+	if v := stats.TableRows["Sightings_v"] + stats.TableRows["Comments_v"]; v != 8 {
+		t.Errorf("post-rebuild lazy V rows = %d", v)
+	}
+	b := paperex.Base()
+	for _, p := range []core.Path{{}, {paperex.Bob}, {paperex.Bob, paperex.Alice}} {
+		w, err := lazySt.WorldContent(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !w.EqualWithFlags(b.EntailedWorld(p)) {
+			t.Errorf("post-rebuild lazy world %s differs", p)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"sort"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/engine"
+	"beliefdb/internal/val"
+)
+
+// allVRows returns every valuation row of a relation.
+func allVRows(ri *relInfo) []vRow {
+	var out []vRow
+	ri.v.Scan(func(id engine.RowID, row []val.Value) bool {
+		out = append(out, vRowFrom(id, row))
+		return true
+	})
+	return out
+}
+
+// WorldContent materializes the entailed belief world D̄_w for any path
+// w ∈ Û* from the relational representation: the path resolves to its
+// deepest suffix state (whose world equals D̄_w, Theorem 17) and the V rows
+// of that state are decoded back into tuples.
+func (st *Store) WorldContent(p core.Path) (*core.World, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.worldContentLocked(p)
+}
+
+func (st *Store) worldContentLocked(p core.Path) (*core.World, error) {
+	// A path that is not itself a state carries no explicit statements
+	// (D_w = ∅): its content equals its deepest suffix state's world, but
+	// every entry is implicit from w's point of view.
+	_, isState := st.widOf(p)
+	wid := st.dssWid(p)
+	if st.lazy {
+		return st.lazyWorldContent(wid, isState)
+	}
+	w := core.NewWorld()
+	for _, name := range st.relOrder {
+		ri := st.rels[name]
+		for _, r := range st.vRowsByWid(ri, wid) {
+			t, err := st.starGet(ri, r.tid)
+			if err != nil {
+				return nil, err
+			}
+			sign := core.Pos
+			if r.sign == SignNeg {
+				sign = core.Neg
+			}
+			if _, err := w.Add(t, sign, isState && r.expl == ExplicitYes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// lazyWorldContent applies the message-board default rule at read time: it
+// walks the suffix-link chain (S relation) from the root up to the state
+// and takes overriding unions of the explicit statements stored at each
+// chain world — the query-time evaluation sketched in Sect. 6.3.
+func (st *Store) lazyWorldContent(wid int64, isState bool) (*core.World, error) {
+	var chain []int64
+	for w := wid; w >= 0; w = st.suffixLinkOf(w) {
+		chain = append(chain, w)
+		if w == 0 {
+			break
+		}
+	}
+	acc := core.NewWorld()
+	for i := len(chain) - 1; i >= 0; i-- {
+		w := chain[i]
+		next := core.NewWorld()
+		for _, name := range st.relOrder {
+			ri := st.rels[name]
+			for _, r := range st.vRowsByWid(ri, w) {
+				t, err := st.starGet(ri, r.tid)
+				if err != nil {
+					return nil, err
+				}
+				sign := core.Pos
+				if r.sign == SignNeg {
+					sign = core.Neg
+				}
+				explicit := isState && i == 0
+				if _, err := next.Add(t, sign, explicit); err != nil {
+					return nil, err
+				}
+			}
+		}
+		next.InheritFrom(acc)
+		acc = next
+	}
+	return acc, nil
+}
+
+// Entails decides the entailment D |= w t^s (Def. 6 semantics, unstated
+// negatives included) directly from the relational representation.
+func (st *Store) Entails(p core.Path, t core.Tuple, s core.Sign) (bool, error) {
+	w, err := st.WorldContent(p)
+	if err != nil {
+		return false, err
+	}
+	if s == core.Pos {
+		return w.HasPos(t), nil
+	}
+	return w.HasNeg(t), nil
+}
+
+// ExplicitStatements reads back all explicit belief statements (V rows with
+// e = 'y'), in deterministic order. Together with the user set this is the
+// full logical content of the belief database.
+func (st *Store) ExplicitStatements() ([]core.Statement, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.explicitStatementsLocked()
+}
+
+func (st *Store) explicitStatementsLocked() ([]core.Statement, error) {
+	var out []core.Statement
+	for _, name := range st.relOrder {
+		ri := st.rels[name]
+		for _, r := range allVRows(ri) {
+			if r.expl != ExplicitYes {
+				continue
+			}
+			wid := int64(-1)
+			// wid is column 0 of the row; re-read it via the table.
+			row := ri.v.Get(r.rowID)
+			wid = row[0].AsInt()
+			t, err := st.starGet(ri, r.tid)
+			if err != nil {
+				return nil, err
+			}
+			sign := core.Pos
+			if r.sign == SignNeg {
+				sign = core.Neg
+			}
+			out = append(out, core.Statement{Path: st.pathByWid[wid].Clone(), Sign: sign, Tuple: t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Path.Equal(out[j].Path) {
+			if len(out[i].Path) != len(out[j].Path) {
+				return len(out[i].Path) < len(out[j].Path)
+			}
+			return out[i].Path.Key() < out[j].Path.Key()
+		}
+		if out[i].Tuple.ID() != out[j].Tuple.ID() {
+			return out[i].Tuple.ID() < out[j].Tuple.ID()
+		}
+		return out[i].Sign > out[j].Sign
+	})
+	return out, nil
+}
+
+// States returns the world ids and paths of all states, sorted by id —
+// the D relation enriched with paths.
+func (st *Store) States() map[int64]core.Path {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[int64]core.Path, len(st.pathByWid))
+	for wid, p := range st.pathByWid {
+		out[wid] = p.Clone()
+	}
+	return out
+}
+
+// WidOf exposes path-to-world-id resolution for tests and tools.
+func (st *Store) WidOf(p core.Path) (int64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.widOf(p)
+}

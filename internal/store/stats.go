@@ -1,0 +1,74 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the size of the relational representation, the
+// quantities reported in Sect. 5.4 and Sect. 6.1 of the paper.
+type Stats struct {
+	// TableRows counts the rows of every internal table.
+	TableRows map[string]int
+	// TotalRows is |R*|: the total number of tuples in the underlying
+	// RDBMS, the paper's database-size measure.
+	TotalRows int
+	// Annotations is n, the number of explicit belief statements.
+	Annotations int
+	// States is N, the number of worlds in the canonical Kripke structure.
+	States int
+	// Users is m.
+	Users int
+}
+
+// Overhead is the paper's relative overhead |R*|/n. It is 0 for an empty
+// database.
+func (s Stats) Overhead() float64 {
+	if s.Annotations == 0 {
+		return 0
+	}
+	return float64(s.TotalRows) / float64(s.Annotations)
+}
+
+// String renders the stats as a short report.
+func (s Stats) String() string {
+	names := make([]string, 0, len(s.TableRows))
+	for n := range s.TableRows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "|R*| = %d rows over %d tables (n=%d annotations, N=%d states, m=%d users, overhead %.1f)\n",
+		s.TotalRows, len(s.TableRows), s.Annotations, s.States, s.Users, s.Overhead())
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %-24s %8d\n", n, s.TableRows[n])
+	}
+	return sb.String()
+}
+
+// Stats computes the current size statistics.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := Stats{
+		TableRows:   make(map[string]int),
+		Annotations: st.n,
+		States:      len(st.pathByWid),
+		Users:       len(st.usersByID),
+	}
+	add := func(name string, n int) {
+		out.TableRows[name] = n
+		out.TotalRows += n
+	}
+	add("Users", st.usersTable.Len())
+	add("_e", st.e.Len())
+	add("_d", st.d.Len())
+	add("_s", st.s.Len())
+	for _, name := range st.relOrder {
+		ri := st.rels[name]
+		add(name+"_star", ri.star.Len())
+		add(name+"_v", ri.v.Len())
+	}
+	return out
+}

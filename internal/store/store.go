@@ -1,0 +1,334 @@
+// Package store is the relational representation of a belief database
+// (Sect. 5): the internal schema R* = (R*_1..R*_r, Users, V_1..V_r, E, D, S)
+// materialized in the embedded engine, maintained incrementally by the
+// paper's update algorithms — Algorithm 2 (idWorld), Algorithm 3 (dss) and
+// Algorithm 4 (insertTuple with implicit-belief propagation) — plus deletes
+// and new-user inserts (Sect. 5.3).
+//
+// Internal table names: `Users` (uid, name) as in Fig. 5, `_e` (wid1, uid,
+// wid2), `_d` (wid, d), `_s` (wid1, wid2), and per belief relation R the
+// tables `R_star` (tid, key, atts...) and `R_v` (wid, tid, key, s, e).
+// Signs are stored as '+'/'-' and explicitness as 'y'/'n', exactly as in
+// Fig. 5.
+//
+// Two documented deviations from the paper's pseudo-code (see DESIGN.md):
+// the dss-precedence check of Algorithm 4 line 14 treats the propagated
+// tuple itself as non-conflicting (the literal reading would block its own
+// propagation), and world creation also refreshes the S links of existing
+// deeper states (the paper only fixes E edges).
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/engine"
+	"beliefdb/internal/sqldb"
+	"beliefdb/internal/val"
+)
+
+// Signs and explicitness flags as stored in the V relations.
+const (
+	SignPos     = "+"
+	SignNeg     = "-"
+	ExplicitYes = "y"
+	ExplicitNo  = "n"
+)
+
+// Column describes one external-schema attribute.
+type Column struct {
+	Name string
+	Type val.Kind
+}
+
+// Relation describes one belief-annotated external relation; the first
+// column is the external key.
+type Relation struct {
+	Name    string
+	Columns []Column
+}
+
+// relInfo is the runtime state of one belief relation.
+type relInfo struct {
+	def  Relation
+	star *engine.Table // R_star(tid, key, atts...)
+	v    *engine.Table // R_v(wid, tid, key, s, e)
+}
+
+// Store is a belief database persisted in the relational internal schema.
+type Store struct {
+	mu  sync.Mutex
+	db  *sqldb.DB
+	cat *engine.Catalog
+
+	rels     map[string]*relInfo
+	relOrder []string
+
+	usersTable *engine.Table // Users(uid, name)
+	e, d, s    *engine.Table
+
+	usersByID   map[core.UserID]string
+	usersByName map[string]core.UserID
+	nextUID     int64
+
+	widByPath map[string]int64
+	pathByWid map[int64]core.Path
+	nextWid   int64
+	nextTid   int64
+
+	n int // number of explicit belief statements
+
+	// lazy selects the alternative representation sketched in the paper's
+	// future work (Sect. 6.3): the V relations hold only explicit
+	// statements and the message-board default rule is applied at read
+	// time by walking the suffix-link chain, trading query-time work for a
+	// much smaller |R*|. SQL query translation (Algorithm 1) requires the
+	// eager representation and is unavailable in lazy mode.
+	lazy bool
+}
+
+// reserved internal table names that belief relations must avoid.
+var reservedRelNames = map[string]bool{"Users": true, "_e": true, "_d": true, "_s": true}
+
+// Open creates the internal schema for the given external relations on a
+// fresh embedded database, using the paper's eager representation (every
+// implicit belief materialized).
+func Open(rels []Relation) (*Store, error) { return open(rels, false) }
+
+// OpenLazy creates a belief database with the lazy representation of
+// Sect. 6.3: only explicit statements are stored and implicit beliefs are
+// derived when worlds are read. Size overhead approaches 1; WorldContent
+// and Entails pay the suffix-chain closure per call, and BeliefSQL SELECT
+// is not available (the Algorithm 1 translation needs materialized
+// valuations).
+func OpenLazy(rels []Relation) (*Store, error) { return open(rels, true) }
+
+func open(rels []Relation, lazy bool) (*Store, error) {
+	db := sqldb.New()
+	st := &Store{
+		lazy:        lazy,
+		db:          db,
+		cat:         db.Catalog(),
+		rels:        make(map[string]*relInfo),
+		usersByID:   make(map[core.UserID]string),
+		usersByName: make(map[string]core.UserID),
+		nextUID:     1,
+		widByPath:   make(map[string]int64),
+		pathByWid:   make(map[int64]core.Path),
+		nextWid:     1,
+		nextTid:     1,
+	}
+
+	mustTable := func(name string, cols []engine.Column, pk int, indexes ...[]string) (*engine.Table, error) {
+		schema, err := engine.NewSchema(cols)
+		if err != nil {
+			return nil, err
+		}
+		t, err := st.cat.CreateTable(name, schema, pk)
+		if err != nil {
+			return nil, err
+		}
+		for i, idx := range indexes {
+			if _, err := t.CreateIndex(fmt.Sprintf("%s_ix%d", name, i), idx); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+
+	var err error
+	st.usersTable, err = mustTable("Users", []engine.Column{
+		{Name: "uid", Type: val.KindInt}, {Name: "name", Type: val.KindString},
+	}, 0, []string{"name"})
+	if err != nil {
+		return nil, err
+	}
+	st.e, err = mustTable("_e", []engine.Column{
+		{Name: "wid1", Type: val.KindInt}, {Name: "uid", Type: val.KindInt}, {Name: "wid2", Type: val.KindInt},
+	}, -1, []string{"wid1", "uid"}, []string{"wid1"})
+	if err != nil {
+		return nil, err
+	}
+	st.d, err = mustTable("_d", []engine.Column{
+		{Name: "wid", Type: val.KindInt}, {Name: "d", Type: val.KindInt},
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	st.s, err = mustTable("_s", []engine.Column{
+		{Name: "wid1", Type: val.KindInt}, {Name: "wid2", Type: val.KindInt},
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, r := range rels {
+		if err := st.createRelation(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// The root world ε is wid 0 at depth 0 (Fig. 5). It has no S entry.
+	if _, err := st.d.Insert([]val.Value{val.Int(0), val.Int(0)}); err != nil {
+		return nil, err
+	}
+	st.widByPath[""] = 0
+	st.pathByWid[0] = core.Path{}
+	return st, nil
+}
+
+func (st *Store) createRelation(r Relation) error {
+	if reservedRelNames[r.Name] || r.Name == "" {
+		return fmt.Errorf("store: relation name %q is reserved", r.Name)
+	}
+	if _, dup := st.rels[r.Name]; dup {
+		return fmt.Errorf("store: duplicate relation %q", r.Name)
+	}
+	if len(r.Columns) == 0 {
+		return fmt.Errorf("store: relation %q has no columns", r.Name)
+	}
+	for _, c := range r.Columns {
+		if c.Name == "tid" {
+			return fmt.Errorf("store: relation %q: column name tid is reserved", r.Name)
+		}
+	}
+	starCols := make([]engine.Column, 0, len(r.Columns)+1)
+	starCols = append(starCols, engine.Column{Name: "tid", Type: val.KindInt})
+	for _, c := range r.Columns {
+		starCols = append(starCols, engine.Column{Name: c.Name, Type: c.Type})
+	}
+	starSchema, err := engine.NewSchema(starCols)
+	if err != nil {
+		return fmt.Errorf("store: relation %q: %w", r.Name, err)
+	}
+	star, err := st.cat.CreateTable(r.Name+"_star", starSchema, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := star.CreateIndex(r.Name+"_star_key", []string{r.Columns[0].Name}); err != nil {
+		return err
+	}
+
+	vSchema, err := engine.NewSchema([]engine.Column{
+		{Name: "wid", Type: val.KindInt},
+		{Name: "tid", Type: val.KindInt},
+		{Name: "key", Type: r.Columns[0].Type},
+		{Name: "s", Type: val.KindString},
+		{Name: "e", Type: val.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	v, err := st.cat.CreateTable(r.Name+"_v", vSchema, -1)
+	if err != nil {
+		return err
+	}
+	for i, idx := range [][]string{{"wid", "key"}, {"wid"}, {"tid"}, {"wid", "tid"}} {
+		if _, err := v.CreateIndex(fmt.Sprintf("%s_v_ix%d", r.Name, i), idx); err != nil {
+			return err
+		}
+	}
+	st.rels[r.Name] = &relInfo{def: r, star: star, v: v}
+	st.relOrder = append(st.relOrder, r.Name)
+	return nil
+}
+
+// DB exposes the underlying SQL database; the BeliefSQL translation runs
+// its generated SQL through it.
+func (st *Store) DB() *sqldb.DB { return st.db }
+
+// Lazy reports whether the store uses the lazy representation.
+func (st *Store) Lazy() bool { return st.lazy }
+
+// Relations returns the external relation definitions in creation order.
+func (st *Store) Relations() []Relation {
+	out := make([]Relation, 0, len(st.relOrder))
+	for _, n := range st.relOrder {
+		out = append(out, st.rels[n].def)
+	}
+	return out
+}
+
+// Relation returns the definition of the named belief relation.
+func (st *Store) Relation(name string) (Relation, bool) {
+	ri, ok := st.rels[name]
+	if !ok {
+		return Relation{}, false
+	}
+	return ri.def, true
+}
+
+// AddUser registers a user and inserts back edges E(x, u, 0) from every
+// existing world to the root, as prescribed for new-user inserts in
+// Sect. 5.3.
+func (st *Store) AddUser(name string) (core.UserID, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if name == "" {
+		return 0, fmt.Errorf("store: empty user name")
+	}
+	if _, dup := st.usersByName[name]; dup {
+		return 0, fmt.Errorf("store: user %q already exists", name)
+	}
+	uid := core.UserID(st.nextUID)
+	st.nextUID++
+	if _, err := st.usersTable.Insert([]val.Value{val.Int(int64(uid)), val.Str(name)}); err != nil {
+		return 0, err
+	}
+	for wid := range st.pathByWid {
+		// A brand-new user appears in no state path, so dss(w·u) = ε.
+		if st.pathByWid[wid].Last() == uid {
+			continue // cannot happen for a fresh uid; kept for clarity
+		}
+		if err := st.eSet(wid, uid, 0); err != nil {
+			return 0, err
+		}
+	}
+	st.usersByID[uid] = name
+	st.usersByName[name] = uid
+	return uid, nil
+}
+
+// UserID resolves a user name.
+func (st *Store) UserID(name string) (core.UserID, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	uid, ok := st.usersByName[name]
+	return uid, ok
+}
+
+// UserName resolves a user id.
+func (st *Store) UserName(uid core.UserID) (string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n, ok := st.usersByID[uid]
+	return n, ok
+}
+
+// Users returns all user ids in ascending order.
+func (st *Store) Users() []core.UserID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]core.UserID, 0, len(st.usersByID))
+	for uid := range st.usersByID {
+		out = append(out, uid)
+	}
+	sortUserIDs(out)
+	return out
+}
+
+func sortUserIDs(us []core.UserID) {
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j] < us[j-1]; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+}
+
+// Len returns the number of explicit belief statements (the paper's n).
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.n
+}

@@ -1,0 +1,242 @@
+// Package val defines the typed value vocabulary shared by the storage
+// engine, the belief model, and the query layers. Values are small immutable
+// scalars: NULL, 64-bit integers, 64-bit floats, strings, and booleans.
+package val
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it is only meaningful for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float payload; for KindInt it widens the integer.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload; it is only meaningful for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload; it is only meaningful for KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// String renders the value for display (not SQL-quoted).
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// SQL renders the value as a SQL literal, quoting and escaping strings.
+func (v Value) SQL() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// numeric reports whether the value is of a numeric kind.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports deep equality with numeric coercion between int and float.
+// NULL equals NULL under Equal (this is identity equality, not SQL
+// three-valued logic; the query layer handles NULL comparison semantics).
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Compare orders two values. It returns (-1|0|1, true) when the values are
+// comparable: both numeric (with int/float coercion), or both the same kind.
+// NULLs compare equal to each other and sort before everything else.
+func Compare(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0, true
+		case a.kind == KindNull:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	if a.numeric() && b.numeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, true
+			case a.i > b.i:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.kind != b.kind {
+		return 0, false
+	}
+	switch a.kind {
+	case KindString:
+		return strings.Compare(a.s, b.s), true
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0, true
+		case !a.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+// Key returns a type-tagged encoding of v suitable for use as a Go map key.
+// Two values have the same Key iff Equal(a, b) holds; in particular the
+// int 1 and the float 1.0 share a key.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindInt:
+		return "#" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			return "#" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		if v.b {
+			return "bt"
+		}
+		return "bf"
+	default:
+		return "?"
+	}
+}
+
+// RowKey concatenates the keys of several values into one composite map key.
+func RowKey(vs []Value) string {
+	var sb strings.Builder
+	for _, v := range vs {
+		k := v.Key()
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// Coerce converts v to the requested kind if a lossless-enough conversion
+// exists (int<->float, anything to string is NOT implicit). It reports
+// whether the conversion succeeded. NULL coerces to any kind (stays NULL).
+func Coerce(v Value, k Kind) (Value, bool) {
+	if v.kind == KindNull {
+		return v, true
+	}
+	if v.kind == k {
+		return v, true
+	}
+	switch k {
+	case KindFloat:
+		if v.kind == KindInt {
+			return Float(float64(v.i)), true
+		}
+	case KindInt:
+		if v.kind == KindFloat && v.f == float64(int64(v.f)) {
+			return Int(int64(v.f)), true
+		}
+	}
+	return v, false
+}

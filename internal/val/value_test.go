@@ -1,0 +1,227 @@
+package val
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindString: "TEXT", KindBool: "BOOL",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.AsInt() != 42 {
+		t.Errorf("Int(42) = %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("Float(2.5) = %v", v)
+	}
+	if v := Str("hi"); v.Kind() != KindString || v.AsString() != "hi" {
+		t.Errorf("Str = %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.AsBool() {
+		t.Errorf("Bool = %v", v)
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value is not NULL")
+	}
+}
+
+func TestAsFloatWidensInt(t *testing.T) {
+	if got := Int(3).AsFloat(); got != 3.0 {
+		t.Errorf("Int(3).AsFloat() = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-7), "-7"},
+		{Float(1.5), "1.5"},
+		{Str("abc"), "abc"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSQLQuoting(t *testing.T) {
+	if got := Str("O'Hara").SQL(); got != "'O''Hara'" {
+		t.Errorf("SQL() = %q", got)
+	}
+	if got := Int(5).SQL(); got != "5" {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(1), Float(1.0), 0, true},
+		{Int(1), Float(1.5), -1, true},
+		{Float(2.5), Int(2), 1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Null(), Null(), 0, true},
+		{Null(), Int(0), -1, true},
+		{Int(0), Null(), 1, true},
+		{Str("1"), Int(1), 0, false},
+		{Bool(true), Int(1), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(1), Float(1.0)) {
+		t.Error("Int(1) != Float(1.0)")
+	}
+	if Equal(Str("x"), Int(1)) {
+		t.Error("cross-kind equal")
+	}
+	if !Equal(Null(), Null()) {
+		t.Error("Null != Null under identity equality")
+	}
+}
+
+func TestKeyConsistentWithEqual(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Float(1.0), Float(1.5),
+		Str(""), Str("1"), Str("a"), Bool(true), Bool(false),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			eq := Equal(a, b)
+			keyEq := a.Key() == b.Key()
+			if eq != keyEq {
+				t.Errorf("Equal(%v,%v)=%v but Key equality=%v (%q vs %q)", a, b, eq, keyEq, a.Key(), b.Key())
+			}
+		}
+	}
+}
+
+func TestRowKeyUnambiguous(t *testing.T) {
+	a := RowKey([]Value{Str("ab"), Str("c")})
+	b := RowKey([]Value{Str("a"), Str("bc")})
+	if a == b {
+		t.Errorf("RowKey ambiguity: %q", a)
+	}
+	if RowKey(nil) != RowKey([]Value{}) {
+		t.Error("empty row keys differ")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, ok := Coerce(Int(3), KindFloat); !ok || v.Kind() != KindFloat || v.AsFloat() != 3 {
+		t.Errorf("Coerce int->float = %v, %v", v, ok)
+	}
+	if v, ok := Coerce(Float(3.0), KindInt); !ok || v.AsInt() != 3 {
+		t.Errorf("Coerce float->int = %v, %v", v, ok)
+	}
+	if _, ok := Coerce(Float(3.5), KindInt); ok {
+		t.Error("lossy float->int coercion allowed")
+	}
+	if _, ok := Coerce(Str("3"), KindInt); ok {
+		t.Error("string->int coercion allowed")
+	}
+	if v, ok := Coerce(Null(), KindInt); !ok || !v.IsNull() {
+		t.Error("NULL should coerce to any kind")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(int64(r.Intn(20) - 10))
+	case 2:
+		return Float(float64(r.Intn(20)-10) / 2)
+	case 3:
+		return Str(string(rune('a' + r.Intn(4))))
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+// Property: Compare is antisymmetric and Key() agrees with Equal.
+func TestQuickCompareProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		ab, okAB := Compare(a, b)
+		ba, okBA := Compare(b, a)
+		if okAB != okBA {
+			return false
+		}
+		if okAB && ab != -ba {
+			return false
+		}
+		if okAB && ab == 0 && a.Key() != b.Key() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is transitive over comparable triples.
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		ab, ok1 := Compare(a, b)
+		bc, ok2 := Compare(b, c)
+		ac, ok3 := Compare(a, c)
+		if !(ok1 && ok2 && ok3) {
+			return true // vacuous
+		}
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false
+		}
+		if ab >= 0 && bc >= 0 && ac < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = reflect.DeepEqual // keep reflect imported if unused in future edits
