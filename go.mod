@@ -1,0 +1,3 @@
+module beliefdb
+
+go 1.24

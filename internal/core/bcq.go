@@ -115,7 +115,8 @@ type evalCtx struct {
 	users  []UserID
 	binds  map[string]val.Value // variable -> bound constant (uids as ints)
 	worlds map[string]*World    // entailed-world cache by path key
-	out    map[string][]val.Value
+	seen   map[uint64][]int     // row-hash -> indices into out (dedup buckets)
+	out    [][]val.Value
 	head   []Term
 	preds  []Pred
 }
@@ -138,23 +139,53 @@ func Eval(base *BeliefBase, users []UserID, q Query) ([][]val.Value, error) {
 		users:  users,
 		binds:  make(map[string]val.Value),
 		worlds: make(map[string]*World),
-		out:    make(map[string][]val.Value),
+		seen:   make(map[uint64][]int),
 		head:   q.Head,
 		preds:  q.Preds,
 	}
 	if err := ctx.solve(atoms); err != nil {
 		return nil, err
 	}
-	keys := make([]string, 0, len(ctx.out))
-	for k := range ctx.out {
-		keys = append(keys, k)
+	// Sort for deterministic output (the dedup buckets carry discovery
+	// order). Rows are compared columnwise with value semantics, falling
+	// back to kind then rendered form for incomparable kinds.
+	sort.Slice(ctx.out, func(i, j int) bool { return rowLess(ctx.out[i], ctx.out[j]) })
+	return ctx.out, nil
+}
+
+// rowLess orders result rows columnwise for deterministic query output
+// (val.Compare is a total order over numerics, NaN included).
+func rowLess(a, b []val.Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c, ok := val.Compare(a[i], b[i]); ok {
+			if c != 0 {
+				return c < 0
+			}
+			continue
+		}
+		// Compare only fails across non-numeric kinds; order those by kind.
+		if a[i].Kind() != b[i].Kind() {
+			return a[i].Kind() < b[i].Kind()
+		}
 	}
-	sort.Strings(keys)
-	rows := make([][]val.Value, len(keys))
-	for i, k := range keys {
-		rows[i] = ctx.out[k]
+	return false
+}
+
+// emit records a result row unless an equal row was already produced.
+// Dedup is hash-bucketed with full value verification, so distinct rows
+// that collide are both kept.
+func (ctx *evalCtx) emit(row []val.Value) {
+	h := val.HashRow(val.HashSeed(), row)
+	for _, i := range ctx.seen[h] {
+		if val.RowsEqual(ctx.out[i], row) {
+			return
+		}
 	}
-	return rows, nil
+	ctx.seen[h] = append(ctx.seen[h], len(ctx.out))
+	ctx.out = append(ctx.out, row)
 }
 
 func (ctx *evalCtx) entailedWorld(p Path) *World {
@@ -184,7 +215,7 @@ func (ctx *evalCtx) solve(atoms []Atom) error {
 			}
 			row[i] = v
 		}
-		ctx.out[val.RowKey(row)] = row
+		ctx.emit(row)
 		return nil
 	}
 	atom := atoms[0]

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Entry is one signed tuple inside a world, tagged with whether it was
@@ -261,16 +262,5 @@ func (w *World) String() string {
 	for _, e := range w.Entries(Neg) {
 		parts = append(parts, e.Tuple.String()+"-")
 	}
-	return "{" + joinStrings(parts, ", ") + "}"
-}
-
-func joinStrings(parts []string, sep string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += sep
-		}
-		out += p
-	}
-	return out
+	return "{" + strings.Join(parts, ", ") + "}"
 }

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"beliefdb/internal/val"
+)
+
+// withDegenerateHash routes all engine key hashing through a constant, so
+// every key lands in the same bucket and the collision-verification paths
+// are exercised on every operation.
+func withDegenerateHash(t *testing.T, fn func()) {
+	t.Helper()
+	testHashVal = func(val.Value) uint64 { return 42 }
+	defer func() { testHashVal = nil }()
+	fn()
+}
+
+func collisionTable(t *testing.T) *Table {
+	t.Helper()
+	schema, err := NewSchema([]Column{
+		{Name: "k", Type: val.KindString},
+		{Name: "grp", Type: val.KindString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable("c", schema, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("c_grp", []string{"grp"}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestIndexSeparatesCollidingKeys forces every key into one hash bucket and
+// checks that Lookup still returns exactly the rows whose indexed values
+// match — colliding distinct keys never merge.
+func TestIndexSeparatesCollidingKeys(t *testing.T) {
+	withDegenerateHash(t, func() {
+		tbl := collisionTable(t)
+		rows := [][]val.Value{
+			{val.Str("a"), val.Str("g1")},
+			{val.Str("b"), val.Str("g1")},
+			{val.Str("c"), val.Str("g2")},
+		}
+		for _, r := range rows {
+			if _, err := tbl.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		idx := tbl.IndexOn([]int{1})
+		if idx == nil {
+			t.Fatal("index on grp not found")
+		}
+		// All three rows share one hash bucket, yet Len still counts the
+		// two distinct keys grouped inside it.
+		if len(idx.m) != 1 {
+			t.Fatalf("degenerate hash should produce one hash bucket, got %d", len(idx.m))
+		}
+		if idx.Len() != 2 {
+			t.Fatalf("Len() = %d, want 2 distinct keys", idx.Len())
+		}
+		g1 := idx.Lookup([]val.Value{val.Str("g1")})
+		if len(g1) != 2 {
+			t.Fatalf("Lookup(g1) = %v, want 2 rows", g1)
+		}
+		for _, id := range g1 {
+			if got := tbl.Get(id)[1].AsString(); got != "g1" {
+				t.Errorf("Lookup(g1) returned a row with grp=%q", got)
+			}
+		}
+		g2 := idx.Lookup([]val.Value{val.Str("g2")})
+		if len(g2) != 1 || tbl.Get(g2[0])[0].AsString() != "c" {
+			t.Errorf("Lookup(g2) = %v, want exactly row c", g2)
+		}
+		if miss := idx.Lookup([]val.Value{val.Str("g3")}); len(miss) != 0 {
+			t.Errorf("Lookup(g3) = %v, want empty", miss)
+		}
+	})
+}
+
+// TestPKSeparatesCollidingKeys checks primary-key uniqueness and point
+// lookups under full hash collision.
+func TestPKSeparatesCollidingKeys(t *testing.T) {
+	withDegenerateHash(t, func() {
+		tbl := collisionTable(t)
+		if _, err := tbl.Insert([]val.Value{val.Str("a"), val.Str("g")}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Insert([]val.Value{val.Str("b"), val.Str("g")}); err != nil {
+			t.Fatalf("colliding-but-distinct pk rejected: %v", err)
+		}
+		var dup *ErrDuplicateKey
+		if _, err := tbl.Insert([]val.Value{val.Str("a"), val.Str("h")}); !errors.As(err, &dup) {
+			t.Fatalf("true duplicate pk accepted: %v", err)
+		}
+		id, ok := tbl.LookupPK(val.Str("b"))
+		if !ok || tbl.Get(id)[0].AsString() != "b" {
+			t.Fatalf("LookupPK(b) = %v/%v", id, ok)
+		}
+		if _, ok := tbl.LookupPK(val.Str("zzz")); ok {
+			t.Error("LookupPK of a missing key reported a hit")
+		}
+		// Delete one colliding row; the other must survive in the bucket.
+		if err := tbl.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tbl.LookupPK(val.Str("b")); ok {
+			t.Error("deleted pk still found")
+		}
+		if _, ok := tbl.LookupPK(val.Str("a")); !ok {
+			t.Error("surviving pk lost after colliding delete")
+		}
+	})
+}

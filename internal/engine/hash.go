@@ -1,0 +1,59 @@
+package engine
+
+import "beliefdb/internal/val"
+
+// Key hashing for the primary-key map and secondary indexes. Buckets are
+// keyed by a 64-bit composite hash with the same equality contract as
+// val.Key; distinct keys may collide, so every probe verifies real value
+// equality against the stored rows before treating a bucket entry as a
+// match (no false merges — see DESIGN.md, "Hashed row keys").
+
+// testHashVal, when non-nil, replaces the per-value hash step. Tests set it
+// to a degenerate function to force bucket collisions and exercise the
+// verification path. It must never be set outside tests.
+var testHashVal func(v val.Value) uint64
+
+// hashVal hashes a single value (the primary-key case).
+func hashVal(v val.Value) uint64 {
+	if testHashVal != nil {
+		return testHashVal(v)
+	}
+	return val.Hash64(val.HashSeed(), v)
+}
+
+// hashInto folds one value into a running composite hash.
+func hashInto(h uint64, v val.Value) uint64 {
+	if testHashVal != nil {
+		return h ^ testHashVal(v)
+	}
+	return val.Hash64(h, v)
+}
+
+// hashCols hashes the projection of row onto the given column positions.
+func hashCols(row []val.Value, cols []int) uint64 {
+	h := val.HashSeed()
+	for _, c := range cols {
+		h = hashInto(h, row[c])
+	}
+	return h
+}
+
+// hashVals hashes a full key tuple (an index probe).
+func hashVals(vs []val.Value) uint64 {
+	h := val.HashSeed()
+	for _, v := range vs {
+		h = hashInto(h, v)
+	}
+	return h
+}
+
+// removeID swap-removes one id from a bucket, returning the shrunk bucket.
+func removeID(ids []RowID, id RowID) []RowID {
+	for i, x := range ids {
+		if x == id {
+			ids[i] = ids[len(ids)-1]
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}

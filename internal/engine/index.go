@@ -2,17 +2,28 @@ package engine
 
 import "beliefdb/internal/val"
 
-// Index is a secondary hash index over one or more columns. It maps the
-// composite key of the indexed column values to the set of row ids holding
-// that key. Unlike the primary key, it permits duplicates.
+// idxBucket holds all row ids sharing one distinct key. Grouping per key
+// inside a hash bucket means a probe verifies value equality once per
+// distinct key, not once per row, and Lookup can hand out the id slice
+// without copying.
+type idxBucket struct {
+	key []val.Value
+	ids []RowID
+}
+
+// Index is a secondary hash index over one or more columns. Hash buckets
+// are keyed by the composite 64-bit hash of the indexed column values and
+// group their entries per distinct key, so colliding distinct keys never
+// merge. Unlike the primary key, it permits duplicates.
 type Index struct {
 	name string
 	cols []int
-	m    map[string][]RowID
+	m    map[uint64][]idxBucket
+	keys int // number of distinct keys across all buckets
 }
 
 func newIndex(name string, cols []int) *Index {
-	return &Index{name: name, cols: cols, m: make(map[string][]RowID)}
+	return &Index{name: name, cols: cols, m: make(map[uint64][]idxBucket)}
 }
 
 // Name returns the index name.
@@ -21,41 +32,65 @@ func (ix *Index) Name() string { return ix.name }
 // Cols returns the indexed column positions.
 func (ix *Index) Cols() []int { return ix.cols }
 
-func (ix *Index) keyOf(row []val.Value) string {
-	vs := make([]val.Value, len(ix.cols))
+// rowMatchesKey reports whether row's indexed columns equal the bucket key.
+func (ix *Index) rowMatchesKey(row, key []val.Value) bool {
 	for i, c := range ix.cols {
-		vs[i] = row[c]
+		if !val.Equal(row[c], key[i]) {
+			return false
+		}
 	}
-	return val.RowKey(vs)
+	return true
 }
 
 func (ix *Index) insert(row []val.Value, id RowID) {
-	k := ix.keyOf(row)
-	ix.m[k] = append(ix.m[k], id)
+	h := hashCols(row, ix.cols)
+	bs := ix.m[h]
+	for i := range bs {
+		if ix.rowMatchesKey(row, bs[i].key) {
+			bs[i].ids = append(bs[i].ids, id)
+			return
+		}
+	}
+	key := make([]val.Value, len(ix.cols))
+	for i, c := range ix.cols {
+		key[i] = row[c]
+	}
+	ix.m[h] = append(bs, idxBucket{key: key, ids: []RowID{id}})
+	ix.keys++
 }
 
 func (ix *Index) remove(row []val.Value, id RowID) {
-	k := ix.keyOf(row)
-	ids := ix.m[k]
-	for i, x := range ids {
-		if x == id {
-			ids[i] = ids[len(ids)-1]
-			ids = ids[:len(ids)-1]
-			break
+	h := hashCols(row, ix.cols)
+	bs := ix.m[h]
+	for i := range bs {
+		if !ix.rowMatchesKey(row, bs[i].key) {
+			continue
 		}
-	}
-	if len(ids) == 0 {
-		delete(ix.m, k)
-	} else {
-		ix.m[k] = ids
+		bs[i].ids = removeID(bs[i].ids, id)
+		if len(bs[i].ids) == 0 {
+			bs[i] = bs[len(bs)-1]
+			bs = bs[:len(bs)-1]
+			ix.keys--
+			if len(bs) == 0 {
+				delete(ix.m, h)
+			} else {
+				ix.m[h] = bs
+			}
+		}
+		return
 	}
 }
 
 // Lookup returns the ids of all rows whose indexed columns equal vs.
 // The returned slice is owned by the index and must not be mutated.
 func (ix *Index) Lookup(vs []val.Value) []RowID {
-	return ix.m[val.RowKey(vs)]
+	for _, b := range ix.m[hashVals(vs)] {
+		if val.RowsEqual(b.key, vs) {
+			return b.ids
+		}
+	}
+	return nil
 }
 
 // Len returns the number of distinct keys in the index.
-func (ix *Index) Len() int { return len(ix.m) }
+func (ix *Index) Len() int { return ix.keys }

@@ -19,7 +19,7 @@ type Table struct {
 	rows    [][]val.Value
 	live    int
 	free    []RowID
-	pk      map[string]RowID
+	pk      map[uint64][]RowID // pk-value hash -> ids; buckets verified on probe
 	indexes map[string]*Index
 	cat     *Catalog // for undo logging; nil for detached tables
 }
@@ -37,7 +37,7 @@ func NewTable(name string, schema Schema, pkCol int) (*Table, error) {
 		indexes: make(map[string]*Index),
 	}
 	if pkCol >= 0 {
-		t.pk = make(map[string]RowID)
+		t.pk = make(map[uint64][]RowID)
 	}
 	return t, nil
 }
@@ -80,9 +80,10 @@ func (t *Table) Insert(row []val.Value) (RowID, error) {
 	if err != nil {
 		return -1, fmt.Errorf("%s: %w", t.name, err)
 	}
+	var pkHash uint64
 	if t.pkCol >= 0 {
-		k := row[t.pkCol].Key()
-		if _, exists := t.pk[k]; exists {
+		var exists bool
+		if _, pkHash, exists = t.findPKHash(row[t.pkCol]); exists {
 			return -1, &ErrDuplicateKey{Table: t.name, Key: row[t.pkCol]}
 		}
 	}
@@ -97,7 +98,7 @@ func (t *Table) Insert(row []val.Value) (RowID, error) {
 	}
 	t.live++
 	if t.pkCol >= 0 {
-		t.pk[row[t.pkCol].Key()] = id
+		t.pk[pkHash] = append(t.pk[pkHash], id)
 	}
 	for _, idx := range t.indexes {
 		idx.insert(row, id)
@@ -131,8 +132,7 @@ func (t *Table) Update(id RowID, row []val.Value) error {
 		return fmt.Errorf("%s: %w", t.name, err)
 	}
 	if t.pkCol >= 0 {
-		newKey := row[t.pkCol].Key()
-		if oldID, exists := t.pk[newKey]; exists && oldID != id {
+		if oldID, exists := t.findPK(row[t.pkCol]); exists && oldID != id {
 			return &ErrDuplicateKey{Table: t.name, Key: row[t.pkCol]}
 		}
 	}
@@ -145,7 +145,13 @@ func (t *Table) Update(id RowID, row []val.Value) error {
 
 func (t *Table) unindex(row []val.Value, id RowID) {
 	if t.pkCol >= 0 {
-		delete(t.pk, row[t.pkCol].Key())
+		h := hashVal(row[t.pkCol])
+		ids := removeID(t.pk[h], id)
+		if len(ids) == 0 {
+			delete(t.pk, h)
+		} else {
+			t.pk[h] = ids
+		}
 	}
 	for _, idx := range t.indexes {
 		idx.remove(row, id)
@@ -154,11 +160,30 @@ func (t *Table) unindex(row []val.Value, id RowID) {
 
 func (t *Table) reindex(row []val.Value, id RowID) {
 	if t.pkCol >= 0 {
-		t.pk[row[t.pkCol].Key()] = id
+		h := hashVal(row[t.pkCol])
+		t.pk[h] = append(t.pk[h], id)
 	}
 	for _, idx := range t.indexes {
 		idx.insert(row, id)
 	}
+}
+
+// findPKHash locates the live row whose primary key equals v, verifying
+// stored values within the hash bucket so colliding keys never merge. It
+// also returns the key's hash so callers can reuse it.
+func (t *Table) findPKHash(v val.Value) (RowID, uint64, bool) {
+	h := hashVal(v)
+	for _, id := range t.pk[h] {
+		if row := t.Get(id); row != nil && val.Equal(row[t.pkCol], v) {
+			return id, h, true
+		}
+	}
+	return -1, h, false
+}
+
+func (t *Table) findPK(v val.Value) (RowID, bool) {
+	id, _, ok := t.findPKHash(v)
+	return id, ok
 }
 
 // LookupPK returns the id of the row whose primary key equals v.
@@ -166,8 +191,7 @@ func (t *Table) LookupPK(v val.Value) (RowID, bool) {
 	if t.pkCol < 0 {
 		return -1, false
 	}
-	id, ok := t.pk[v.Key()]
-	return id, ok
+	return t.findPK(v)
 }
 
 // Scan invokes fn for every live row, stopping early if fn returns false.

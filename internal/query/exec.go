@@ -381,14 +381,20 @@ func project(items []sqlparser.SelectItem, src *rowSet) (*Result, error) {
 }
 
 func dedupeRows(rows [][]val.Value) [][]val.Value {
-	seen := make(map[string]bool, len(rows))
+	// Hash-bucketed dedup: rows that hash together are compared for real
+	// equality, so colliding distinct rows are both kept.
+	seen := make(map[uint64][][]val.Value, len(rows))
 	out := rows[:0:0]
+nextRow:
 	for _, r := range rows {
-		k := val.RowKey(r)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
+		h := val.HashRow(val.HashSeed(), r)
+		for _, prev := range seen[h] {
+			if val.RowsEqual(prev, r) {
+				continue nextRow
+			}
 		}
+		seen[h] = append(seen[h], r)
+		out = append(out, r)
 	}
 	return out
 }
@@ -615,36 +621,45 @@ func aggregate(s sqlparser.Select, items []sqlparser.SelectItem, src *rowSet) (*
 	}
 
 	type group struct {
+		key  []val.Value // group-key values, for collision verification
 		rep  []val.Value // representative source row
 		accs []*aggAcc
 	}
-	newGroup := func(row []val.Value) *group {
-		g := &group{rep: row, accs: make([]*aggAcc, len(specs))}
+	newGroup := func(key, row []val.Value) *group {
+		g := &group{key: key, rep: row, accs: make([]*aggAcc, len(specs))}
 		for i := range specs {
 			g.accs[i] = &aggAcc{}
 		}
 		return g
 	}
-	groups := make(map[string]*group)
-	var keys []string
+	// Groups are hash-bucketed by the composite hash of the group-key
+	// values; rows landing in an occupied bucket verify real key equality,
+	// so colliding distinct keys form separate groups. Output order is the
+	// first-appearance order of each group, as before.
+	groups := make(map[uint64][]*group)
+	var ordered []*group
+	scratch := make([]val.Value, len(groupEvals))
 	for _, row := range src.rows {
-		gk := ""
-		if len(groupEvals) > 0 {
-			vs := make([]val.Value, len(groupEvals))
-			for i, ge := range groupEvals {
-				v, err := ge(row)
-				if err != nil {
-					return nil, err
-				}
-				vs[i] = v
+		h := val.HashSeed()
+		for i, ge := range groupEvals {
+			v, err := ge(row)
+			if err != nil {
+				return nil, err
 			}
-			gk = val.RowKey(vs)
+			scratch[i] = v
+			h = val.Hash64(h, v)
 		}
-		g, ok := groups[gk]
-		if !ok {
-			g = newGroup(row)
-			groups[gk] = g
-			keys = append(keys, gk)
+		var g *group
+		for _, cand := range groups[h] {
+			if val.RowsEqual(cand.key, scratch) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = newGroup(append([]val.Value(nil), scratch...), row)
+			groups[h] = append(groups[h], g)
+			ordered = append(ordered, g)
 		}
 		for i, spec := range specs {
 			if spec.star {
@@ -661,14 +676,12 @@ func aggregate(s sqlparser.Select, items []sqlparser.SelectItem, src *rowSet) (*
 		}
 	}
 	// A global aggregate over zero rows still yields one output row.
-	if len(groupEvals) == 0 && len(groups) == 0 {
-		groups[""] = newGroup(nil)
-		keys = append(keys, "")
+	if len(groupEvals) == 0 && len(ordered) == 0 {
+		ordered = append(ordered, newGroup(nil, nil))
 	}
 
 	out := &Result{Columns: names}
-	for _, gk := range keys {
-		g := groups[gk]
+	for _, g := range ordered {
 		ctx.vals = make([]val.Value, len(specs))
 		for i, spec := range specs {
 			ctx.vals[i] = g.accs[i].result(spec.fn)

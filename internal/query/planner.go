@@ -623,22 +623,29 @@ func joinNext(cur *rowSet, tc *tableCtx, edges []*joinEdge) (*rowSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Hash join: build on the new (right) side, probe with cur.
-	build := make(map[string][][]val.Value, len(rs.rows))
-	rkey := make([]val.Value, len(pairs))
+	// Hash join: build on the new (right) side, probe with cur. Buckets are
+	// keyed by the 64-bit composite hash of the join columns; the probe
+	// re-verifies value equality so hash collisions never join unequal rows.
+	build := make(map[uint64][][]val.Value, len(rs.rows))
 	for _, r := range rs.rows {
-		for i, p := range pairs {
-			rkey[i] = r[p.rightIdx]
+		h := val.HashSeed()
+		for _, p := range pairs {
+			h = val.Hash64(h, r[p.rightIdx])
 		}
-		k := val.RowKey(rkey)
-		build[k] = append(build[k], r)
+		build[h] = append(build[h], r)
 	}
-	lkey := make([]val.Value, len(pairs))
 	for _, l := range cur.rows {
-		for i, p := range pairs {
-			lkey[i] = l[p.leftIdx]
+		h := val.HashSeed()
+		for _, p := range pairs {
+			h = val.Hash64(h, l[p.leftIdx])
 		}
-		for _, r := range build[val.RowKey(lkey)] {
+	probe:
+		for _, r := range build[h] {
+			for _, p := range pairs {
+				if !val.Equal(l[p.leftIdx], r[p.rightIdx]) {
+					continue probe
+				}
+			}
 			emit(l, r)
 		}
 	}

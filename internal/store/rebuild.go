@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"slices"
 
 	"beliefdb/internal/core"
 	"beliefdb/internal/engine"
@@ -33,7 +34,7 @@ func (st *Store) Rebuild() error {
 	for uid := range st.usersByID {
 		users = append(users, uid)
 	}
-	sortUserIDs(users)
+	slices.Sort(users)
 	k := kripke.Build(base, users)
 
 	clear := func(t *engine.Table) error {

@@ -20,6 +20,7 @@ package store
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"beliefdb/internal/core"
@@ -314,16 +315,8 @@ func (st *Store) Users() []core.UserID {
 	for uid := range st.usersByID {
 		out = append(out, uid)
 	}
-	sortUserIDs(out)
+	slices.Sort(out)
 	return out
-}
-
-func sortUserIDs(us []core.UserID) {
-	for i := 1; i < len(us); i++ {
-		for j := i; j > 0 && us[j] < us[j-1]; j-- {
-			us[j], us[j-1] = us[j-1], us[j]
-		}
-	}
 }
 
 // Len returns the number of explicit belief statements (the paper's n).

@@ -1,0 +1,108 @@
+package val
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// This file is the allocation-free counterpart of Key/RowKey: a 64-bit
+// FNV-1a hash over the same type-tagged encoding, for use as a Go map key in
+// the engine's indexes and the query executor's hash operators. The equality
+// contract matches Key exactly: two values have equal hashes whenever their
+// Keys are equal — in particular Int(1) and Float(1.0) hash identically.
+// Like Key, this agrees with Equal for every value whose int<->float
+// coercion is exact (|n| <= 2^53); beyond that, Equal widens through
+// float64 and may report equality for numbers Key/Hash64 distinguish (e.g.
+// Int(2^53+1) vs Float(2^53)) — a pre-existing Key() property that is
+// deliberately preserved. The converse never holds: distinct values may
+// collide, so every consumer must verify real value equality within a hash
+// bucket. See DESIGN.md ("Hashed row keys").
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashSeed is randomized once per process (like Go's own map hashing) so
+// hash buckets cannot be collision-flooded with precomputed keys; all hash
+// structures are in-memory and never outlive the process, so cross-run
+// stability is not needed.
+var hashSeed uint64 = fnvOffset64 ^ rand.Uint64()
+
+// HashSeed returns the canonical initial state for a Hash64/HashRow chain.
+// It is fixed for the life of the process; hashes must never be persisted.
+func HashSeed() uint64 { return hashSeed }
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func hashUint64(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	// Fold the length so that adjacent strings in a row hash cannot slide
+	// into each other ("ab","c" vs "a","bc").
+	return hashUint64(h, uint64(len(s)))
+}
+
+// Hash64 folds v into the running hash h, using the same type-tagged,
+// numerically coerced encoding as Key: an integer and a float holding the
+// same number contribute identical bytes. Start chains from HashSeed.
+func Hash64(h uint64, v Value) uint64 {
+	switch v.kind {
+	case KindNull:
+		return hashByte(h, 'n')
+	case KindInt:
+		return hashUint64(hashByte(h, '#'), uint64(v.i))
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			return hashUint64(hashByte(h, '#'), uint64(int64(v.f)))
+		}
+		if math.IsNaN(v.f) {
+			// All NaN bit patterns render as the one Key "fNaN" and compare
+			// equal under Equal; hash them as one canonical value.
+			return hashByte(hashByte(h, 'f'), 'N')
+		}
+		return hashUint64(hashByte(h, 'f'), math.Float64bits(v.f))
+	case KindString:
+		return hashString(hashByte(h, 's'), v.s)
+	case KindBool:
+		if v.b {
+			return hashByte(h, 'T')
+		}
+		return hashByte(h, 'F')
+	default:
+		return hashByte(h, '?')
+	}
+}
+
+// HashRow folds a whole row into one composite hash. Two rows hash equally
+// whenever they are elementwise Equal.
+func HashRow(h uint64, vs []Value) uint64 {
+	for _, v := range vs {
+		h = Hash64(h, v)
+	}
+	return h
+}
+
+// RowsEqual reports elementwise equality of two rows under Equal; it is the
+// verification step hash-bucket consumers run to rule out false merges.
+func RowsEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

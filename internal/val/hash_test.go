@@ -1,0 +1,122 @@
+package val
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestHash64EqualityContract pins the contract shared with Key: values that
+// are Equal hash identically, and values of genuinely different kinds (or
+// different payloads) hash apart with overwhelming probability.
+func TestHash64EqualityContract(t *testing.T) {
+	// The numeric coercion cases Key guarantees.
+	if Hash64(HashSeed(), Int(1)) != Hash64(HashSeed(), Float(1.0)) {
+		t.Error("Int(1) and Float(1.0) must hash identically")
+	}
+	if Hash64(HashSeed(), Int(-7)) != Hash64(HashSeed(), Float(-7.0)) {
+		t.Error("Int(-7) and Float(-7.0) must hash identically")
+	}
+	if Hash64(HashSeed(), Int(1)) == Hash64(HashSeed(), Float(1.5)) {
+		t.Error("Int(1) and Float(1.5) should not collide")
+	}
+	// All NaN bit patterns share the Key "fNaN" and must hash together.
+	negNaN := math.Float64frombits(math.Float64bits(math.NaN()) ^ (1 << 63))
+	if Hash64(HashSeed(), Float(math.NaN())) != Hash64(HashSeed(), Float(negNaN)) {
+		t.Error("NaN bit patterns must hash identically")
+	}
+	if Hash64(HashSeed(), Float(math.NaN())) == Hash64(HashSeed(), Float(math.Inf(1))) {
+		t.Error("NaN and +Inf should not collide")
+	}
+
+	// Cross-kind inequality: same-looking payloads, different kinds.
+	distinct := []Value{
+		Null(), Int(1), Float(1.5), Str("1"), Str("true"), Bool(true), Bool(false), Str(""),
+	}
+	seen := make(map[uint64]Value)
+	for _, v := range distinct {
+		h := Hash64(HashSeed(), v)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between distinct kinds: %s and %s", prev, v)
+		}
+		seen[h] = v
+	}
+}
+
+// TestHash64MatchesEqual checks Equal(a,b) => Hash64(a) == Hash64(b) over
+// random values.
+func TestHash64MatchesEqual(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(5) {
+		case 0:
+			return Null()
+		case 1:
+			return Int(int64(r.Intn(4)))
+		case 2:
+			return Float(float64(r.Intn(4)))
+		case 3:
+			return Str(string(rune('a' + r.Intn(3))))
+		default:
+			return Bool(r.Intn(2) == 0)
+		}
+	}
+	f := func(seedA, seedB int64) bool {
+		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
+		a, b := gen(ra), gen(rb)
+		if Equal(a, b) && Hash64(HashSeed(), a) != Hash64(HashSeed(), b) {
+			t.Logf("Equal values hash apart: %s vs %s", a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashRowBoundaries ensures adjacent values cannot slide into each
+// other in a composite hash.
+func TestHashRowBoundaries(t *testing.T) {
+	a := []Value{Str("ab"), Str("c")}
+	b := []Value{Str("a"), Str("bc")}
+	if HashRow(HashSeed(), a) == HashRow(HashSeed(), b) {
+		t.Error(`["ab","c"] and ["a","bc"] should not collide`)
+	}
+	if HashRow(HashSeed(), []Value{Int(1), Int(2)}) == HashRow(HashSeed(), []Value{Int(12)}) {
+		t.Error("[1,2] and [12] should not collide")
+	}
+	// Rows that are elementwise Equal must hash together.
+	if HashRow(HashSeed(), []Value{Int(3), Str("x")}) != HashRow(HashSeed(), []Value{Float(3.0), Str("x")}) {
+		t.Error("[3,'x'] and [3.0,'x'] must hash identically")
+	}
+}
+
+// TestAppendKeyMatchesKey pins AppendKey to the Key encoding byte for byte,
+// and AppendRowKey to RowKey.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(-12), Int(99), Float(2.0), Float(2.75),
+		Str(""), Str("hello"), Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		if got, want := string(AppendKey(nil, v)), v.Key(); got != want {
+			t.Errorf("AppendKey(%s) = %q, want %q", v, got, want)
+		}
+	}
+	if got, want := string(AppendRowKey(nil, vals)), RowKey(vals); got != want {
+		t.Errorf("AppendRowKey = %q, want %q", got, want)
+	}
+}
+
+func TestRowsEqual(t *testing.T) {
+	if !RowsEqual([]Value{Int(1), Str("a")}, []Value{Float(1.0), Str("a")}) {
+		t.Error("coerced rows should be equal")
+	}
+	if RowsEqual([]Value{Int(1)}, []Value{Int(1), Int(2)}) {
+		t.Error("rows of different arity are not equal")
+	}
+	if RowsEqual([]Value{Str("a")}, []Value{Str("b")}) {
+		t.Error("distinct rows are not equal")
+	}
+}

@@ -5,6 +5,7 @@ package val
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -128,7 +129,9 @@ func Equal(a, b Value) bool {
 
 // Compare orders two values. It returns (-1|0|1, true) when the values are
 // comparable: both numeric (with int/float coercion), or both the same kind.
-// NULLs compare equal to each other and sort before everything else.
+// NULLs compare equal to each other and sort before everything else. NaN
+// compares equal only to NaN and sorts before all other numbers, so Compare
+// is a total order over numerics and agrees with Key/Hash64 equality.
 func Compare(a, b Value) (int, bool) {
 	if a.kind == KindNull || b.kind == KindNull {
 		switch {
@@ -152,6 +155,16 @@ func Compare(a, b Value) (int, bool) {
 			}
 		}
 		af, bf := a.AsFloat(), b.AsFloat()
+		if an, bn := math.IsNaN(af), math.IsNaN(bf); an || bn {
+			switch {
+			case an && bn:
+				return 0, true
+			case an:
+				return -1, true
+			default:
+				return 1, true
+			}
+		}
 		switch {
 		case af < bf:
 			return -1, true
@@ -206,16 +219,48 @@ func (v Value) Key() string {
 	}
 }
 
+// AppendKey appends the Key encoding of v to dst and returns the extended
+// slice. It is the spill-to-bytes form of Key for callers that reuse a
+// scratch buffer; hot paths should prefer Hash64 (see hash.go).
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n')
+	case KindInt:
+		return strconv.AppendInt(append(dst, '#'), v.i, 10)
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			return strconv.AppendInt(append(dst, '#'), int64(v.f), 10)
+		}
+		return strconv.AppendFloat(append(dst, 'f'), v.f, 'g', -1, 64)
+	case KindString:
+		return append(append(dst, 's'), v.s...)
+	case KindBool:
+		if v.b {
+			return append(dst, 'b', 't')
+		}
+		return append(dst, 'b', 'f')
+	default:
+		return append(dst, '?')
+	}
+}
+
+// AppendRowKey appends the RowKey encoding of vs (length-prefixed value
+// keys) to dst and returns the extended slice.
+func AppendRowKey(dst []byte, vs []Value) []byte {
+	var scratch [32]byte // covers the longest int (21B) and float (25B) keys
+	for _, v := range vs {
+		k := AppendKey(scratch[:0], v)
+		dst = strconv.AppendInt(dst, int64(len(k)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
 // RowKey concatenates the keys of several values into one composite map key.
 func RowKey(vs []Value) string {
-	var sb strings.Builder
-	for _, v := range vs {
-		k := v.Key()
-		sb.WriteString(strconv.Itoa(len(k)))
-		sb.WriteByte(':')
-		sb.WriteString(k)
-	}
-	return sb.String()
+	return string(AppendRowKey(nil, vs))
 }
 
 // Coerce converts v to the requested kind if a lossless-enough conversion
