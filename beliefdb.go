@@ -15,6 +15,18 @@
 // relational form and translates queries into plain SQL over it
 // (Algorithm 1); the typed helpers (InsertBelief, Believes, World) bypass
 // the parser but use the same machinery.
+//
+// # Concurrency
+//
+// A DB is safe for concurrent use under a single-writer / multi-reader
+// model, matching the paper's read-dominated community-database workload:
+// read methods (Query on SELECTs, Believes, Disbelieves, World, Stats,
+// Statements, user lookups) run under a shared lock and overlap freely,
+// while mutating methods (InsertBelief, DeleteBelief, Exec on DML, AddUser,
+// Rebuild, Vacuum) hold an exclusive lock for their whole multi-table
+// update. Readers therefore only ever observe fully-applied belief
+// statements, never a torn intermediate state. See the Concurrency section
+// of DESIGN.md for the locking architecture.
 package beliefdb
 
 import (
@@ -100,7 +112,8 @@ type BeliefEntry struct {
 	Explicit bool // explicitly asserted vs. inherited by default
 }
 
-// DB is an embedded belief database.
+// DB is an embedded belief database. It is safe for concurrent use: reads
+// proceed in parallel, writes are exclusive (see the package comment).
 type DB struct {
 	st *store.Store
 	tr *bsql.Translator

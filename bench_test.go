@@ -176,6 +176,24 @@ func BenchmarkQueryContent(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryContentParallel runs the q1-style content query from
+// b.RunParallel goroutines. Under the single-writer / multi-reader model
+// SELECTs hold only the shared lock, so on multi-core hardware ns/op drops
+// roughly with the core count relative to BenchmarkQueryContent; under the
+// old single-mutex model the two benchmarks coincide.
+func BenchmarkQueryContentParallel(b *testing.B) {
+	db := benchDB(b, 1000, 10)
+	q := fmt.Sprintf("select T.sid, T.species from BELIEF 'u1' %s T", gen.DefaultRel)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkQueryConflict measures the q2-style conflict query.
 func BenchmarkQueryConflict(b *testing.B) {
 	db := benchDB(b, 1000, 10)
@@ -189,6 +207,24 @@ func BenchmarkQueryConflict(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQueryConflictParallel is the parallel variant of the q2-style
+// conflict query (see BenchmarkQueryContentParallel).
+func BenchmarkQueryConflictParallel(b *testing.B) {
+	db := benchDB(b, 1000, 10)
+	q := fmt.Sprintf(`select T1.sid, T1.species
+		from BELIEF 'u2' BELIEF 'u1' %[1]s T1, BELIEF 'u2' not %[1]s T2
+		where T2.sid = T1.sid and T2.observer = T1.observer and T2.species = T1.species
+		and T2.date = T1.date and T2.location = T1.location`, gen.DefaultRel)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkQueryUsers measures the q3-style user query (path variable in a

@@ -5,43 +5,85 @@
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-all] [-full] [-n N] [-reps R] [-qreps Q]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
 //
 // Without -full, scaled-down parameters keep runtime in seconds; -full uses
 // the paper's parameters (n = 10,000 annotations, 10 databases per Table 1
 // cell, 1,000 executions per query) and can take many minutes and several
 // GB of memory for the m=100/uniform cells.
+//
+// With -json the selected artifacts are emitted as one JSON array of
+// {name, ns_per_op, allocs_per_op, value, unit} records instead of the
+// human-readable tables, so successive runs can be recorded as
+// BENCH_*.json trajectories and diffed mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"beliefdb/internal/bench"
 )
 
+// benchRecord is one machine-readable measurement. The field vocabulary
+// mirrors Go's testing.B output (ns/op, allocs/op) so trajectory tooling
+// can treat beliefbench artifacts and `go test -bench` results alike;
+// artifacts that measure a dimensionless quantity (relative overhead, row
+// counts) carry it in value/unit instead.
+type benchRecord struct {
+	// The numeric fields are always emitted — a measured zero must stay
+	// distinguishable from "not measured" when diffing BENCH_*.json runs.
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Value       float64 `json:"value"`
+	Unit        string  `json:"unit,omitempty"`
+}
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "beliefbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("beliefbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table1  = flag.Bool("table1", false, "run the Table 1 overhead grid")
-		figure6 = flag.Bool("figure6", false, "run the Figure 6 overhead-vs-n sweep")
-		table2  = flag.Bool("table2", false, "run the Table 2 query benchmark")
-		bounds  = flag.Bool("bounds", false, "run the Sect. 5.4 space-bound ablation")
-		lazy    = flag.Bool("lazy", false, "run the lazy-vs-eager representation ablation (Sect. 6.3)")
-		all     = flag.Bool("all", false, "run everything")
-		full    = flag.Bool("full", false, "use the paper's full-scale parameters")
-		n       = flag.Int("n", 0, "override the number of annotations")
-		reps    = flag.Int("reps", 0, "override databases per Table 1/Figure 6 cell")
-		qreps   = flag.Int("qreps", 0, "override executions per Table 2 query")
-		verbose = flag.Bool("v", false, "print per-cell progress")
+		table1  = fs.Bool("table1", false, "run the Table 1 overhead grid")
+		figure6 = fs.Bool("figure6", false, "run the Figure 6 overhead-vs-n sweep")
+		table2  = fs.Bool("table2", false, "run the Table 2 query benchmark")
+		bounds  = fs.Bool("bounds", false, "run the Sect. 5.4 space-bound ablation")
+		lazy    = fs.Bool("lazy", false, "run the lazy-vs-eager representation ablation (Sect. 6.3)")
+		all     = fs.Bool("all", false, "run everything")
+		full    = fs.Bool("full", false, "use the paper's full-scale parameters")
+		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
+		n       = fs.Int("n", 0, "override the number of annotations")
+		reps    = fs.Int("reps", 0, "override databases per Table 1/Figure 6 cell")
+		qreps   = fs.Int("qreps", 0, "override executions per Table 2 query")
+		verbose = fs.Bool("v", false, "print per-cell progress")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *all) {
 		*all = true
 	}
 	progress := func(string) {}
 	if *verbose {
-		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		progress = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+	var records []benchRecord
+	emit := func(text string, recs []benchRecord) {
+		if *jsonOut {
+			records = append(records, recs...)
+		} else {
+			fmt.Fprintln(stdout, text)
+		}
 	}
 
 	if *all || *table1 {
@@ -57,9 +99,15 @@ func main() {
 		}
 		res, err := bench.RunTable1(cfg, progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(res.Render())
+		var recs []benchRecord
+		for _, c := range res.Cells {
+			name := fmt.Sprintf("table1/m%d/%s/d%v", c.Users, c.Participation, c.DepthDist)
+			recs = append(recs,
+				benchRecord{Name: name, NsPerOp: float64(c.BuildTime), Value: c.Overhead, Unit: "overhead"})
+		}
+		emit(res.Render(), recs)
 	}
 	if *all || *figure6 {
 		cfg := bench.DefaultFigure6()
@@ -71,9 +119,19 @@ func main() {
 		}
 		res, err := bench.RunFigure6(cfg, progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(res.Render())
+		var recs []benchRecord
+		for si, s := range res.Series {
+			for j, nn := range cfg.Ns {
+				recs = append(recs, benchRecord{
+					Name:  fmt.Sprintf("figure6/s%d/n%d", si, nn),
+					Value: s.Overheads[j],
+					Unit:  "overhead",
+				})
+			}
+		}
+		emit(res.Render(), recs)
 	}
 	if *all || *table2 {
 		cfg := bench.DefaultTable2()
@@ -88,9 +146,19 @@ func main() {
 		}
 		res, err := bench.RunTable2(cfg, progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(res.Render())
+		var recs []benchRecord
+		for _, r := range res.Rows {
+			recs = append(recs, benchRecord{
+				Name:        "table2/" + r.Name,
+				NsPerOp:     float64(r.Mean),
+				AllocsPerOp: r.AllocsPerOp,
+				Value:       float64(r.ResultSize),
+				Unit:        "result_rows",
+			})
+		}
+		emit(res.Render(), recs)
 	}
 	if *all || *bounds {
 		nb := 1000
@@ -99,9 +167,15 @@ func main() {
 		}
 		rows, err := bench.RunSpaceBounds(nb, 10, 4)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(bench.RenderSpaceBounds(rows))
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs,
+				benchRecord{Name: fmt.Sprintf("bounds/dmax%d/E", r.MaxDepth), Value: float64(r.ERows), Unit: "rows"},
+				benchRecord{Name: fmt.Sprintf("bounds/dmax%d/V", r.MaxDepth), Value: float64(r.VRows), Unit: "rows"})
+		}
+		emit(bench.RenderSpaceBounds(rows), recs)
 	}
 	if *all || *lazy {
 		nl, ml := 2000, 10
@@ -113,13 +187,24 @@ func main() {
 		}
 		rows, err := bench.RunLazyAblation(nl, ml, 5, progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(bench.RenderLazyAblation(rows, nl, ml))
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs, benchRecord{
+				Name:    "lazy/" + r.Mode + "/world-read",
+				NsPerOp: float64(r.WorldReadMean),
+				Value:   r.Overhead,
+				Unit:    "overhead",
+			})
+		}
+		emit(bench.RenderLazyAblation(rows, nl, ml), recs)
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "beliefbench:", err)
-	os.Exit(1)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	return nil
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	// A tiny Table 2 run keeps the test in the sub-second range.
+	if err := run([]string{"-json", "-table2", "-n", "80", "-qreps", "2"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records emitted")
+	}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "table2/") {
+			t.Errorf("unexpected record name %q", r.Name)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v, want > 0", r.Name, r.NsPerOp)
+		}
+		if r.AllocsPerOp <= 0 {
+			t.Errorf("%s: allocs_per_op = %v, want > 0", r.Name, r.AllocsPerOp)
+		}
+	}
+	// The human-readable rendering must stay on the text path.
+	if strings.Contains(out.String(), "Table 2") {
+		t.Error("-json also printed the text table")
+	}
+}
+
+func TestTextOutputStillDefault(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-bounds", "-n", "60"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Space bounds") {
+		t.Errorf("text rendering missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), `"name"`) {
+		t.Error("text mode emitted JSON")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errw); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

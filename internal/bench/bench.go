@@ -19,6 +19,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -312,11 +313,12 @@ func FullTable2() Table2Config {
 
 // Table2Row is one measured query.
 type Table2Row struct {
-	Name       string
-	Mean       time.Duration
-	Std        time.Duration
-	ResultSize int
-	SQL        string
+	Name        string
+	Mean        time.Duration
+	Std         time.Duration
+	AllocsPerOp float64 // heap allocations per execution
+	ResultSize  int
+	SQL         string
 }
 
 // Table2Result is the full benchmark outcome.
@@ -406,6 +408,8 @@ func RunTable2(cfg Table2Config, progress func(string)) (*Table2Result, error) {
 			return nil, fmt.Errorf("bench: %s: %w", q.Name, err)
 		}
 		times := make([]float64, cfg.QueryReps)
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		for i := 0; i < cfg.QueryReps; i++ {
 			start := time.Now()
 			if _, err := st.DB().Query(sql); err != nil {
@@ -413,13 +417,15 @@ func RunTable2(cfg Table2Config, progress func(string)) (*Table2Result, error) {
 			}
 			times[i] = float64(time.Since(start))
 		}
+		runtime.ReadMemStats(&ms1)
 		mean, std := meanStd(times)
 		row := Table2Row{
-			Name:       q.Name,
-			Mean:       time.Duration(mean),
-			Std:        time.Duration(std),
-			ResultSize: len(res.Rows),
-			SQL:        sql,
+			Name:        q.Name,
+			Mean:        time.Duration(mean),
+			Std:         time.Duration(std),
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.QueryReps),
+			ResultSize:  len(res.Rows),
+			SQL:         sql,
 		}
 		out.Rows = append(out.Rows, row)
 		if progress != nil {

@@ -1,0 +1,83 @@
+package bsql_test
+
+import (
+	"testing"
+
+	"beliefdb/internal/bsql"
+	"beliefdb/internal/store"
+	"beliefdb/internal/val"
+)
+
+// fuzzStore builds the small Sightings/Comments schema of the paper's
+// running example with two registered users.
+func fuzzStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open([]store.Relation{
+		{Name: "Sightings", Columns: []store.Column{
+			{Name: "sid", Type: val.KindString},
+			{Name: "observer", Type: val.KindString},
+			{Name: "species", Type: val.KindString},
+			{Name: "date", Type: val.KindString},
+			{Name: "location", Type: val.KindString},
+		}},
+		{Name: "Comments", Columns: []store.Column{
+			{Name: "cid", Type: val.KindString},
+			{Name: "text", Type: val.KindString},
+			{Name: "sid", Type: val.KindString},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"Alice", "Bob"} {
+		if _, err := st.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// FuzzBeliefSQL checks that the BeliefSQL front end never panics: any input
+// either fails to parse (an error, not a crash), and anything that parses
+// must execute against a fresh belief database without panicking — errors
+// (unknown users, unknown relations, conflicts, arity mismatches) are fine.
+func FuzzBeliefSQL(f *testing.F) {
+	seeds := []string{
+		`insert into Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')`,
+		`insert into BELIEF 'Bob' not Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')`,
+		`insert into BELIEF 'Alice' Sightings values ('s2','Alice','crow','6-14-08','Lake Placid')`,
+		`insert into BELIEF 'Bob' BELIEF 'Alice' Comments values ('c2','black feathers','s2')`,
+		`select S.sid from BELIEF 'Bob' BELIEF 'Alice' Sightings S`,
+		`select S.sid from Users as U, BELIEF U.uid not Sightings as S where U.name = 'Bob'`,
+		`select U.name from Users U, BELIEF U.uid not Sightings S where S.sid = 's1'`,
+		`select count(S.sid) from BELIEF 'Alice' Sightings S where S.species = 'crow'`,
+		`delete from BELIEF 'Bob' not Sightings where species = 'fish eagle'`,
+		`update BELIEF 'Alice' Sightings set species = 'raven' where sid = 's2'`,
+		`select S.sid from BELIEF Bob Sightings S`,
+		`insert into not Sightings values ('x')`,
+		`select x from`,
+		`select T.k from BELIEF 'Alice' BELIEF 'Alice' Sightings T`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := bsql.Parse(src)
+		if err != nil {
+			return
+		}
+		st := fuzzStore(t)
+		tr := bsql.NewTranslator(st)
+		// Execution may error but must not panic; a second execution on the
+		// same store must not panic either (DML leaves consistent state).
+		if _, err := tr.ExecStmt(stmt); err != nil {
+			return
+		}
+		if _, err := tr.ExecStmt(stmt); err != nil {
+			// A repeated statement may legitimately conflict with itself
+			// (e.g. inserting Pos after Neg); only panics are bugs.
+			return
+		}
+	})
+}

@@ -7,9 +7,16 @@ import (
 )
 
 // Catalog is the root object of an engine instance: the set of tables plus
-// the (single) active transaction. A Catalog is safe for concurrent use;
-// callers that need multi-statement atomicity should hold Lock around a
-// Begin/Commit pair.
+// the (single) active transaction.
+//
+// Concurrency contract: the catalog's own mutex guards only the table *map*
+// (CreateTable/DropTable vs. Table/TableNames), so name resolution is always
+// race-free. Table *contents* and the active transaction are not locked
+// here — they are protected by the single-writer / multi-reader lock of the
+// owning facade (internal/sqldb, shared with the belief store): mutations
+// and Begin/Commit/Rollback run only under that exclusive writer lock, while
+// any number of readers (Scan, Get, index Lookup) may overlap under its
+// shared lock.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -21,21 +28,13 @@ func NewCatalog() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
 
-// Lock acquires the catalog's writer lock. It is exposed so that higher
-// layers can group several statements into one critical section.
-func (c *Catalog) Lock() { c.mu.Lock() }
-
-// Unlock releases the writer lock.
-func (c *Catalog) Unlock() { c.mu.Unlock() }
-
-// RLock acquires the reader lock.
-func (c *Catalog) RLock() { c.mu.RLock() }
-
-// RUnlock releases the reader lock.
-func (c *Catalog) RUnlock() { c.mu.RUnlock() }
-
-// CreateTable registers a new table. The caller must hold Lock.
+// CreateTable registers a new table. Creating tables is a schema write and
+// must not run concurrently with statements using the new table; callers go
+// through the facade's writer lock (or are still single-threaded, as during
+// belief-store construction).
 func (c *Catalog) CreateTable(name string, schema Schema, pkCol int) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.tables[name]; dup {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
@@ -49,8 +48,10 @@ func (c *Catalog) CreateTable(name string, schema Schema, pkCol int) (*Table, er
 }
 
 // DropTable removes a table. Dropping inside a transaction is not undoable
-// and therefore rejected. The caller must hold Lock.
+// and therefore rejected.
 func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.txn != nil {
 		return fmt.Errorf("engine: cannot drop table %q inside a transaction", name)
 	}
@@ -61,11 +62,17 @@ func (c *Catalog) DropTable(name string) error {
 	return nil
 }
 
-// Table returns the named table, or nil. The caller must hold RLock or Lock.
-func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
 
 // TableNames returns the sorted names of all tables.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		names = append(names, n)

@@ -21,8 +21,6 @@ func mustSchema(t *testing.T, cols []Column) Schema {
 func newPeople(t *testing.T) (*Catalog, *Table) {
 	t.Helper()
 	c := NewCatalog()
-	c.Lock()
-	defer c.Unlock()
 	s := mustSchema(t, []Column{
 		{Name: "id", Type: val.KindInt},
 		{Name: "name", Type: val.KindString},
@@ -179,7 +177,6 @@ func TestIndexOn(t *testing.T) {
 
 func TestCatalog(t *testing.T) {
 	c := NewCatalog()
-	c.Lock()
 	s := mustSchema(t, []Column{{Name: "x", Type: val.KindInt}})
 	if _, err := c.CreateTable("t", s, -1); err != nil {
 		t.Fatal(err)
@@ -196,13 +193,10 @@ func TestCatalog(t *testing.T) {
 	if err := c.DropTable("t"); err == nil {
 		t.Error("double drop accepted")
 	}
-	c.Unlock()
 }
 
 func TestTxnRollbackInsert(t *testing.T) {
 	c, tb := newPeople(t)
-	c.Lock()
-	defer c.Unlock()
 	txn, err := c.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -224,13 +218,11 @@ func TestTxnRollbackDeleteUpdate(t *testing.T) {
 	tb.CreateIndex("by_age", []string{"age"})
 	id1, _ := tb.Insert(row(val.Int(1), val.Str("a"), val.Int(10)))
 	id2, _ := tb.Insert(row(val.Int(2), val.Str("b"), val.Int(20)))
-	c.Lock()
 	txn, _ := c.Begin()
 	tb.Delete(id1)
 	tb.Update(id2, row(val.Int(2), val.Str("bb"), val.Int(21)))
 	tb.Insert(row(val.Int(3), val.Str("c"), val.Int(30)))
 	txn.Rollback()
-	c.Unlock()
 	if tb.Len() != 2 {
 		t.Fatalf("Len = %d", tb.Len())
 	}
@@ -248,13 +240,11 @@ func TestTxnRollbackDeleteUpdate(t *testing.T) {
 
 func TestTxnCommit(t *testing.T) {
 	c, tb := newPeople(t)
-	c.Lock()
 	txn, _ := c.Begin()
 	tb.Insert(row(val.Int(1), val.Str("a"), val.Int(1)))
 	if err := txn.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	c.Unlock()
 	if tb.Len() != 1 {
 		t.Error("commit lost the row")
 	}
@@ -265,8 +255,6 @@ func TestTxnCommit(t *testing.T) {
 
 func TestTxnExclusive(t *testing.T) {
 	c, _ := newPeople(t)
-	c.Lock()
-	defer c.Unlock()
 	if _, err := c.Begin(); err != nil {
 		t.Fatal(err)
 	}
@@ -277,8 +265,6 @@ func TestTxnExclusive(t *testing.T) {
 
 func TestDropInTxnRejected(t *testing.T) {
 	c, _ := newPeople(t)
-	c.Lock()
-	defer c.Unlock()
 	c.Begin()
 	if err := c.DropTable("people"); err == nil {
 		t.Error("drop inside txn accepted")
@@ -292,8 +278,6 @@ func TestQuickTxnRollbackRestoresState(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		c := NewCatalog()
-		c.Lock()
-		defer c.Unlock()
 		s, _ := NewSchema([]Column{{Name: "k", Type: val.KindInt}, {Name: "v", Type: val.KindInt}})
 		tb, _ := c.CreateTable("t", s, 0)
 		tb.CreateIndex("by_v", []string{"v"})

@@ -1,0 +1,30 @@
+package query
+
+import "beliefdb/internal/sqlparser"
+
+// ReadOnly reports whether stmt can run under a shared (reader) lock of the
+// single-writer / multi-reader model: it neither mutates table data or
+// schema nor opens, commits, or rolls back a transaction. SELECT — and with
+// it every BCQ produced by the BeliefSQL translation (Algorithm 1) — is the
+// only read-only statement; CREATE/DROP/INSERT/UPDATE/DELETE and the
+// transaction-control statements all require the exclusive writer lock
+// (BEGIN/COMMIT/ROLLBACK manipulate the catalog's single active Txn).
+func ReadOnly(stmt sqlparser.Statement) bool {
+	switch stmt.(type) {
+	case sqlparser.Select:
+		return true
+	default:
+		return false
+	}
+}
+
+// AllReadOnly reports whether every statement of a batch is read-only, i.e.
+// the whole batch can run under one shared lock acquisition.
+func AllReadOnly(stmts []sqlparser.Statement) bool {
+	for _, s := range stmts {
+		if !ReadOnly(s) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package sqldb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beliefdb/internal/engine"
+)
+
+// TestReadersOverlap is the deterministic proof that two readers hold the
+// lock simultaneously: each View goroutine signals entry and then waits for
+// the other before returning. Under the old single-mutex model (or any
+// accidental writer-lock routing of SELECTs) the two readers would serialize
+// and this test would time out.
+func TestReadersOverlap(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k INT)"); err != nil {
+		t.Fatal(err)
+	}
+	inside := make(chan int, 2)
+	proceed := make(chan struct{})
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			done <- db.View(func(cat *engine.Catalog) error {
+				inside <- i
+				<-proceed // held until BOTH readers are inside the lock
+				return nil
+			})
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-inside:
+		case <-time.After(5 * time.Second):
+			t.Fatal("readers did not overlap: second View blocked while first held the read lock")
+		}
+	}
+	close(proceed)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWriterExcludesReaders checks the other half of the contract: a View
+// that starts while Atomically holds the writer lock must not observe the
+// transaction's intermediate state.
+func TestWriterExcludesReaders(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k INT)"); err != nil {
+		t.Fatal(err)
+	}
+	var writing atomic.Bool
+	writerIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		err := db.Atomically(func(cat *engine.Catalog) error {
+			writing.Store(true)
+			close(writerIn)
+			time.Sleep(50 * time.Millisecond) // give the reader time to contend
+			writing.Store(false)
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-writerIn
+		err := db.View(func(cat *engine.Catalog) error {
+			if writing.Load() {
+				t.Error("View entered while a writer held the exclusive lock")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+}
+
+// TestSelectsRunUnderReadLock pins the statement routing: a SELECT issued
+// while another goroutine is parked inside View must complete, which is only
+// possible if Query takes the shared lock.
+func TestSelectsRunUnderReadLock(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k INT); INSERT INTO t VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	viewIn := make(chan struct{})
+	go func() {
+		db.View(func(cat *engine.Catalog) error {
+			close(viewIn)
+			<-hold
+			return nil
+		})
+	}()
+	<-viewIn
+	defer close(hold)
+	type qr struct{ err error }
+	res := make(chan qr, 1)
+	go func() {
+		_, err := db.Query("SELECT k FROM t")
+		res <- qr{err}
+	}()
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SELECT blocked behind a concurrent reader: it took the writer lock")
+	}
+}

@@ -1,7 +1,11 @@
 // Package sqldb is the embedded database facade: it owns an engine catalog
-// and executes SQL text through the parser and query planner. It serializes
-// all statements with a single mutex (single-writer semantics), which is the
-// concurrency model the belief-database layers are written against.
+// and executes SQL text through the parser and query planner. Concurrency
+// follows a single-writer / multi-reader model: statements classified as
+// read-only by internal/query (SELECTs, including every query produced by
+// the BeliefSQL translation) run under a shared reader lock and may overlap
+// freely, while mutating statements and transactions hold the exclusive
+// writer lock. The belief-database layers share this same lock (see Locker),
+// so one DB plus its store form a single consistency domain.
 package sqldb
 
 import (
@@ -13,9 +17,10 @@ import (
 	"beliefdb/internal/sqlparser"
 )
 
-// DB is an embedded SQL database instance.
+// DB is an embedded SQL database instance. It is safe for concurrent use:
+// reads (SELECT, View) proceed in parallel, writes are exclusive.
 type DB struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	cat *engine.Catalog
 }
 
@@ -25,7 +30,9 @@ func New() *DB {
 }
 
 // Exec parses and runs a semicolon-separated batch of statements, returning
-// the result of the last one. Statements inside an explicit BEGIN..COMMIT
+// the result of the last one. A batch consisting solely of read-only
+// statements runs under the shared reader lock; any mutating statement makes
+// the whole batch exclusive. Statements inside an explicit BEGIN..COMMIT
 // are atomic; a failing statement outside a transaction only affects itself
 // (per-statement atomicity is guaranteed by the engine's implicit
 // transactions for multi-row inserts).
@@ -37,8 +44,13 @@ func (db *DB) Exec(sql string) (*query.Result, error) {
 	if len(stmts) == 0 {
 		return nil, fmt.Errorf("sqldb: empty statement")
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	if query.AllReadOnly(stmts) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	} else {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
 	var res *query.Result
 	for _, s := range stmts {
 		res, err = query.Run(db.cat, s)
@@ -50,33 +62,45 @@ func (db *DB) Exec(sql string) (*query.Result, error) {
 }
 
 // Query is Exec restricted to a single statement; the name signals intent at
-// call sites that expect rows back.
+// call sites that expect rows back. SELECTs take only the reader lock.
 func (db *DB) Query(sql string) (*query.Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return query.Run(db.cat, stmt)
+	return db.RunStmt(stmt)
 }
 
 // RunStmt executes an already-parsed statement (used by layers that build
-// ASTs directly and by the BeliefSQL translator).
+// ASTs directly and by the BeliefSQL translator), choosing the reader or
+// writer lock by statement classification.
 func (db *DB) RunStmt(stmt sqlparser.Statement) (*query.Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	if query.ReadOnly(stmt) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	} else {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
 	return query.Run(db.cat, stmt)
 }
 
 // Catalog exposes the underlying engine catalog for layers that maintain
 // internal tables directly (the belief store's update algorithms). Callers
-// must serialize access themselves; the belief store does so with its own
-// lock, and mixing direct catalog access with concurrent Exec calls on the
-// same tables is not supported.
+// must serialize access themselves; the belief store does so by sharing this
+// DB's lock (Locker), and mixing direct catalog access with concurrent Exec
+// calls on the same tables under any other lock is not supported.
 func (db *DB) Catalog() *engine.Catalog { return db.cat }
 
-// Atomically runs fn inside an engine transaction, rolling back on error.
+// Locker exposes the DB's single-writer / multi-reader lock so that layers
+// maintaining internal tables directly (the belief store) can join the same
+// consistency domain: their writes take Lock, their reads RLock. Holding the
+// lock while calling Exec/Query/RunStmt/Atomically/View deadlocks — the
+// lock is not reentrant.
+func (db *DB) Locker() *sync.RWMutex { return &db.mu }
+
+// Atomically runs fn inside an engine transaction under the exclusive
+// writer lock, rolling back on error.
 func (db *DB) Atomically(fn func(cat *engine.Catalog) error) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -89,4 +113,13 @@ func (db *DB) Atomically(fn func(cat *engine.Catalog) error) error {
 		return err
 	}
 	return txn.Commit()
+}
+
+// View runs fn under the shared reader lock: the read-path counterpart of
+// Atomically. fn must not mutate the catalog or its tables; any number of
+// View calls (and read-only statements) may execute concurrently.
+func (db *DB) View(fn func(cat *engine.Catalog) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return fn(db.cat)
 }

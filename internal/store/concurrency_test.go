@@ -1,0 +1,182 @@
+package store_test
+
+// Race-hardened stress test for the single-writer / multi-reader model:
+// reader goroutines hammer the read path (WorldContent, Entails, Stats,
+// ExplicitStatements, WidOf) while one writer runs the paper's update
+// algorithms. Run with -race. The readers assert structural invariants that
+// a torn multi-table update across R_star/R_v/_e/_d/_s would break:
+//
+//   - Stats observes |_d| == N (one D row per state) and |_s| == N-1
+//     (every non-root state has exactly one suffix link) atomically;
+//   - WorldContent decodes every V row's tid through R_star, so a V row
+//     whose ground tuple is missing (torn insert/delete) surfaces as a
+//     "dangling tid" error;
+//   - world entries must always be well-formed two-column R tuples.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/store"
+	"beliefdb/internal/val"
+)
+
+// stressRel is the two-column relation used by the stress test.
+func stressRel() store.Relation {
+	return store.Relation{Name: "R", Columns: []store.Column{
+		{Name: "k", Type: val.KindString},
+		{Name: "v", Type: val.KindString},
+	}}
+}
+
+func stressTuple(k, v string) core.Tuple {
+	return core.Tuple{Rel: "R", Vals: []val.Value{val.Str(k), val.Str(v)}}
+}
+
+// stressPaths is the rotation of belief paths the writer annotates; adjacent
+// believers always differ, as Û* requires.
+func stressPaths() []core.Path {
+	return []core.Path{nil, {1}, {2}, {3}, {1, 2}, {2, 1}, {3, 1}, {1, 2, 1}}
+}
+
+func TestConcurrentReadersSingleWriter(t *testing.T) {
+	const (
+		writerOps = 200
+		readers   = 4
+	)
+	st, err := store.Open([]store.Relation{stressRel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"u1", "u2", "u3"} {
+		if _, err := st.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths := stressPaths()
+
+	done := make(chan struct{})
+	var iterations atomic.Int64
+	var wg sync.WaitGroup
+
+	// Readers: loop until the writer finishes, checking invariants that
+	// would be violated by any torn multi-table update. Each reader always
+	// completes a minimum number of passes so the test cannot degenerate
+	// into readers that exit before doing any work.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := stressTuple("k0", "v0")
+			const minIters = 5
+			for i := 0; ; i++ {
+				if i >= minIters {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				iterations.Add(1)
+				p := paths[(i+r)%len(paths)]
+				w, err := st.WorldContent(p)
+				if err != nil {
+					t.Errorf("reader %d: WorldContent(%s): %v", r, p, err)
+					return
+				}
+				for _, e := range w.Entries(core.Pos) {
+					if e.Tuple.Rel != "R" || len(e.Tuple.Vals) != 2 {
+						t.Errorf("reader %d: malformed tuple %v in world %s", r, e.Tuple, p)
+						return
+					}
+				}
+				stats := st.Stats()
+				if got := stats.TableRows["_d"]; got != stats.States {
+					t.Errorf("reader %d: torn state insert: |_d| = %d but N = %d", r, got, stats.States)
+					return
+				}
+				if got := stats.TableRows["_s"]; got != stats.States-1 {
+					t.Errorf("reader %d: torn suffix link: |_s| = %d but N-1 = %d", r, got, stats.States-1)
+					return
+				}
+				if _, err := st.Entails(p, probe, core.Pos); err != nil {
+					t.Errorf("reader %d: Entails: %v", r, err)
+					return
+				}
+				if i%7 == 0 {
+					if _, err := st.ExplicitStatements(); err != nil {
+						t.Errorf("reader %d: ExplicitStatements: %v", r, err)
+						return
+					}
+				}
+				st.WidOf(p)
+				st.Users()
+				st.Len()
+			}
+		}(r)
+	}
+
+	// Single writer: insert a uniquely-keyed statement per iteration and
+	// delete the one from 10 iterations ago, exercising world creation,
+	// propagation, and reconciliation concurrently with the readers.
+	var history []core.Statement
+	for i := 0; i < writerOps; i++ {
+		p := paths[i%len(paths)]
+		sign := core.Pos
+		if i%5 == 4 {
+			sign = core.Neg
+		}
+		stmt := core.Statement{Path: p, Sign: sign, Tuple: stressTuple(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))}
+		changed, err := st.Insert(stmt)
+		if err != nil {
+			t.Fatalf("writer: insert %d: %v", i, err)
+		}
+		if !changed {
+			t.Fatalf("writer: insert %d reported unchanged", i)
+		}
+		history = append(history, stmt)
+		if i >= 10 {
+			changed, err := st.Delete(history[i-10])
+			if err != nil {
+				t.Fatalf("writer: delete %d: %v", i-10, err)
+			}
+			if !changed {
+				t.Fatalf("writer: delete %d reported unchanged", i-10)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if n := iterations.Load(); n < readers {
+		t.Fatalf("readers performed only %d iterations; the stress test did no work", n)
+	}
+
+	// The surviving statements are the last 10; the structure must agree
+	// with a from-scratch rebuild (the executable specification).
+	if got, want := st.Len(), 10; got != want {
+		t.Fatalf("after stress: n = %d, want %d", got, want)
+	}
+	before, err := st.ExplicitStatements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rebuild(); err != nil {
+		t.Fatalf("post-stress rebuild: %v", err)
+	}
+	after, err := st.ExplicitStatements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("rebuild changed the explicit statements: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].String() != after[i].String() {
+			t.Fatalf("rebuild changed statement %d: %s -> %s", i, before[i], after[i])
+		}
+	}
+}

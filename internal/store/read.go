@@ -23,8 +23,8 @@ func allVRows(ri *relInfo) []vRow {
 // deepest suffix state (whose world equals D̄_w, Theorem 17) and the V rows
 // of that state are decoded back into tuples.
 func (st *Store) WorldContent(p core.Path) (*core.World, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return st.worldContentLocked(p)
 }
 
@@ -113,8 +113,8 @@ func (st *Store) Entails(p core.Path, t core.Tuple, s core.Sign) (bool, error) {
 // e = 'y'), in deterministic order. Together with the user set this is the
 // full logical content of the belief database.
 func (st *Store) ExplicitStatements() ([]core.Statement, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return st.explicitStatementsLocked()
 }
 
@@ -159,8 +159,8 @@ func (st *Store) explicitStatementsLocked() ([]core.Statement, error) {
 // States returns the world ids and paths of all states, sorted by id —
 // the D relation enriched with paths.
 func (st *Store) States() map[int64]core.Path {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make(map[int64]core.Path, len(st.pathByWid))
 	for wid, p := range st.pathByWid {
 		out[wid] = p.Clone()
@@ -170,7 +170,7 @@ func (st *Store) States() map[int64]core.Path {
 
 // WidOf exposes path-to-world-id resolution for tests and tools.
 func (st *Store) WidOf(p core.Path) (int64, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return st.widOf(p)
 }

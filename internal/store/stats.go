@@ -49,8 +49,8 @@ func (s Stats) String() string {
 
 // Stats computes the current size statistics.
 func (st *Store) Stats() Stats {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := Stats{
 		TableRows:   make(map[string]int),
 		Annotations: st.n,

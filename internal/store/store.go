@@ -58,8 +58,17 @@ type relInfo struct {
 }
 
 // Store is a belief database persisted in the relational internal schema.
+//
+// A Store is safe for concurrent use under the single-writer / multi-reader
+// model: it shares its embedded database's RWMutex (sqldb.DB.Locker), so
+// the update algorithms (Insert/Delete/Replace, AddUser, Rebuild, Vacuum)
+// hold the exclusive writer lock while read methods (WorldContent, Entails,
+// ExplicitStatements, Stats, user lookups) and translated BeliefSQL SELECTs
+// — which run through the same DB — overlap freely under the shared lock.
+// Every writer holds the lock for its whole multi-table update, so readers
+// only ever observe fully-applied statements across R_star/R_v/_e/_d/_s.
 type Store struct {
-	mu  sync.Mutex
+	mu  *sync.RWMutex // shared with db: the stack-wide single-writer lock
 	db  *sqldb.DB
 	cat *engine.Catalog
 
@@ -109,6 +118,7 @@ func open(rels []Relation, lazy bool) (*Store, error) {
 	db := sqldb.New()
 	st := &Store{
 		lazy:        lazy,
+		mu:          db.Locker(),
 		db:          db,
 		cat:         db.Catalog(),
 		rels:        make(map[string]*relInfo),
@@ -243,6 +253,8 @@ func (st *Store) DB() *sqldb.DB { return st.db }
 func (st *Store) Lazy() bool { return st.lazy }
 
 // Relations returns the external relation definitions in creation order.
+// The relation set is fixed at Open time (rels/relOrder are never mutated
+// afterwards), so Relations and Relation need no locking.
 func (st *Store) Relations() []Relation {
 	out := make([]Relation, 0, len(st.relOrder))
 	for _, n := range st.relOrder {
@@ -293,24 +305,24 @@ func (st *Store) AddUser(name string) (core.UserID, error) {
 
 // UserID resolves a user name.
 func (st *Store) UserID(name string) (core.UserID, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	uid, ok := st.usersByName[name]
 	return uid, ok
 }
 
 // UserName resolves a user id.
 func (st *Store) UserName(uid core.UserID) (string, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	n, ok := st.usersByID[uid]
 	return n, ok
 }
 
 // Users returns all user ids in ascending order.
 func (st *Store) Users() []core.UserID {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]core.UserID, 0, len(st.usersByID))
 	for uid := range st.usersByID {
 		out = append(out, uid)
@@ -321,7 +333,7 @@ func (st *Store) Users() []core.UserID {
 
 // Len returns the number of explicit belief statements (the paper's n).
 func (st *Store) Len() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return st.n
 }
