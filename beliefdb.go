@@ -27,6 +27,18 @@
 // update. Readers therefore only ever observe fully-applied belief
 // statements, never a torn intermediate state. See the Concurrency section
 // of DESIGN.md for the locking architecture.
+//
+// # Durability
+//
+// Open and OpenLazy keep the database in memory. OpenAt (and OpenLazyAt)
+// persist it under a directory: every mutation is appended to a
+// CRC-checksummed write-ahead log and fsynced before it is acknowledged,
+// Checkpoint compacts the log into an atomically-replaced snapshot, and
+// reopening the directory recovers the exact committed state — loading the
+// snapshot, replaying the WAL tail, and truncating at the first torn
+// record. Close ends a durable session; afterwards mutations fail while
+// reads keep serving the in-memory state. See the Durability section of
+// DESIGN.md for the formats and the recovery algorithm.
 package beliefdb
 
 import (
@@ -130,6 +142,36 @@ func Open(schema Schema) (*DB, error) {
 	return &DB{st: st, tr: bsql.NewTranslator(st)}, nil
 }
 
+// OpenAt opens — creating it on first use — a durable belief database
+// rooted at directory dir, using the eager representation. Every mutating
+// operation (InsertBelief/DeleteBelief, DML via BeliefSQL, AddUser,
+// Rebuild, Vacuum, and raw-SQL writes through SQL) is appended to a
+// write-ahead log and fsynced before it is acknowledged; Checkpoint
+// compacts the log into a snapshot. Reopening the directory recovers the
+// exact committed state: the latest snapshot is loaded and the WAL tail
+// replayed, truncating at the first torn record (see the Durability
+// section of DESIGN.md). The schema must match the one the directory was
+// created with. A directory is exclusive to one open handle at a time,
+// enforced by an advisory lock (dir/LOCK) that dies with the process.
+func OpenAt(dir string, schema Schema) (*DB, error) {
+	st, err := store.OpenAt(dir, schema.Relations)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{st: st, tr: bsql.NewTranslator(st)}, nil
+}
+
+// OpenLazyAt is OpenAt with the lazy representation of OpenLazy. The two
+// representations journal identically but snapshot differently, so a
+// directory stays bound to the representation that created it.
+func OpenLazyAt(dir string, schema Schema) (*DB, error) {
+	st, err := store.OpenLazyAt(dir, schema.Relations)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{st: st, tr: bsql.NewTranslator(st)}, nil
+}
+
 // OpenLazy creates a belief database with the lazy representation sketched
 // in the paper's future work (Sect. 6.3): only explicit statements are
 // stored (|R*|/n approaches 1) and the message-board default rule is
@@ -146,6 +188,20 @@ func OpenLazy(schema Schema) (*DB, error) {
 
 // Lazy reports whether the database uses the lazy representation.
 func (db *DB) Lazy() bool { return db.st.Lazy() }
+
+// Durable reports whether the database persists to disk (opened with
+// OpenAt/OpenLazyAt).
+func (db *DB) Durable() bool { return db.st.Durable() }
+
+// Checkpoint writes a snapshot of the internal representation and
+// truncates the write-ahead log, bounding recovery time. It is an error on
+// an in-memory database.
+func (db *DB) Checkpoint() error { return db.st.Checkpoint() }
+
+// Close flushes and closes the write-ahead log of a durable database.
+// Mutations after Close fail; reads keep serving the in-memory state.
+// Closing an in-memory database is a no-op.
+func (db *DB) Close() error { return db.st.Close() }
 
 // AddUser registers a community member and returns their id.
 func (db *DB) AddUser(name string) (UserID, error) { return db.st.AddUser(name) }

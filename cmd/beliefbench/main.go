@@ -1,11 +1,12 @@
 // Command beliefbench regenerates the paper's evaluation artifacts:
 // Table 1 (relative overhead grid), Figure 6 (overhead vs. number of
 // annotations), Table 2 (query latencies), and the Sect. 5.4 space-bound
-// ablation.
+// ablation — plus the durability benchmark (WAL append/replay, snapshot
+// write/load), which has no counterpart in the paper.
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
 //
 // Without -full, scaled-down parameters keep runtime in seconds; -full uses
 // the paper's parameters (n = 10,000 annotations, 10 databases per Table 1
@@ -59,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		table2  = fs.Bool("table2", false, "run the Table 2 query benchmark")
 		bounds  = fs.Bool("bounds", false, "run the Sect. 5.4 space-bound ablation")
 		lazy    = fs.Bool("lazy", false, "run the lazy-vs-eager representation ablation (Sect. 6.3)")
+		durab   = fs.Bool("durability", false, "run the WAL/snapshot durability benchmark")
 		all     = fs.Bool("all", false, "run everything")
 		full    = fs.Bool("full", false, "use the paper's full-scale parameters")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
@@ -70,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -199,6 +201,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 			})
 		}
 		emit(bench.RenderLazyAblation(rows, nl, ml), recs)
+	}
+
+	if *all || *durab {
+		nd := 1000
+		if *full {
+			nd = 10000
+		}
+		if *n > 0 {
+			nd = *n
+		}
+		res, err := bench.RunDurability(nd, 10, 6, progress)
+		if err != nil {
+			return err
+		}
+		recs := []benchRecord{
+			{Name: "durability/build", NsPerOp: res.BuildNsPerOp, Value: float64(res.Ops), Unit: "journaled_ops"},
+			{Name: "durability/wal-replay", NsPerOp: res.WALReplayNs, Value: float64(res.WALBytes), Unit: "bytes"},
+			{Name: "durability/checkpoint", NsPerOp: res.CheckpointNs, Value: float64(res.SnapshotBytes), Unit: "bytes"},
+			{Name: "durability/snapshot-load", NsPerOp: res.SnapshotLoadNs, Value: float64(res.SnapshotBytes), Unit: "bytes"},
+		}
+		emit(res.Render(), recs)
 	}
 
 	if *jsonOut {

@@ -56,3 +56,38 @@ func TestBadFlagRejected(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+func TestDurabilityJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-json", "-durability", "-n", "150"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	want := map[string]bool{
+		"durability/build":         false,
+		"durability/wal-replay":    false,
+		"durability/checkpoint":    false,
+		"durability/snapshot-load": false,
+	}
+	for _, r := range recs {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected record %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v, want > 0", r.Name, r.NsPerOp)
+		}
+		if r.Value <= 0 {
+			t.Errorf("%s: value = %v, want > 0", r.Name, r.Value)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("record %q missing", name)
+		}
+	}
+}

@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	beliefsql [-demo] [-schema spec] [script.bsql ...]
+//	beliefsql [-demo] [-schema spec] [-db dir] [script.bsql ...]
 //
 // The schema is declared with -schema using one or more
 // "Rel(col:type,...)" items separated by ';' (the first column is the
 // external key; types: int, float, text, bool). -demo preloads the paper's
 // NatureMapping running example (users Alice/Bob/Carol, inserts i1..i8).
-// Script files are executed before the prompt; with no TTY-style
-// interaction desired, pass scripts and pipe input.
+// With -db the database is durable: every mutation is journaled to
+// dir/wal.bdb before it is applied, \checkpoint compacts the journal into
+// dir/snapshot.bdb, and restarting beliefsql with the same -db recovers the
+// previous session's committed state exactly. Script files are executed
+// before the prompt; with no TTY-style interaction desired, pass scripts
+// and pipe input.
 //
 // Meta commands at the prompt:
 //
@@ -39,13 +43,15 @@ func main() {
 	var (
 		demo   = flag.Bool("demo", false, "preload the paper's running example")
 		schema = flag.String("schema", "", "schema spec: Rel(col:type,...);...")
+		dbdir  = flag.String("db", "", "durable database directory (WAL + snapshot; created on first use, recovered on reopen)")
 	)
 	flag.Parse()
 
-	db, err := openDB(*demo, *schema)
+	db, err := openDB(*demo, *schema, *dbdir)
 	if err != nil {
 		fatal(err)
 	}
+	defer db.Close()
 	for _, file := range flag.Args() {
 		data, err := os.ReadFile(file)
 		if err != nil {
@@ -93,25 +99,50 @@ func main() {
 	}
 }
 
-func openDB(demo bool, schemaSpec string) (*beliefdb.DB, error) {
-	if demo || schemaSpec == "" {
-		db, err := beliefdb.Open(natureSchema())
+func openDB(demo bool, schemaSpec, dbdir string) (*beliefdb.DB, error) {
+	open := func(sch beliefdb.Schema) (*beliefdb.DB, error) {
+		if dbdir == "" {
+			return beliefdb.Open(sch)
+		}
+		db, err := beliefdb.OpenAt(dbdir, sch)
 		if err != nil {
 			return nil, err
 		}
+		if s := db.Stats(); s.Annotations > 0 || s.Users > 0 {
+			fmt.Printf("recovered %s: %d users, %d statements\n", dbdir, s.Users, s.Annotations)
+		}
+		return db, nil
+	}
+	if demo || schemaSpec == "" {
+		db, err := open(natureSchema())
+		if err != nil {
+			return nil, err
+		}
+		// A recovered -db directory that already holds statements has real
+		// history: re-running the preload there would journal needless
+		// records and resurrect demo statements the user durably deleted.
+		// Mere user registrations (auto-added by any prior session) do not
+		// count — a first -demo run must still work after them.
+		hasStatements := db.Stats().Annotations > 0
 		for _, name := range []string{"Alice", "Bob", "Carol"} {
+			if _, ok := db.UserID(name); ok {
+				continue // already registered by a previous durable session
+			}
 			if _, err := db.AddUser(name); err != nil {
 				return nil, err
 			}
 		}
-		if demo {
+		switch {
+		case demo && hasStatements:
+			fmt.Println("database already contains statements; skipping -demo preload")
+		case demo:
 			for _, st := range paperex.Statements() {
 				if _, err := db.InsertBelief(st.Path, st.Sign, st.Tuple); err != nil {
 					return nil, err
 				}
 			}
 			fmt.Println("loaded running example: users Alice, Bob, Carol; statements i1..i8")
-		} else {
+		default:
 			fmt.Println("using NatureMapping demo schema: Sightings(sid,uid,species,date,location), Comments(cid,comment,sid)")
 		}
 		return db, nil
@@ -120,7 +151,7 @@ func openDB(demo bool, schemaSpec string) (*beliefdb.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return beliefdb.Open(sch)
+	return open(sch)
 }
 
 func natureSchema() beliefdb.Schema {
@@ -225,6 +256,7 @@ func meta(db *beliefdb.DB, line string) bool {
   \stats           representation size
   \statements      list explicit belief statements
   \dump            emit a replayable BeliefSQL script
+  \checkpoint      snapshot a durable database and truncate its WAL
   \quit`)
 	case "adduser":
 		if arg == "" {
@@ -282,6 +314,12 @@ func meta(db *beliefdb.DB, line string) bool {
 			break
 		}
 		fmt.Print(script)
+	case "checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("checkpoint written")
 	case "stats":
 		fmt.Print(db.Stats())
 	case "statements":

@@ -36,7 +36,7 @@ func TestParseSchema(t *testing.T) {
 }
 
 func TestParsePath(t *testing.T) {
-	db, err := openDB(false, "")
+	db, err := openDB(false, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestParsePath(t *testing.T) {
 }
 
 func TestOpenDBDemo(t *testing.T) {
-	db, err := openDB(true, "")
+	db, err := openDB(true, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestOpenDBDemo(t *testing.T) {
 }
 
 func TestMetaCommands(t *testing.T) {
-	db, err := openDB(true, "")
+	db, err := openDB(true, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,5 +97,44 @@ func TestMetaCommands(t *testing.T) {
 	}
 	if meta(db, "\\quit") {
 		t.Error("\\quit did not quit")
+	}
+}
+
+func TestOpenDBDurableSession(t *testing.T) {
+	dir := t.TempDir()
+	db, err := openDB(true, "", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Durable() {
+		t.Fatal("-db session should be durable")
+	}
+	if _, err := db.Exec(`insert into Comments values ('c9','session note','s1')`); err != nil {
+		t.Fatal(err)
+	}
+	stmts, err := db.Statements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second session over the same directory (demo reloads are no-ops on
+	// the recovered state) sees the same statements.
+	db2, err := openDB(true, "", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	stmts2, err := db2.Statements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts2) != len(stmts) {
+		t.Fatalf("recovered session has %d statements, want %d", len(stmts2), len(stmts))
+	}
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
 	}
 }

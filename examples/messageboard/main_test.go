@@ -1,0 +1,38 @@
+package main
+
+// Example_main compiles and runs the message-board default rule of Sect. 3.2 under
+// `go test`, pinning its deterministic output: CI now executes every
+// example instead of merely hoping it still builds.
+func Example_main() {
+	main()
+
+	// Output:
+	// Before Dora joins:
+	//   alice believes 2027                                        true
+	//   bob believes 2031                                          true
+	//   alice believes that bob believes 2031                      true
+	//   bob believes that alice believes 2027                      true
+	//   alice believes 2031 herself                                false
+	//   bob believes 2027 himself                                  false
+	//
+	// Dora joins (no statements of her own):
+	//   dora believes 2027                                         false
+	//   dora believes that alice believes 2027                     true
+	//   dora believes that bob believes 2031                       true
+	//
+	// After the 2027 claim is posted as board content:
+	//   dora believes 2027 (default)                               true
+	//   bob still believes 2031 (his explicit claim wins)          true
+	//   bob believes 2027                                          false
+	//
+	// After Dora explicitly disagrees:
+	//   dora believes 2027                                         false
+	//   dora disbelieves 2027 (stated): true
+	//   dora believes that alice believes 2027 (unchanged)         true
+	//
+	// Explicit statements on the board:
+	//   Claims('c1','the comet returns in 2027')+
+	//   [1] Claims('c1','the comet returns in 2027')+
+	//   [2] Claims('c1','the comet returns in 2031')+
+	//   [3] Claims('c1','the comet returns in 2027')-
+}

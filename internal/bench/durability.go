@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"beliefdb/internal/gen"
+	"beliefdb/internal/store"
+)
+
+// DurabilityResult measures the cost of the durability subsystem on a
+// generated workload: journaled build throughput, recovery by WAL replay,
+// checkpointing, and recovery by snapshot load. File sizes put the
+// "compact binary format" claim on the record alongside the paper's
+// |R*|/n space overhead.
+type DurabilityResult struct {
+	N             int   // accepted annotations
+	Ops           int   // journaled operations (users + inserts)
+	WALBytes      int64 // WAL size after the build, before checkpoint
+	SnapshotBytes int64
+
+	BuildNsPerOp    float64 // journaled insert cost (fsync per op)
+	WALReplayNs     float64 // OpenAt: recover the full state from the WAL alone
+	CheckpointNs    float64 // snapshot write + WAL truncation
+	SnapshotLoadNs  float64 // OpenAt: recover from the snapshot (empty WAL)
+	MemoryBuildNsOp float64 // the same workload on an in-memory store, for contrast
+}
+
+// durabilityConfig returns the generator configuration of the durability
+// benchmark: a NatureMapping-like mix with mostly depth-0/1 annotations.
+func durabilityConfig(m int, seed int64, n int) gen.Config {
+	return gen.Config{
+		Users:         m,
+		DepthDist:     []float64{0.4, 0.5, 0.1},
+		Participation: gen.Zipf,
+		KeyPool:       keyPoolFor(n),
+		Seed:          seed,
+	}
+}
+
+// buildDurable opens a durable store at dir and loads n accepted
+// annotations, returning the op count.
+func buildDurable(dir string, cfg gen.Config, n int) (*store.Store, int, error) {
+	g, err := gen.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := store.OpenAt(dir, []store.Relation{GenRelation()})
+	if err != nil {
+		return nil, 0, err
+	}
+	ops := 0
+	for i := 1; i <= cfg.Users; i++ {
+		if _, err := st.AddUser(fmt.Sprintf("u%d", i)); err != nil {
+			return nil, 0, err
+		}
+		ops++
+	}
+	_, attempts, err := g.Load(n, st.Insert)
+	if err != nil {
+		return nil, 0, err
+	}
+	ops += attempts // every attempted insert validates, so every one is journaled
+	return st, ops, nil
+}
+
+// RunDurability measures the durability pipeline end to end in a fresh
+// scratch directory.
+func RunDurability(n, m int, seed int64, progress func(string)) (*DurabilityResult, error) {
+	dir, err := os.MkdirTemp("", "beliefdb-durability-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	dbDir := filepath.Join(dir, "db")
+	cfg := durabilityConfig(m, seed, n)
+	out := &DurabilityResult{N: n}
+
+	start := time.Now()
+	st, ops, err := buildDurable(dbDir, cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	buildTime := time.Since(start)
+	out.Ops = ops
+	out.BuildNsPerOp = float64(buildTime) / float64(ops)
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(filepath.Join(dbDir, store.WALFileName)); err == nil {
+		out.WALBytes = fi.Size()
+	}
+	if progress != nil {
+		progress(fmt.Sprintf("durability build      n=%d ops=%d wal=%dB (%.1fµs/op)",
+			n, ops, out.WALBytes, out.BuildNsPerOp/1e3))
+	}
+
+	// Recovery from the WAL alone.
+	start = time.Now()
+	st, err = store.OpenAt(dbDir, []store.Relation{GenRelation()})
+	if err != nil {
+		return nil, err
+	}
+	out.WALReplayNs = float64(time.Since(start))
+	if progress != nil {
+		progress(fmt.Sprintf("durability wal-replay %s", time.Duration(out.WALReplayNs).Round(time.Microsecond)))
+	}
+
+	// Checkpoint, then recovery from the snapshot alone.
+	start = time.Now()
+	if err := st.Checkpoint(); err != nil {
+		return nil, err
+	}
+	out.CheckpointNs = float64(time.Since(start))
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(filepath.Join(dbDir, store.SnapshotFileName)); err == nil {
+		out.SnapshotBytes = fi.Size()
+	}
+	start = time.Now()
+	st, err = store.OpenAt(dbDir, []store.Relation{GenRelation()})
+	if err != nil {
+		return nil, err
+	}
+	out.SnapshotLoadNs = float64(time.Since(start))
+	st.Close()
+	if progress != nil {
+		progress(fmt.Sprintf("durability snapshot   write=%s load=%s size=%dB",
+			time.Duration(out.CheckpointNs).Round(time.Microsecond),
+			time.Duration(out.SnapshotLoadNs).Round(time.Microsecond), out.SnapshotBytes))
+	}
+
+	// The same workload without a journal, for the durability tax.
+	start = time.Now()
+	if _, _, err := BuildDB(cfg, n); err != nil {
+		return nil, err
+	}
+	out.MemoryBuildNsOp = float64(time.Since(start)) / float64(ops)
+	return out, nil
+}
+
+// Render prints the measurements as a short report.
+func (d *DurabilityResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Durability: WAL + snapshot cost for n=%d annotations (%d journaled ops)\n\n", d.N, d.Ops)
+	fmt.Fprintf(&sb, "  %-28s %12.1f µs/op (in-memory: %.1f µs/op)\n",
+		"journaled build", d.BuildNsPerOp/1e3, d.MemoryBuildNsOp/1e3)
+	fmt.Fprintf(&sb, "  %-28s %12.1f ms (%d bytes, %.1f B/op)\n",
+		"recovery: WAL replay", d.WALReplayNs/1e6, d.WALBytes, float64(d.WALBytes)/float64(d.Ops))
+	fmt.Fprintf(&sb, "  %-28s %12.1f ms\n", "checkpoint (snapshot+trunc)", d.CheckpointNs/1e6)
+	fmt.Fprintf(&sb, "  %-28s %12.1f ms (%d bytes)\n",
+		"recovery: snapshot load", d.SnapshotLoadNs/1e6, d.SnapshotBytes)
+	return sb.String()
+}

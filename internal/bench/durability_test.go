@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/store"
+	"beliefdb/internal/val"
+)
+
+// coreStatement wraps generated values in a root-world insert.
+func coreStatement(vals []val.Value) core.Statement {
+	return core.Statement{Sign: core.Pos, Tuple: core.Tuple{Rel: gen.DefaultRel, Vals: vals}}
+}
+
+// TestRunDurability smoke-tests the harness at a small scale and sanity
+// checks the invariants the report relies on.
+func TestRunDurability(t *testing.T) {
+	res, err := RunDurability(200, 8, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops <= res.N {
+		t.Errorf("ops = %d, want > n = %d (users are journaled too)", res.Ops, res.N)
+	}
+	if res.WALBytes <= 0 || res.SnapshotBytes <= 0 {
+		t.Errorf("file sizes not measured: wal=%d snapshot=%d", res.WALBytes, res.SnapshotBytes)
+	}
+	if res.WALReplayNs <= 0 || res.SnapshotLoadNs <= 0 || res.CheckpointNs <= 0 {
+		t.Errorf("timings not measured: %+v", res)
+	}
+	if r := res.Render(); r == "" {
+		t.Error("empty render")
+	}
+}
+
+// durableBenchDir builds a durable database for the recovery benchmarks
+// and returns its directory. checkpoint selects whether the state ends up
+// in the snapshot (empty WAL) or in the WAL (no snapshot).
+func durableBenchDir(b *testing.B, n int, checkpoint bool) string {
+	b.Helper()
+	dir := b.TempDir()
+	st, _, err := buildDurable(dir, durabilityConfig(10, 7, n), n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if checkpoint {
+		if err := st.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkWALReplay measures cold recovery from the write-ahead log
+// alone: OpenAt parses, checksums, and re-executes every journaled
+// operation through the paper's update algorithms.
+func BenchmarkWALReplay(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			dir := durableBenchDir(b, n, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := store.OpenAt(dir, []store.Relation{GenRelation()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotLoad measures cold recovery from a checkpointed
+// snapshot: OpenAt verifies the checksum and bulk-loads the tables without
+// re-running any update algorithm.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			dir := durableBenchDir(b, n, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := store.OpenAt(dir, []store.Relation{GenRelation()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkWALAppend measures the per-operation journaling tax (encode +
+// frame + write + fsync) on the insert path.
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.OpenAt(dir, []store.Relation{GenRelation()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.AddUser("u1"); err != nil {
+		b.Fatal(err)
+	}
+	cols := gen.RelColumns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := make([]val.Value, len(cols))
+		vals[0] = val.Str(fmt.Sprintf("k%d", i))
+		for j := 1; j < len(cols); j++ {
+			vals[j] = val.Str("x")
+		}
+		if _, err := st.Insert(coreStatement(vals)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures snapshot write + WAL truncation.
+func BenchmarkCheckpoint(b *testing.B) {
+	dir := durableBenchDir(b, 300, false)
+	st, err := store.OpenAt(dir, []store.Relation{GenRelation()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"beliefdb/internal/val"
+)
+
+// sampleModel exercises every section and every value kind, including a
+// physical/logical divergence (user row 77 exists only in the table, world
+// 9 only in the path cache) as raw-SQL writes can produce.
+func sampleModel() *Model {
+	return &Model{
+		Lazy:       false,
+		WalEpoch:   2,
+		WalApplied: 11,
+		NextUID:    4,
+		NextWid:    5,
+		NextTid:    6,
+		N:          3,
+		UserRows: []User{
+			{UID: 1, Name: "Alice"}, {UID: 2, Name: "Bøb"}, {UID: 77, Name: "rawsql"},
+		},
+		DRows: []DRow{{Wid: 0, Depth: 0}, {Wid: 1, Depth: 1}, {Wid: 2, Depth: 2}},
+		SRows: []SRow{{Wid1: 1, Wid2: 0}, {Wid1: 2, Wid2: 1}},
+		Edges: []Edge{
+			{Wid1: 0, UID: 1, Wid2: 1}, {Wid1: 0, UID: 2, Wid2: 0}, {Wid1: 1, UID: 2, Wid2: 2},
+		},
+		Users: []User{{UID: 1, Name: "Alice"}, {UID: 2, Name: "Bøb"}},
+		Paths: []PathEntry{
+			{Wid: 0}, {Wid: 1, Path: []int64{1}}, {Wid: 2, Path: []int64{2, 1}}, {Wid: 9, Path: []int64{1, 2}},
+		},
+		Rels: []RelData{
+			{
+				Def: Relation{Name: "S", Columns: []Column{
+					{Name: "sid", Kind: val.KindString},
+					{Name: "n", Kind: val.KindInt},
+					{Name: "x", Kind: val.KindFloat},
+					{Name: "ok", Kind: val.KindBool},
+				}},
+				Star: []StarRow{
+					{Tid: 1, Vals: []val.Value{val.Str("k1"), val.Int(-7), val.Float(2.25), val.Bool(true)}},
+					{Tid: 2, Vals: []val.Value{val.Str("k2"), val.Null(), val.Float(-0.5), val.Bool(false)}},
+				},
+				V: []VRow{
+					{Wid: 0, Tid: 1, Key: val.Str("k1"), Sign: "+", Expl: "y"},
+					{Wid: 1, Tid: 1, Key: val.Str("k1"), Sign: "-", Expl: "y"},
+					{Wid: 1, Tid: 2, Key: val.Str("k2"), Sign: "+", Expl: "n"},
+				},
+			},
+			{
+				Def:  Relation{Name: "Empty", Columns: []Column{{Name: "k", Kind: val.KindString}}},
+				Star: nil,
+				V:    nil,
+			},
+		},
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	m := sampleModel()
+	data := m.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip changed the model:\nwant %+v\ngot  %+v", m, got)
+	}
+
+	// Lazy flag round-trips too.
+	m.Lazy = true
+	got, err = Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Lazy {
+		t.Error("lazy flag lost")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, b := sampleModel().Encode(), sampleModel().Encode()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two encodings of the same model differ")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	clean := sampleModel().Encode()
+
+	t.Run("every flipped byte is caught", func(t *testing.T) {
+		// The checksum covers version + body; the magic is checked
+		// directly. Flip each byte and require an error — this is the
+		// whole point of checksumming the snapshot.
+		for i := range clean {
+			bad := append([]byte(nil), clean...)
+			bad[i] ^= 0xff
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("flipped byte %d went undetected", i)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for _, cut := range []int{0, 4, len(Magic), len(clean) / 2, len(clean) - 1} {
+			if _, err := Decode(clean[:cut]); err == nil {
+				t.Errorf("truncation to %d bytes went undetected", cut)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), clean...), 0)); err == nil {
+			t.Error("trailing byte went undetected")
+		}
+	})
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.bdb")
+	if _, err := ReadFile(path); !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v, want IsNotExist", err)
+	}
+	m := sampleModel()
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Error("file round trip changed the model")
+	}
+
+	// Overwrite is atomic: the temp file is gone afterwards.
+	m.N = 99
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after overwrite, want just the snapshot", len(entries))
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 99 {
+		t.Errorf("overwritten snapshot has N=%d", got.N)
+	}
+}

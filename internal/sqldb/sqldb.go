@@ -22,6 +22,15 @@ import (
 type DB struct {
 	mu  sync.RWMutex
 	cat *engine.Catalog
+
+	// mutationHook, when set, is invoked under the exclusive writer lock
+	// with the original SQL text and its parsed statements just before a
+	// mutating batch executes; an error aborts the batch before it touches
+	// any table. The durable belief store registers its WAL appender here
+	// so that raw-SQL writes against the internal schema are journaled like
+	// every other mutation — and uses the parsed statements to refuse DDL,
+	// which the snapshot format cannot persist (see internal/store).
+	mutationHook func(sql string, stmts []sqlparser.Statement) error
 }
 
 // New returns an empty database.
@@ -44,14 +53,28 @@ func (db *DB) Exec(sql string) (*query.Result, error) {
 	if len(stmts) == 0 {
 		return nil, fmt.Errorf("sqldb: empty statement")
 	}
+	return db.runText(sql, stmts)
+}
+
+// runText executes a parsed text batch: it picks the reader or writer lock
+// by classification, fires the mutation hook (under the writer lock, before
+// execution) for mutating batches, and runs the statements. Exec and Query
+// share it so hook semantics cannot diverge between the two text paths.
+func (db *DB) runText(sql string, stmts []sqlparser.Statement) (*query.Result, error) {
 	if query.AllReadOnly(stmts) {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
 	} else {
 		db.mu.Lock()
 		defer db.mu.Unlock()
+		if db.mutationHook != nil {
+			if err := db.mutationHook(sql, stmts); err != nil {
+				return nil, err
+			}
+		}
 	}
 	var res *query.Result
+	var err error
 	for _, s := range stmts {
 		res, err = query.Run(db.cat, s)
 		if err != nil {
@@ -62,18 +85,35 @@ func (db *DB) Exec(sql string) (*query.Result, error) {
 }
 
 // Query is Exec restricted to a single statement; the name signals intent at
-// call sites that expect rows back. SELECTs take only the reader lock.
+// call sites that expect rows back. SELECTs take only the reader lock; a
+// mutating statement takes the writer lock and runs the mutation hook like
+// Exec does.
 func (db *DB) Query(sql string) (*query.Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.RunStmt(stmt)
+	return db.runText(sql, []sqlparser.Statement{stmt})
 }
 
-// RunStmt executes an already-parsed statement (used by layers that build
-// ASTs directly and by the BeliefSQL translator), choosing the reader or
-// writer lock by statement classification.
+// SetMutationHook registers fn to run — under the exclusive writer lock,
+// before execution — for every mutating statement batch submitted as SQL
+// text (Exec, Query). A non-nil error from fn aborts the batch. Pass nil to
+// remove the hook. RunStmt has no SQL text to hand the hook, so on a hooked
+// database it refuses mutating statements outright rather than silently
+// bypassing the journal.
+func (db *DB) SetMutationHook(fn func(sql string, stmts []sqlparser.Statement) error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mutationHook = fn
+}
+
+// RunStmt executes an already-parsed statement — the AST path for layers
+// that build statements directly — choosing the reader or writer lock by
+// statement classification. On a database with a mutation hook installed
+// (a durable belief store) mutating statements are refused: they carry no
+// SQL text to journal, and applying them unjournaled would make recovery
+// silently diverge from the acknowledged state.
 func (db *DB) RunStmt(stmt sqlparser.Statement) (*query.Result, error) {
 	if query.ReadOnly(stmt) {
 		db.mu.RLock()
@@ -81,6 +121,9 @@ func (db *DB) RunStmt(stmt sqlparser.Statement) (*query.Result, error) {
 	} else {
 		db.mu.Lock()
 		defer db.mu.Unlock()
+		if db.mutationHook != nil {
+			return nil, fmt.Errorf("sqldb: mutating RunStmt is not supported on a journaled database; submit the statement as text via Exec or Query")
+		}
 	}
 	return query.Run(db.cat, stmt)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"beliefdb/internal/engine"
+	"beliefdb/internal/sqlparser"
 	"beliefdb/internal/val"
 )
 
@@ -122,5 +123,56 @@ func TestConcurrentQueries(t *testing.T) {
 	res, _ := db.Query("SELECT COUNT(*) FROM t")
 	if res.Rows[0][0].AsInt() != 20 {
 		t.Errorf("count = %v", res.Rows)
+	}
+}
+
+func TestMutationHook(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	db.SetMutationHook(func(sql string, stmts []sqlparser.Statement) error {
+		if len(stmts) == 0 {
+			t.Errorf("hook got no parsed statements for %q", sql)
+		}
+		logged = append(logged, sql)
+		return nil
+	})
+
+	// Reads bypass the hook on both text paths.
+	if _, err := db.Exec("SELECT x FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT x FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 0 {
+		t.Fatalf("hook fired for reads: %v", logged)
+	}
+
+	// Mutations fire it with the original text, before execution.
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 2 || logged[0] != "INSERT INTO t VALUES (1)" || logged[1] != "INSERT INTO t VALUES (2)" {
+		t.Fatalf("logged = %v", logged)
+	}
+
+	// A hook error aborts the batch before it touches any table.
+	db.SetMutationHook(func(string, []sqlparser.Statement) error { return fmt.Errorf("journal full") })
+	if _, err := db.Exec("INSERT INTO t VALUES (3)"); err == nil {
+		t.Fatal("hook error should abort the batch")
+	}
+	db.SetMutationHook(nil)
+	res, err := db.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("aborted insert reached the table: count = %v", res.Rows[0][0])
 	}
 }

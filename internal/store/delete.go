@@ -6,6 +6,7 @@ import (
 	"beliefdb/internal/core"
 	"beliefdb/internal/engine"
 	"beliefdb/internal/val"
+	"beliefdb/internal/wal"
 )
 
 // Delete removes one explicit belief statement ("delete from BELIEF u ...
@@ -45,6 +46,9 @@ func (st *Store) Delete(stmt core.Statement) (bool, error) {
 	}
 	if target == nil {
 		return false, nil
+	}
+	if err := st.logOp(wal.Delete(stmt)); err != nil {
+		return false, err
 	}
 
 	txn, err := st.cat.Begin()
@@ -115,6 +119,9 @@ func (st *Store) Replace(old core.Statement, newTuple core.Tuple) (bool, error) 
 	if target == nil {
 		return false, nil
 	}
+	if err := st.logOp(wal.Replace(old, newTuple.Vals)); err != nil {
+		return false, err
+	}
 	txn, err := st.cat.Begin()
 	if err != nil {
 		return false, err
@@ -164,6 +171,9 @@ func (st *Store) starFind(ri *relInfo, t core.Tuple) (int64, bool) {
 func (st *Store) Vacuum() (removed int, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if err := st.logOp(wal.Vacuum()); err != nil {
+		return 0, err
+	}
 	for _, ri := range st.rels {
 		live := make(map[int64]bool)
 		for _, r := range allVRows(ri) {

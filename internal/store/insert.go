@@ -5,6 +5,7 @@ import (
 
 	"beliefdb/internal/core"
 	"beliefdb/internal/val"
+	"beliefdb/internal/wal"
 )
 
 // ErrConflict is returned when an insert contradicts explicit beliefs in
@@ -38,6 +39,12 @@ func (st *Store) Insert(stmt core.Statement) (changed bool, err error) {
 	ri, ok := st.rels[stmt.Tuple.Rel]
 	if !ok {
 		return false, fmt.Errorf("store: unknown relation %q", stmt.Tuple.Rel)
+	}
+	// Write-ahead: the operation is durable before any table changes. A
+	// conflicting or duplicate insert is logged too — replaying it makes
+	// the identical (deterministic) decision it made here.
+	if err := st.logOp(wal.Insert(stmt)); err != nil {
+		return false, err
 	}
 
 	txn, err := st.cat.Begin()

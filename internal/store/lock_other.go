@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms have no flock; the one-process-per-directory contract
+// of OpenAt is documented but unenforced there.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir/LOCK, enforcing the
+// one-process-per-directory contract of OpenAt: two processes appending to
+// the same WAL through independent descriptors would interleave frames and
+// the next recovery would silently truncate acknowledged operations at the
+// first checksum mismatch. The lock dies with the process (flock), so a
+// crash never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/LOCK", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already open in another process (%w)", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package store
+
+import "testing"
+
+// TestDirectoryLock: a durable directory is exclusive to one process (and
+// one handle): concurrent OpenAt would interleave WAL frames from
+// independent descriptors and recovery would truncate acknowledged records
+// at the first checksum mismatch.
+func TestDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenAt(dir, crashRels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAt(dir, crashRels()); err == nil {
+		t.Fatal("second OpenAt on a locked directory should fail")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenAt(dir, crashRels())
+	if err != nil {
+		t.Fatalf("OpenAt after Close: %v", err)
+	}
+	st2.Close()
+}

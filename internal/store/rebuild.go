@@ -8,6 +8,7 @@ import (
 	"beliefdb/internal/engine"
 	"beliefdb/internal/kripke"
 	"beliefdb/internal/val"
+	"beliefdb/internal/wal"
 )
 
 // Rebuild reconstructs the V/E/D/S tables from scratch: it reads the
@@ -19,6 +20,9 @@ import (
 func (st *Store) Rebuild() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if err := st.logOp(wal.Rebuild()); err != nil {
+		return err
+	}
 
 	stmts, err := st.explicitStatementsLocked()
 	if err != nil {

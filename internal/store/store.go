@@ -20,6 +20,7 @@ package store
 
 import (
 	"fmt"
+	"os"
 	"slices"
 	"sync"
 
@@ -27,6 +28,7 @@ import (
 	"beliefdb/internal/engine"
 	"beliefdb/internal/sqldb"
 	"beliefdb/internal/val"
+	"beliefdb/internal/wal"
 )
 
 // Signs and explicitness flags as stored in the V relations.
@@ -88,6 +90,17 @@ type Store struct {
 	nextTid   int64
 
 	n int // number of explicit belief statements
+
+	// Durability (see persist.go). All nil/zero for in-memory stores: a
+	// nil wal makes logOp a no-op. The fields are guarded by mu like the
+	// tables they journal.
+	wal      *wal.Log
+	walCount uint64 // records appended since the last checkpoint
+	walErr   error  // sticky append failure: the store turns read-only
+	snapPath string
+	lockFile *os.File // dir/LOCK flock; enforces one process per directory
+	durable  bool
+	closed   bool
 
 	// lazy selects the alternative representation sketched in the paper's
 	// future work (Sect. 6.3): the V relations hold only explicit
@@ -283,6 +296,9 @@ func (st *Store) AddUser(name string) (core.UserID, error) {
 	}
 	if _, dup := st.usersByName[name]; dup {
 		return 0, fmt.Errorf("store: user %q already exists", name)
+	}
+	if err := st.logOp(wal.AddUser(name)); err != nil {
+		return 0, err
 	}
 	uid := core.UserID(st.nextUID)
 	st.nextUID++
