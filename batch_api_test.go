@@ -1,0 +1,197 @@
+package beliefdb_test
+
+// Public-API tests for the group-commit batch pipeline: DB.Batch,
+// InsertBeliefs, ExecBatch, and their durability round-trip (crash
+// recovery + checkpoint with Dump/Stats/world equality against a
+// statement-at-a-time reference).
+
+import (
+	"errors"
+	"testing"
+
+	"beliefdb"
+)
+
+// loadExampleBatched applies the Sect. 2 running example through the batch
+// APIs: one Batch call, one InsertBeliefs call, and one ExecBatch script.
+func loadExampleBatched(t *testing.T, db *beliefdb.DB) {
+	t.Helper()
+	for _, name := range []string{"Alice", "Bob", "Carol"} {
+		if _, err := db.AddUser(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bob, _ := db.UserID("Bob")
+	alice, _ := db.UserID("Alice")
+	tup := func(rel string, vals ...interface{}) beliefdb.Tuple {
+		tp, err := db.NewTuple(rel, vals...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	res, err := db.Batch(func(b *beliefdb.Batch) error {
+		b.Insert(nil, beliefdb.Pos, tup("Sightings", "s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"))
+		b.Insert(beliefdb.Path{bob}, beliefdb.Neg, tup("Sightings", "s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"))
+		b.Insert(beliefdb.Path{bob}, beliefdb.Neg, tup("Sightings", "s1", "Carol", "fish eagle", "6-14-08", "Lake Forest"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 3 || res.Changed != 3 || len(res.ChangedOps) != 3 {
+		t.Fatalf("batch result = %+v", res)
+	}
+	if _, err := db.InsertBeliefs([]beliefdb.Statement{
+		{Path: beliefdb.Path{alice}, Sign: beliefdb.Pos, Tuple: tup("Sightings", "s2", "Alice", "crow", "6-14-08", "Lake Placid")},
+		{Path: beliefdb.Path{alice}, Sign: beliefdb.Pos, Tuple: tup("Comments", "c1", "found feathers", "s2")},
+		{Path: beliefdb.Path{bob}, Sign: beliefdb.Pos, Tuple: tup("Sightings", "s2", "Alice", "raven", "6-14-08", "Lake Placid")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecBatch(`
+		insert into BELIEF 'Bob' BELIEF 'Alice' Comments values ('c2','black feathers','s2');
+		insert into BELIEF 'Bob' Comments values ('c2','purple-black feathers','s2');
+	`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchAPIMatchesSingles: the batched running example is observably
+// identical to the statement-at-a-time one (Dump, Stats, every world).
+func TestBatchAPIMatchesSingles(t *testing.T) {
+	ref, _, _, _ := openExample(t)
+	db, err := beliefdb.Open(natureSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadExampleBatched(t, db)
+	assertSameDB(t, ref, db)
+}
+
+// TestBatchDurableRoundTrip: a batched load crash-recovers (plain reopen =
+// WAL replay) and checkpoint-recovers to the exact reference state, and
+// further batches land after both.
+func TestBatchDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := beliefdb.OpenAt(dir, natureSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadExampleBatched(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, _, _, _ := openExample(t)
+
+	// Recovery from the WAL alone replays the batch groups.
+	re, err := beliefdb.OpenAt(dir, natureSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDB(t, ref, re)
+
+	// Checkpoint, mutate with another batch, reopen: snapshot + WAL tail.
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	post := func(db *beliefdb.DB) {
+		tp, err := db.NewTuple("Sightings", "s3", "Carol", "osprey", "6-15-08", "Lake Forest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		uid, _ := db.UserID("Carol")
+		if _, err := db.Batch(func(b *beliefdb.Batch) error {
+			b.Insert(beliefdb.Path{uid}, beliefdb.Pos, tp)
+			b.Delete(beliefdb.Path{uid}, beliefdb.Pos, tp) // net no-op pair
+			b.Insert(beliefdb.Path{uid}, beliefdb.Pos, tp)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post(re)
+	post(ref)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re2, err := beliefdb.OpenAt(dir, natureSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	assertSameDB(t, ref, re2)
+}
+
+// TestBatchAPIConflictAtomic: a conflicting statement anywhere in the
+// batch leaves the database untouched, through every public entry point.
+func TestBatchAPIConflictAtomic(t *testing.T) {
+	db, err := beliefdb.Open(natureSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadExample(t, db)
+	before := db.Stats()
+	bob, _ := db.UserID("Bob")
+	eagle, _ := db.NewTuple("Sightings", "s1", "Carol", "bald eagle", "6-14-08", "Lake Forest")
+	fresh, _ := db.NewTuple("Sightings", "s7", "Bob", "jay", "6-16-08", "Lake Forest")
+
+	if _, err := db.Batch(func(b *beliefdb.Batch) error {
+		b.Insert(nil, beliefdb.Pos, fresh)
+		b.Insert(beliefdb.Path{bob}, beliefdb.Pos, eagle) // Γ2: Bob explicitly disbelieves it
+		return nil
+	}); err == nil {
+		t.Error("conflicting Batch should fail")
+	}
+	if _, err := db.ExecBatch(`
+		insert into Sightings values ('s7','Bob','jay','6-16-08','Lake Forest');
+		insert into BELIEF 'Bob' Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest');
+	`); err == nil {
+		t.Error("conflicting ExecBatch should fail")
+	}
+	// A fn error abandons the batch before it touches the store.
+	if _, err := db.Batch(func(b *beliefdb.Batch) error {
+		b.Insert(nil, beliefdb.Pos, fresh)
+		return errors.New("caller changed its mind")
+	}); err == nil {
+		t.Error("Batch should surface fn errors")
+	}
+	if after := db.Stats(); before.String() != after.String() {
+		t.Errorf("failed batches changed state:\nbefore %safter  %s", before, after)
+	}
+}
+
+// TestExecBatchDeleteResolvesPreBatch: DELETE ... WHERE inside ExecBatch
+// matches against the state before the batch, by contract.
+func TestExecBatchDeleteResolvesPreBatch(t *testing.T) {
+	db, err := beliefdb.Open(natureSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadExample(t, db)
+	res, err := db.ExecBatch(`
+		insert into Comments values ('c9','new in batch','s1');
+		delete from Comments where cid = 'c9';
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delete resolved against the pre-batch state (no c9 yet): it is a
+	// no-op, and the insert survives.
+	if res.Applied != 1 || res.Changed != 1 {
+		t.Fatalf("result = %+v, want the insert only (delete resolves pre-batch)", res)
+	}
+	out, err := db.Query(`select C.cid from Comments C where C.cid = 'c9'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 {
+		t.Errorf("c9 rows = %d, want 1", len(out.Rows))
+	}
+	// Non-DML statements are refused.
+	if _, err := db.ExecBatch(`select C.cid from Comments C`); err == nil {
+		t.Error("ExecBatch should refuse SELECT")
+	}
+}

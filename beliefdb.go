@@ -287,6 +287,70 @@ func (db *DB) InsertBelief(path Path, sign Sign, t Tuple) (bool, error) {
 	return db.st.Insert(Statement{Path: path, Sign: sign, Tuple: t})
 }
 
+// BatchResult reports a batch's outcome: how many statements were applied
+// and how many changed state. On error nothing was applied.
+type BatchResult = store.BatchResult
+
+// Batch collects belief mutations to be applied atomically by DB.Batch.
+// Methods only record the statements; nothing touches the database until
+// the batch commits.
+type Batch struct {
+	ops []store.BatchOp
+}
+
+// Insert queues an insert of one explicit belief statement.
+func (b *Batch) Insert(path Path, sign Sign, t Tuple) {
+	b.ops = append(b.ops, store.BatchOp{Stmt: Statement{Path: path, Sign: sign, Tuple: t}})
+}
+
+// Delete queues a retraction of one explicit belief statement.
+func (b *Batch) Delete(path Path, sign Sign, t Tuple) {
+	b.ops = append(b.ops, store.BatchOp{Delete: true, Stmt: Statement{Path: path, Sign: sign, Tuple: t}})
+}
+
+// Len reports how many statements the batch holds.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Batch applies a group of belief mutations atomically under one
+// writer-lock acquisition and one WAL commit — on a durable database the
+// whole group costs a single fsync (group commit) instead of one per
+// statement. fn queues statements on the Batch; when it returns nil the
+// batch is validated, journaled, and applied all-or-nothing: any failing
+// statement (a conflict, an arity error) rolls the entire batch back. A
+// non-nil error from fn abandons the batch without touching the database.
+//
+// Dependent-world propagation (Algorithm 4's lines 8-14) runs once per
+// affected (relation, world, key) slice for the whole batch instead of once
+// per statement, so bulk ingest also does asymptotically less
+// belief-propagation work; the final state is identical to applying the
+// statements one at a time.
+func (db *DB) Batch(fn func(b *Batch) error) (BatchResult, error) {
+	var b Batch
+	if err := fn(&b); err != nil {
+		return BatchResult{}, err
+	}
+	return db.st.ApplyBatch(b.ops)
+}
+
+// InsertBeliefs inserts a group of explicit belief statements as one atomic
+// batch (see Batch): one lock acquisition, one WAL commit, one propagation
+// pass.
+func (db *DB) InsertBeliefs(stmts []Statement) (BatchResult, error) {
+	ops := make([]store.BatchOp, len(stmts))
+	for i, s := range stmts {
+		ops[i] = store.BatchOp{Stmt: s}
+	}
+	return db.st.ApplyBatch(ops)
+}
+
+// ExecBatch runs a semicolon-separated BeliefSQL script of INSERT and
+// DELETE statements as one atomic batch. DELETE ... WHERE clauses resolve
+// against the state before the batch; everything then applies under a
+// single writer-lock acquisition and WAL commit, all-or-nothing.
+func (db *DB) ExecBatch(script string) (BatchResult, error) {
+	return db.tr.ExecBatch(script)
+}
+
 // DeleteBelief retracts an explicit belief statement.
 func (db *DB) DeleteBelief(path Path, sign Sign, t Tuple) (bool, error) {
 	return db.st.Delete(Statement{Path: path, Sign: sign, Tuple: t})

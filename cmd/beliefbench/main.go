@@ -2,11 +2,12 @@
 // Table 1 (relative overhead grid), Figure 6 (overhead vs. number of
 // annotations), Table 2 (query latencies), and the Sect. 5.4 space-bound
 // ablation — plus the durability benchmark (WAL append/replay, snapshot
-// write/load), which has no counterpart in the paper.
+// write/load) and the group-commit ingest benchmark (fsyncs per statement
+// at several batch sizes), which have no counterpart in the paper.
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
 //
 // Without -full, scaled-down parameters keep runtime in seconds; -full uses
 // the paper's parameters (n = 10,000 annotations, 10 databases per Table 1
@@ -61,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bounds  = fs.Bool("bounds", false, "run the Sect. 5.4 space-bound ablation")
 		lazy    = fs.Bool("lazy", false, "run the lazy-vs-eager representation ablation (Sect. 6.3)")
 		durab   = fs.Bool("durability", false, "run the WAL/snapshot durability benchmark")
+		batchN  = fs.Int("batch", 0, "run the group-commit ingest benchmark comparing batch size N against size 1 (with -all alone: sizes 1, 16, 256)")
 		all     = fs.Bool("all", false, "run everything")
 		full    = fs.Bool("full", false, "use the paper's full-scale parameters")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
@@ -72,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -222,6 +224,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 			{Name: "durability/snapshot-load", NsPerOp: res.SnapshotLoadNs, Value: float64(res.SnapshotBytes), Unit: "bytes"},
 		}
 		emit(res.Render(), recs)
+	}
+
+	if *all || *batchN > 0 {
+		nb, mb := 500, 10
+		if *full {
+			nb = 5000
+		}
+		if *n > 0 {
+			nb = *n
+		}
+		sizes := []int{1, 16, 256}
+		switch {
+		case *batchN == 1:
+			sizes = []int{1}
+		case *batchN > 1:
+			sizes = []int{1, *batchN}
+		}
+		rows, err := bench.RunBatchIngest(nb, mb, 9, sizes, progress)
+		if err != nil {
+			return err
+		}
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs, benchRecord{
+				Name:    fmt.Sprintf("batch/size%d", r.Size),
+				NsPerOp: r.NsPerStmt,
+				Value:   r.SyncsPerOp,
+				Unit:    "fsyncs_per_stmt",
+			})
+		}
+		emit(bench.RenderBatchIngest(rows, nb, mb), recs)
 	}
 
 	if *jsonOut {

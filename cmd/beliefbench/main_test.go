@@ -91,3 +91,46 @@ func TestDurabilityJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchIngestJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-json", "-batch", "8", "-n", "100"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	want := map[string]bool{"batch/size1": false, "batch/size8": false}
+	for _, r := range recs {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected record %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v, want > 0", r.Name, r.NsPerOp)
+		}
+		if r.Unit != "fsyncs_per_stmt" || r.Value <= 0 {
+			t.Errorf("%s: value = %v %s, want fsyncs_per_stmt > 0", r.Name, r.Value, r.Unit)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("record %q missing", name)
+		}
+	}
+	// The size-8 run must amortize: strictly fewer fsyncs per statement.
+	var s1, s8 float64
+	for _, r := range recs {
+		switch r.Name {
+		case "batch/size1":
+			s1 = r.Value
+		case "batch/size8":
+			s8 = r.Value
+		}
+	}
+	if s8 >= s1 {
+		t.Errorf("fsyncs/stmt did not drop: size1=%v size8=%v", s1, s8)
+	}
+}

@@ -67,35 +67,121 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("beliefdb shell — BeliefSQL statements end with ';', meta commands start with '\\' (\\help)")
-	var buf strings.Builder
+	sh := &shell{db: db}
 	prompt := func() {
-		if buf.Len() == 0 {
-			fmt.Print("beliefsql> ")
-		} else {
+		switch {
+		case sh.buf.Len() > 0:
 			fmt.Print("      ...> ")
+		case sh.inBatch:
+			fmt.Printf("  batch:%d> ", len(sh.batch))
+		default:
+			fmt.Print("beliefsql> ")
 		}
 	}
 	prompt()
 	for in.Scan() {
-		line := in.Text()
-		trimmed := strings.TrimSpace(line)
-		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(db, trimmed) {
-				return
-			}
-			prompt()
-			continue
-		}
-		buf.WriteString(line)
-		buf.WriteByte('\n')
-		if strings.HasSuffix(trimmed, ";") {
-			run(db, buf.String())
-			buf.Reset()
+		if !sh.handleLine(in.Text()) {
+			return
 		}
 		prompt()
 	}
-	if buf.Len() > 0 {
-		run(db, buf.String())
+	sh.flush()
+}
+
+// shell is the interactive loop's state: the statement continuation buffer
+// and, when \batch is active, the queued statements awaiting an atomic
+// commit.
+type shell struct {
+	db      *beliefdb.DB
+	buf     strings.Builder
+	inBatch bool
+	batch   []string
+}
+
+// handleLine consumes one input line; it returns false to quit.
+func (sh *shell) handleLine(line string) bool {
+	trimmed := strings.TrimSpace(line)
+	if sh.buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+		return meta(sh, trimmed)
+	}
+	sh.buf.WriteString(line)
+	sh.buf.WriteByte('\n')
+	if strings.HasSuffix(trimmed, ";") {
+		stmt := sh.buf.String()
+		sh.buf.Reset()
+		if sh.inBatch {
+			sh.batch = append(sh.batch, stmt)
+			fmt.Printf("queued (%d statement(s) in batch; \\batch commit to apply)\n", len(sh.batch))
+		} else {
+			run(sh.db, stmt)
+		}
+	}
+	return true
+}
+
+// flush handles end of input: a trailing unterminated statement runs (or
+// joins the open batch), and an open batch is discarded like a transaction
+// at disconnect — loudly, never partially applied.
+func (sh *shell) flush() {
+	if sh.buf.Len() > 0 {
+		if sh.inBatch {
+			sh.batch = append(sh.batch, sh.buf.String())
+		} else {
+			run(sh.db, sh.buf.String())
+		}
+		sh.buf.Reset()
+	}
+	if sh.inBatch {
+		fmt.Printf("warning: input ended with an open batch; %d queued statement(s) discarded (use \\batch commit)\n", len(sh.batch))
+		sh.inBatch, sh.batch = false, nil
+	}
+}
+
+// batchCmd implements \batch [begin|commit|abort|status]: statements typed
+// while a batch is open are queued and applied atomically — one writer-lock
+// acquisition, one WAL fsync, all-or-nothing — by \batch commit.
+func (sh *shell) batchCmd(arg string) {
+	switch arg {
+	case "", "begin":
+		if sh.inBatch {
+			fmt.Printf("a batch with %d statement(s) is already open (\\batch commit or \\batch abort)\n", len(sh.batch))
+			return
+		}
+		sh.inBatch = true
+		sh.batch = nil
+		fmt.Println("batch open: INSERT/DELETE statements are queued until \\batch commit")
+	case "status":
+		if !sh.inBatch {
+			fmt.Println("no batch open (\\batch begin)")
+			return
+		}
+		fmt.Printf("batch open with %d statement(s)\n", len(sh.batch))
+	case "abort":
+		if !sh.inBatch {
+			fmt.Println("no batch open")
+			return
+		}
+		fmt.Printf("batch aborted (%d statement(s) discarded)\n", len(sh.batch))
+		sh.inBatch, sh.batch = false, nil
+	case "commit":
+		if !sh.inBatch {
+			fmt.Println("no batch open")
+			return
+		}
+		script := strings.Join(sh.batch, "")
+		sh.inBatch, sh.batch = false, nil
+		if strings.TrimSpace(script) == "" {
+			fmt.Println("empty batch; nothing to do")
+			return
+		}
+		res, err := sh.db.ExecBatch(script)
+		if err != nil {
+			fmt.Println("error (batch rolled back):", err)
+			return
+		}
+		fmt.Printf("batch committed: %d statement(s) applied, %d changed state\n", res.Applied, res.Changed)
+	default:
+		fmt.Println("usage: \\batch [begin|commit|abort|status]")
 	}
 }
 
@@ -240,12 +326,15 @@ func printResult(res *beliefdb.Result) {
 }
 
 // meta executes a backslash command; it returns false to quit.
-func meta(db *beliefdb.DB, line string) bool {
+func meta(sh *shell, line string) bool {
+	db := sh.db
 	cmd, arg, _ := strings.Cut(strings.TrimPrefix(line, "\\"), " ")
 	arg = strings.TrimSpace(arg)
 	switch cmd {
 	case "q", "quit", "exit":
 		return false
+	case "batch":
+		sh.batchCmd(arg)
 	case "help":
 		fmt.Println(`meta commands:
   \adduser NAME    register a user
@@ -257,6 +346,8 @@ func meta(db *beliefdb.DB, line string) bool {
   \statements      list explicit belief statements
   \dump            emit a replayable BeliefSQL script
   \checkpoint      snapshot a durable database and truncate its WAL
+  \batch           queue INSERT/DELETE statements; \batch commit applies
+                   them atomically under one WAL fsync (group commit)
   \quit`)
 	case "adduser":
 		if arg == "" {

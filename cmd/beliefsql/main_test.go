@@ -84,6 +84,7 @@ func TestMetaCommands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sh := &shell{db: db}
 	for _, cmd := range []string{
 		"\\help", "\\users", "\\stats", "\\statements", "\\dump",
 		"\\world Bob.Alice", "\\world", "\\adduser Dora",
@@ -91,11 +92,11 @@ func TestMetaCommands(t *testing.T) {
 		"\\sql SELECT COUNT(*) FROM _e",
 		"\\world Nobody", "\\unknowncmd",
 	} {
-		if !meta(db, cmd) {
+		if !meta(sh, cmd) {
 			t.Errorf("meta(%q) requested quit", cmd)
 		}
 	}
-	if meta(db, "\\quit") {
+	if meta(sh, "\\quit") {
 		t.Error("\\quit did not quit")
 	}
 }
@@ -136,5 +137,90 @@ func TestOpenDBDurableSession(t *testing.T) {
 	}
 	if err := db2.Checkpoint(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShellBatchMode drives \batch through the shell loop: statements
+// queue while a batch is open, commit applies them atomically, abort
+// discards them, and a conflicting batch rolls back whole.
+func TestShellBatchMode(t *testing.T) {
+	db, err := openDB(false, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &shell{db: db}
+	feed := func(lines ...string) {
+		t.Helper()
+		for _, l := range lines {
+			if !sh.handleLine(l) {
+				t.Fatalf("line %q quit the shell", l)
+			}
+		}
+	}
+	if _, err := db.AddUser("Ann"); err != nil {
+		t.Fatal(err)
+	}
+
+	feed(`\batch`,
+		`insert into Sightings values ('b1','Ann','crow','d','loc');`,
+		`insert into BELIEF 'Ann' Sightings`,
+		`  values ('b2','Ann','jay','d','loc');`)
+	if len(sh.batch) != 2 {
+		t.Fatalf("queued %d statements, want 2", len(sh.batch))
+	}
+	if n := db.Stats().Annotations; n != 0 {
+		t.Fatalf("queued statements touched the database: n=%d", n)
+	}
+	feed(`\batch commit`)
+	if sh.inBatch {
+		t.Error("commit left the batch open")
+	}
+	if n := db.Stats().Annotations; n != 2 {
+		t.Errorf("n = %d after commit, want 2", n)
+	}
+
+	// Abort discards.
+	feed(`\batch begin`, `insert into Sightings values ('b3','x','y','d','loc');`, `\batch abort`)
+	if n := db.Stats().Annotations; n != 2 {
+		t.Errorf("aborted batch applied: n = %d", n)
+	}
+
+	// A conflicting batch rolls back whole.
+	before := db.Stats().Annotations
+	feed(`\batch`,
+		`insert into Sightings values ('b4','x','kite','d','loc');`,
+		`insert into not Sightings values ('b4','x','kite','d','loc');`,
+		`\batch commit`)
+	if n := db.Stats().Annotations; n != before {
+		t.Errorf("conflicting batch applied a prefix: n = %d, want %d", n, before)
+	}
+	// Status/double-begin paths don't blow up.
+	feed(`\batch status`, `\batch begin`, `\batch begin`, `\batch status`, `\batch abort`, `\batch nonsense`)
+}
+
+// TestShellBatchDiscardedAtEOF: input ending with an open batch must not
+// apply anything — the queued statements (including a trailing
+// unterminated one) are discarded like a transaction at disconnect.
+func TestShellBatchDiscardedAtEOF(t *testing.T) {
+	db, err := openDB(false, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &shell{db: db}
+	for _, l := range []string{
+		`\batch`,
+		`insert into Sightings values ('e1','x','crow','d','loc');`,
+		`insert into Sightings values ('e2','x','jay','d','loc')`, // no ';'
+	} {
+		if !sh.handleLine(l) {
+			t.Fatalf("line %q quit the shell", l)
+		}
+	}
+	sh.flush()
+	if sh.inBatch || len(sh.batch) != 0 {
+		t.Errorf("flush left batch state: inBatch=%v queued=%d", sh.inBatch, len(sh.batch))
+	}
+	if n := db.Stats().Annotations; n != 0 {
+		t.Errorf("EOF applied %d statements from an uncommitted batch, want 0", n)
 	}
 }

@@ -143,3 +143,60 @@ func TestConcurrentAPIReadersSingleWriter(t *testing.T) {
 		t.Fatalf("rebuild changed n: %d", got)
 	}
 }
+
+// TestConcurrentBatchWriters drives Batch and InsertBeliefs from several
+// goroutines against concurrent readers: batches serialize under the
+// single writer lock, readers never observe a torn group. Run with -race.
+func TestConcurrentBatchWriters(t *testing.T) {
+	db, err := beliefdb.Open(natureSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddUser("W"); err != nil {
+		t.Fatal(err)
+	}
+	const writers, batches, perBatch = 4, 6, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*batches*2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				_, err := db.Batch(func(b *beliefdb.Batch) error {
+					for j := 0; j < perBatch; j++ {
+						tp, err := db.NewTuple("Sightings",
+							fmt.Sprintf("w%d-%d-%d", w, i, j), "v", "sp", "d", "loc")
+						if err != nil {
+							return err
+						}
+						b.Insert(nil, beliefdb.Pos, tp)
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				// Every observed annotation count must be a multiple of the
+				// batch size: readers never see a half-applied group.
+				if n := db.Stats().Annotations; n%perBatch != 0 {
+					errs <- fmt.Errorf("reader saw torn batch: n=%d", n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := db.Stats().Annotations; n != writers*batches*perBatch {
+		t.Errorf("n = %d, want %d", n, writers*batches*perBatch)
+	}
+}

@@ -121,6 +121,92 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// benchmarkInsertBatch measures the per-statement cost of durable root
+// inserts flushed in groups of size: size 1 is the classic one-fsync-per-
+// statement path, larger sizes amortize the WAL sync over the whole group
+// (one writer-lock acquisition, one write, one fsync). The reported
+// fsyncs/op metric drops from 1 to 1/size.
+func benchmarkInsertBatch(b *testing.B, size int) {
+	dir := b.TempDir()
+	st, err := store.OpenAt(dir, []store.Relation{GenRelation()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.AddUser("u1"); err != nil {
+		b.Fatal(err)
+	}
+	cols := gen.RelColumns()
+	stmt := func(i int) core.Statement {
+		vals := make([]val.Value, len(cols))
+		vals[0] = val.Str(fmt.Sprintf("k%d", i))
+		for j := 1; j < len(cols); j++ {
+			vals[j] = val.Str("x")
+		}
+		return coreStatement(vals)
+	}
+	syncs0 := st.WALSyncs()
+	b.ResetTimer()
+	if size == 1 {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Insert(stmt(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	} else {
+		ops := make([]store.BatchOp, 0, size)
+		for i := 0; i < b.N; i++ {
+			ops = append(ops, store.BatchOp{Stmt: stmt(i)})
+			if len(ops) == size {
+				if _, err := st.ApplyBatch(ops); err != nil {
+					b.Fatal(err)
+				}
+				ops = ops[:0]
+			}
+		}
+		if len(ops) > 0 {
+			if _, err := st.ApplyBatch(ops); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.WALSyncs()-syncs0)/float64(b.N), "fsyncs/op")
+}
+
+// BenchmarkInsertBatch1 is the single-statement durable insert baseline:
+// one WAL fsync per statement.
+func BenchmarkInsertBatch1(b *testing.B) { benchmarkInsertBatch(b, 1) }
+
+// BenchmarkInsertBatch16 flushes durable inserts 16 per WAL commit.
+func BenchmarkInsertBatch16(b *testing.B) { benchmarkInsertBatch(b, 16) }
+
+// BenchmarkInsertBatch256 flushes durable inserts 256 per WAL commit; on
+// sync-bound storage ns/op drops by roughly the batch factor relative to
+// BenchmarkInsertBatch1.
+func BenchmarkInsertBatch256(b *testing.B) { benchmarkInsertBatch(b, 256) }
+
+// TestRunBatchIngest smoke-tests the group-commit ingest harness and its
+// headline claim: batched ingest issues 1/size fsyncs per statement.
+func TestRunBatchIngest(t *testing.T) {
+	rows, err := RunBatchIngest(120, 6, 11, []int{1, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].SyncsPerOp < 1 {
+		t.Errorf("size-1 ingest shows %.3f fsyncs/stmt, want >= 1", rows[0].SyncsPerOp)
+	}
+	if rows[1].SyncsPerOp > 1.0/8+0.05 {
+		t.Errorf("size-8 ingest shows %.3f fsyncs/stmt, want about %.3f", rows[1].SyncsPerOp, 1.0/8)
+	}
+	if r := RenderBatchIngest(rows, 120, 6); r == "" {
+		t.Error("empty render")
+	}
+}
+
 // BenchmarkCheckpoint measures snapshot write + WAL truncation.
 func BenchmarkCheckpoint(b *testing.B) {
 	dir := durableBenchDir(b, 300, false)

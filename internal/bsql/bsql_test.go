@@ -563,3 +563,108 @@ func sameRows(a, b [][]val.Value) bool {
 	}
 	return true
 }
+
+// TestExecScriptBatchesInsertRuns: a script of consecutive INSERTs applies
+// as one group commit, observably identical to sequential execution — and
+// a failing statement now rolls the whole run back instead of leaving its
+// prefix behind.
+func TestExecScriptBatchesInsertRuns(t *testing.T) {
+	seqSt, seqTr := exampleStore(t)
+	insertExampleViaBeliefSQL(t, seqTr)
+
+	batchSt, batchTr := exampleStore(t)
+	res, err := batchTr.ExecScript(`
+		insert into Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest');
+		insert into BELIEF 'Bob' not Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest');
+		insert into BELIEF 'Bob' not Sightings values ('s1','Carol','fish eagle','6-14-08','Lake Forest');
+		insert into BELIEF 'Alice' Sightings values ('s2','Alice','crow','6-14-08','Lake Placid');
+		insert into BELIEF 'Alice' Comments values ('c1','found feathers','s2');
+		insert into BELIEF 'Bob' Sightings values ('s2','Alice','raven','6-14-08','Lake Placid');
+		insert into BELIEF 'Bob' BELIEF 'Alice' Comments values ('c2','black feathers','s2');
+		insert into BELIEF 'Bob' Comments values ('c2','purple-black feathers','s2');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Errorf("last statement affected = %d, want 1", res.Affected)
+	}
+	if ws, bs := seqSt.Stats().String(), batchSt.Stats().String(); ws != bs {
+		t.Errorf("batched script diverged from sequential:\nseq   %sbatch %s", ws, bs)
+	}
+	wstmts, _ := seqSt.ExplicitStatements()
+	bstmts, _ := batchSt.ExplicitStatements()
+	if fmt.Sprint(wstmts) != fmt.Sprint(bstmts) {
+		t.Errorf("statements diverged:\nseq   %v\nbatch %v", wstmts, bstmts)
+	}
+
+	// All-or-nothing: the third insert conflicts (same tuple, opposite
+	// sign, same world), so the first two must be rolled back too.
+	failSt, failTr := exampleStore(t)
+	before := failSt.Stats()
+	_, err = failTr.ExecScript(`
+		insert into BELIEF 'Alice' Sightings values ('s9','A','kite','d','loc');
+		insert into BELIEF 'Alice' Comments values ('c9','note','s9');
+		insert into BELIEF 'Alice' not Sightings values ('s9','A','kite','d','loc');
+	`)
+	if err == nil {
+		t.Fatal("conflicting insert run should fail")
+	}
+	if after := failSt.Stats(); before.String() != after.String() {
+		t.Errorf("failed insert run left a prefix behind:\nbefore %safter  %s", before, after)
+	}
+}
+
+// TestExecBatchScript: ExecBatch applies an all-DML script atomically and
+// refuses anything else.
+func TestExecBatchScript(t *testing.T) {
+	st, tr := exampleStore(t)
+	insertExampleViaBeliefSQL(t, tr)
+	n := st.Len()
+	res, err := tr.ExecBatch(`
+		insert into Sightings values ('s5','Bob','osprey','6-16-08','Lake Forest');
+		delete from BELIEF 'Bob' Comments where cid = 'c2';
+		insert into BELIEF 'Carol' Sightings values ('s5','Bob','osprey','6-16-08','Lake Forest');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 3 || res.Changed != 3 {
+		t.Errorf("result = %+v", res)
+	}
+	if got := st.Len(); got != n+1 { // +2 inserts, -1 delete
+		t.Errorf("n = %d, want %d", got, n+1)
+	}
+	if _, err := tr.ExecBatch(`select S.sid from Sightings S`); err == nil {
+		t.Error("ExecBatch should refuse SELECT")
+	}
+	if _, err := tr.ExecBatch(`update Sightings set species = 'x' where sid = 's5'`); err == nil {
+		t.Error("ExecBatch should refuse UPDATE")
+	}
+	if _, err := tr.ExecBatch(``); err == nil {
+		t.Error("ExecBatch should refuse an empty script")
+	}
+}
+
+// TestMultiRowInsertAtomic: a single INSERT with several VALUES rows
+// commits as one batch; a conflicting row voids the whole statement.
+func TestMultiRowInsertAtomic(t *testing.T) {
+	st, tr := exampleStore(t)
+	res, err := tr.Exec(`insert into BELIEF 'Alice' Sightings values
+		('m1','A','crow','d','loc'), ('m2','A','jay','d','loc')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Errorf("affected = %d, want 2", res.Affected)
+	}
+	before := st.Stats()
+	_, err = tr.Exec(`insert into BELIEF 'Alice' not Sightings values
+		('m3','A','owl','d','loc'), ('m1','A','crow','d','loc')`)
+	if err == nil {
+		t.Fatal("conflicting multi-row insert should fail")
+	}
+	if after := st.Stats(); before.String() != after.String() {
+		t.Errorf("failed multi-row insert left rows behind:\nbefore %safter  %s", before, after)
+	}
+}

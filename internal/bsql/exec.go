@@ -6,6 +6,7 @@ import (
 	"beliefdb/internal/core"
 	"beliefdb/internal/query"
 	"beliefdb/internal/sqlparser"
+	"beliefdb/internal/store"
 	"beliefdb/internal/val"
 )
 
@@ -21,7 +22,12 @@ func (tr *Translator) Exec(src string) (*query.Result, error) {
 }
 
 // ExecScript executes a semicolon-separated BeliefSQL script, returning the
-// last statement's result.
+// last statement's result. Consecutive runs of INSERT statements are
+// applied as one store batch — a single writer-lock acquisition and a
+// single WAL commit (group commit) — which is observably identical to
+// statement-at-a-time execution except on failure, where the whole run
+// rolls back instead of its prefix surviving. Other statements execute at
+// their position in script order.
 func (tr *Translator) ExecScript(src string) (*query.Result, error) {
 	stmts, err := ParseAll(src)
 	if err != nil {
@@ -31,13 +37,66 @@ func (tr *Translator) ExecScript(src string) (*query.Result, error) {
 		return nil, fmt.Errorf("bsql: empty script")
 	}
 	var res *query.Result
-	for _, s := range stmts {
-		res, err = tr.ExecStmt(s)
+	for i := 0; i < len(stmts); {
+		j := i
+		for j < len(stmts) {
+			if _, ok := stmts[j].(Insert); !ok {
+				break
+			}
+			j++
+		}
+		if j-i >= 2 {
+			res, err = tr.execInsertRun(stmts[i:j])
+			if err != nil {
+				return nil, err
+			}
+			i = j
+			continue
+		}
+		res, err = tr.ExecStmt(stmts[i])
 		if err != nil {
 			return nil, err
 		}
+		i++
 	}
 	return res, nil
+}
+
+// ExecBatch executes a semicolon-separated BeliefSQL script of INSERT and
+// DELETE statements as one atomic batch: everything is resolved up front
+// (DELETE ... WHERE matches against the pre-batch state), applied under a
+// single writer-lock acquisition and a single WAL commit, and rolled back
+// whole if any statement fails.
+func (tr *Translator) ExecBatch(src string) (store.BatchResult, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return store.BatchResult{}, err
+	}
+	if len(stmts) == 0 {
+		return store.BatchResult{}, fmt.Errorf("bsql: empty batch")
+	}
+	var ops []store.BatchOp
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Insert:
+			ins, err := tr.insertOps(s)
+			if err != nil {
+				return store.BatchResult{}, err
+			}
+			ops = append(ops, ins...)
+		case Delete:
+			targets, _, err := tr.matchTargets(s.Target, s.Where)
+			if err != nil {
+				return store.BatchResult{}, err
+			}
+			for _, t := range targets {
+				ops = append(ops, store.BatchOp{Delete: true, Stmt: t})
+			}
+		default:
+			return store.BatchResult{}, fmt.Errorf("bsql: a batch supports INSERT and DELETE only, got %T", s)
+		}
+	}
+	return tr.st.ApplyBatch(ops)
 }
 
 // ExecStmt executes one parsed BeliefSQL statement.
@@ -106,7 +165,10 @@ func constValue(e sqlparser.Expr) (val.Value, error) {
 	return val.Null(), fmt.Errorf("bsql: VALUES entries must be constants, got %s", e.String())
 }
 
-func (tr *Translator) execInsert(ins Insert) (*query.Result, error) {
+// insertOps resolves one INSERT statement into batch operations (the VALUES
+// rows are constants, so resolution needs no store state beyond the user
+// and relation catalogs).
+func (tr *Translator) insertOps(ins Insert) ([]store.BatchOp, error) {
 	p, sign, err := tr.targetPathSign(ins.Target)
 	if err != nil {
 		return nil, err
@@ -115,7 +177,7 @@ func (tr *Translator) execInsert(ins Insert) (*query.Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("bsql: unknown belief relation %q", ins.Target.Table)
 	}
-	affected := 0
+	ops := make([]store.BatchOp, 0, len(ins.Rows))
 	for _, row := range ins.Rows {
 		if len(row) != len(rel.Columns) {
 			return nil, fmt.Errorf("bsql: %d values for %d columns of %s", len(row), len(rel.Columns), rel.Name)
@@ -128,12 +190,59 @@ func (tr *Translator) execInsert(ins Insert) (*query.Result, error) {
 			}
 			vals[i] = v
 		}
-		changed, err := tr.st.Insert(core.Statement{
+		ops = append(ops, store.BatchOp{Stmt: core.Statement{
 			Path: p, Sign: sign, Tuple: core.Tuple{Rel: rel.Name, Vals: vals},
-		})
+		}})
+	}
+	return ops, nil
+}
+
+func (tr *Translator) execInsert(ins Insert) (*query.Result, error) {
+	ops, err := tr.insertOps(ins)
+	if err != nil {
+		return nil, err
+	}
+	// A multi-row VALUES list commits as one batch: atomic, one fsync.
+	if len(ops) > 1 {
+		br, err := tr.st.ApplyBatch(ops)
 		if err != nil {
 			return nil, err
 		}
+		return &query.Result{Affected: br.Changed}, nil
+	}
+	affected := 0
+	for _, op := range ops {
+		changed, err := tr.st.Insert(op.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		if changed {
+			affected++
+		}
+	}
+	return &query.Result{Affected: affected}, nil
+}
+
+// execInsertRun applies a run of consecutive INSERT statements as one store
+// batch. The returned Affected count covers the last statement of the run,
+// matching what sequential execution would have reported.
+func (tr *Translator) execInsertRun(inss []Statement) (*query.Result, error) {
+	var ops []store.BatchOp
+	lastN := 0
+	for _, s := range inss {
+		stmtOps, err := tr.insertOps(s.(Insert))
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, stmtOps...)
+		lastN = len(stmtOps)
+	}
+	br, err := tr.st.ApplyBatch(ops)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, changed := range br.ChangedOps[len(br.ChangedOps)-lastN:] {
 		if changed {
 			affected++
 		}

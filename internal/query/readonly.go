@@ -28,3 +28,19 @@ func AllReadOnly(stmts []sqlparser.Statement) bool {
 	}
 	return true
 }
+
+// AllDML reports whether every statement of a batch is plain data
+// manipulation (INSERT/UPDATE/DELETE): no DDL, whose effects the engine's
+// undo log cannot roll back, and no explicit transaction control, which
+// would clash with the wrapper transaction. Such a batch can run inside a
+// single engine transaction — one commit for the whole script.
+func AllDML(stmts []sqlparser.Statement) bool {
+	for _, s := range stmts {
+		switch s.(type) {
+		case sqlparser.Insert, sqlparser.Update, sqlparser.Delete:
+		default:
+			return false
+		}
+	}
+	return true
+}

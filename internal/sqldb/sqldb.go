@@ -42,9 +42,11 @@ func New() *DB {
 // the result of the last one. A batch consisting solely of read-only
 // statements runs under the shared reader lock; any mutating statement makes
 // the whole batch exclusive. Statements inside an explicit BEGIN..COMMIT
-// are atomic; a failing statement outside a transaction only affects itself
-// (per-statement atomicity is guaranteed by the engine's implicit
-// transactions for multi-row inserts).
+// are atomic, and a multi-statement batch of plain DML is atomic as a whole
+// (one transaction, one commit — group commit; a failing statement rolls
+// back the entire batch). Mixed batches (DDL or explicit transaction
+// control) fall back to per-statement atomicity, guaranteed by the engine's
+// implicit transactions for multi-row inserts.
 func (db *DB) Exec(sql string) (*query.Result, error) {
 	stmts, err := sqlparser.ParseAll(sql)
 	if err != nil {
@@ -60,6 +62,13 @@ func (db *DB) Exec(sql string) (*query.Result, error) {
 // by classification, fires the mutation hook (under the writer lock, before
 // execution) for mutating batches, and runs the statements. Exec and Query
 // share it so hook semantics cannot diverge between the two text paths.
+//
+// A multi-statement batch of plain DML runs inside one engine transaction —
+// a single lock acquisition and a single commit for the whole script, with
+// a failing statement rolling back the entire batch. Batches containing DDL
+// or explicit BEGIN/COMMIT/ROLLBACK keep the historical per-statement
+// behaviour (a failure only affects the statement it occurred in, beyond
+// the engine's implicit per-statement transactions).
 func (db *DB) runText(sql string, stmts []sqlparser.Statement) (*query.Result, error) {
 	if query.AllReadOnly(stmts) {
 		db.mu.RLock()
@@ -72,6 +81,9 @@ func (db *DB) runText(sql string, stmts []sqlparser.Statement) (*query.Result, e
 				return nil, err
 			}
 		}
+		if len(stmts) > 1 && query.AllDML(stmts) && !db.cat.InTxn() {
+			return db.runAtomicLocked(stmts)
+		}
 	}
 	var res *query.Result
 	var err error
@@ -80,6 +92,27 @@ func (db *DB) runText(sql string, stmts []sqlparser.Statement) (*query.Result, e
 		if err != nil {
 			return nil, err
 		}
+	}
+	return res, nil
+}
+
+// runAtomicLocked runs an all-DML batch inside one engine transaction.
+// Callers hold the writer lock and have verified no transaction is open.
+func (db *DB) runAtomicLocked(stmts []sqlparser.Statement) (*query.Result, error) {
+	txn, err := db.cat.Begin()
+	if err != nil {
+		return nil, err
+	}
+	var res *query.Result
+	for _, s := range stmts {
+		res, err = query.Run(db.cat, s)
+		if err != nil {
+			txn.Rollback()
+			return nil, err
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -176,3 +176,47 @@ func TestMutationHook(t *testing.T) {
 		t.Errorf("aborted insert reached the table: count = %v", res.Rows[0][0])
 	}
 }
+
+// TestMultiStatementDMLAtomic: a text batch of plain DML commits as one
+// transaction — a failing statement rolls back the whole batch — while
+// batches containing DDL or explicit transaction control keep the
+// historical per-statement behaviour.
+func TestMultiStatementDMLAtomic(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate-key failure must undo the first insert too.
+	if _, err := db.Exec("INSERT INTO t VALUES (1); INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("duplicate key batch should fail")
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM t")
+	if got := res.Rows[0][0].AsInt(); got != 0 {
+		t.Errorf("failed DML batch left %d rows behind, want 0", got)
+	}
+	// A clean batch commits everything at once.
+	if _, err := db.Exec("INSERT INTO t VALUES (1); INSERT INTO t VALUES (2); DELETE FROM t WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM t")
+	if got := res.Rows[0][0].AsInt(); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+	// Explicit transaction control still works (no double-Begin).
+	if _, err := db.Exec("BEGIN; INSERT INTO t VALUES (7); ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM t")
+	if got := res.Rows[0][0].AsInt(); got != 1 {
+		t.Errorf("count after explicit rollback = %d, want 1", got)
+	}
+	// DDL-containing batches keep per-statement semantics: the CREATE
+	// survives even though a later statement fails.
+	if _, err := db.Exec("CREATE TABLE u (k INT PRIMARY KEY); INSERT INTO u VALUES (1); INSERT INTO u VALUES (1)"); err == nil {
+		t.Fatal("duplicate key should fail")
+	}
+	res, _ = db.Query("SELECT COUNT(*) FROM u")
+	if got := res.Rows[0][0].AsInt(); got != 1 {
+		t.Errorf("mixed batch: u has %d rows, want 1 (per-statement semantics)", got)
+	}
+}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"beliefdb/internal/core"
+	"beliefdb/internal/val"
+	"beliefdb/internal/wal"
+)
+
+// BatchOp is one mutation of a batch: an insert (the default) or a delete
+// of an explicit belief statement.
+type BatchOp struct {
+	Delete bool
+	Stmt   core.Statement
+}
+
+// BatchResult reports a batch's outcome. On error nothing was applied (a
+// batch is all-or-nothing) and the zero BatchResult is returned.
+type BatchResult struct {
+	Applied    int    // statements applied: the whole batch on success
+	Changed    int    // statements that changed state (non-duplicate, non-no-op)
+	ChangedOps []bool // per-statement changed flags, parallel to the batch
+}
+
+// ApplyBatch applies a group of belief mutations under one writer-lock
+// acquisition and one WAL commit boundary: the statements are validated up
+// front, journaled write-ahead as a single batch group (one write, one
+// fsync — see wal.Log.AppendBatch), applied through the regular update
+// algorithms with dependent-world reconciliation deferred, and committed as
+// one engine transaction.
+//
+// The deferral is the algorithmic half of group commit: instead of
+// re-deriving every dependent world's key slice after each statement
+// (Algorithm 4 lines 8-14), the affected (relation, world, key) anchors are
+// collected across the whole batch and each distinct dependent slice is
+// reconciled exactly once, in the ascending-depth order Algorithm 4
+// requires. The result is identical to applying the statements one by one;
+// TestApplyBatchMatchesSingles asserts the equivalence.
+//
+// A batch is atomic. Any statement failing mid-batch — an ErrConflict, an
+// arity or type error — rolls the whole batch back: tables through the
+// engine transaction's undo log, the logical world catalogs through an
+// explicit rewind. The failure is deterministic (a function of the store
+// state and the statements alone), and the batch group is already
+// journaled, so crash-replay re-runs the same batch, reaches the same
+// failure, and rolls back identically.
+func (st *Store) ApplyBatch(ops []BatchOp) (BatchResult, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var res BatchResult
+	if len(ops) == 0 {
+		return res, nil
+	}
+	// Validate everything before journaling or touching a table, so a
+	// malformed batch is rejected whole with no journal record. Deletes are
+	// as lenient as Store.Delete: an unknown world or absent statement is a
+	// no-op, only the relation must exist.
+	for i, op := range ops {
+		if _, ok := st.rels[op.Stmt.Tuple.Rel]; !ok {
+			return res, fmt.Errorf("store: batch statement %d: unknown relation %q", i, op.Stmt.Tuple.Rel)
+		}
+		if !op.Stmt.Path.Valid() {
+			return res, fmt.Errorf("store: batch statement %d: invalid belief path %s", i, op.Stmt.Path)
+		}
+		if op.Delete {
+			continue
+		}
+		for _, u := range op.Stmt.Path {
+			if _, ok := st.usersByID[u]; !ok {
+				return res, fmt.Errorf("store: batch statement %d: unknown user %d in path %s", i, u, op.Stmt.Path)
+			}
+		}
+	}
+
+	// Begin before the journal append, like the single-statement paths: a
+	// failing Begin must not leave a durable batch that was never applied.
+	txn, err := st.cat.Begin()
+	if err != nil {
+		return res, err
+	}
+	if err := st.logBatch(ops); err != nil {
+		txn.Rollback()
+		return res, err
+	}
+
+	mark := st.markLogical()
+	fail := func(err error) (BatchResult, error) {
+		txn.Rollback()
+		st.rewindLogical(mark)
+		return BatchResult{}, err
+	}
+	pend := &pendingReconcile{}
+	res.ChangedOps = make([]bool, len(ops))
+	for i, op := range ops {
+		ri := st.rels[op.Stmt.Tuple.Rel]
+		var changed bool
+		var err error
+		if op.Delete {
+			changed, err = st.deleteStmtLocked(ri, op.Stmt, pend)
+		} else {
+			changed, err = st.insertLocked(ri, op.Stmt, pend)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("store: batch statement %d (%s): %w", i, op.Stmt, err))
+		}
+		if changed {
+			res.ChangedOps[i] = true
+			res.Changed++
+			if op.Delete {
+				st.n--
+			} else {
+				st.n++
+			}
+		}
+	}
+	if err := st.flushReconcile(pend); err != nil {
+		return fail(err)
+	}
+	if err := txn.Commit(); err != nil {
+		return fail(err)
+	}
+	res.Applied = len(ops)
+	return res, nil
+}
+
+// deleteStmtLocked is the batch-side Delete body: resolve at apply time (an
+// earlier statement of the same batch may have created or removed the
+// target) and defer the reconciliation.
+func (st *Store) deleteStmtLocked(ri *relInfo, stmt core.Statement, pend *pendingReconcile) (bool, error) {
+	y, key, target := st.resolveExplicit(ri, stmt)
+	if target == nil {
+		return false, nil
+	}
+	return true, st.deleteLocked(ri, y, key, *target, pend)
+}
+
+// logBatch journals a batch as one WAL group (marker + one record per
+// statement) under a single fsync. Like logOp it is a no-op on in-memory
+// stores and sticky on genuine I/O failures.
+func (st *Store) logBatch(ops []BatchOp) error {
+	if st.closed {
+		return ErrClosed
+	}
+	if st.wal == nil {
+		return nil
+	}
+	if st.walErr != nil {
+		return fmt.Errorf("store: database is read-only after a WAL failure: %w", st.walErr)
+	}
+	wops := make([]wal.Op, len(ops))
+	for i, op := range ops {
+		if op.Delete {
+			wops[i] = wal.Delete(op.Stmt)
+		} else {
+			wops[i] = wal.Insert(op.Stmt)
+		}
+	}
+	if err := st.wal.AppendBatch(wops); err != nil {
+		// Oversized records are refused before any byte is written; only
+		// genuine I/O failures poison the store (see logOp).
+		if !errors.Is(err, wal.ErrRecordTooLarge) {
+			st.walErr = err
+		}
+		return err
+	}
+	st.walCount += uint64(len(ops)) + 1 // members + marker
+	return nil
+}
+
+// logicalMark snapshots the logical world catalogs so a rollback can undo
+// them alongside the engine transaction's table undo log: idWorld registers
+// new worlds in widByPath/pathByWid (and bumps nextWid/nextTid) outside any
+// table, and leaving those entries behind after a rollback would let later
+// statements resolve paths to worlds whose D/E/S rows were undone.
+type logicalMark struct {
+	nextWid, nextTid int64
+	n                int
+}
+
+func (st *Store) markLogical() logicalMark {
+	return logicalMark{nextWid: st.nextWid, nextTid: st.nextTid, n: st.n}
+}
+
+// rewindLogical drops every world registered since the mark (idWorld only
+// ever adds worlds, with ascending ids) and restores the counters.
+func (st *Store) rewindLogical(m logicalMark) {
+	for wid := m.nextWid; wid < st.nextWid; wid++ {
+		if p, ok := st.pathByWid[wid]; ok {
+			delete(st.widByPath, p.Key())
+			delete(st.pathByWid, wid)
+		}
+	}
+	st.nextWid, st.nextTid, st.n = m.nextWid, m.nextTid, m.n
+}
+
+// pendingReconcile collects the (relation, world, key) anchors a batch's
+// statements touched, deduplicated, so dependent-world reconciliation runs
+// once per distinct slice at commit time instead of once per statement.
+type pendingReconcile struct {
+	anchors []anchor
+	seen    map[anchorKey]bool
+}
+
+type anchor struct {
+	ri  *relInfo
+	wid int64
+	key val.Value
+}
+
+type anchorKey struct {
+	rel string
+	wid int64
+	key string
+}
+
+func (p *pendingReconcile) add(ri *relInfo, wid int64, key val.Value) {
+	k := anchorKey{rel: ri.def.Name, wid: wid, key: key.Key()}
+	if p.seen == nil {
+		p.seen = make(map[anchorKey]bool)
+	}
+	if p.seen[k] {
+		return
+	}
+	p.seen[k] = true
+	p.anchors = append(p.anchors, anchor{ri: ri, wid: wid, key: key})
+}
+
+// flushReconcile expands the collected anchors to every affected slice —
+// the anchor world itself plus all its dependents, computed after the whole
+// batch so worlds created mid-batch are included — deduplicates them, and
+// reconciles each once in ascending depth order. Depth order is what
+// Algorithm 4 requires: reconcileKeySlice re-derives a world's implicit
+// beliefs from its deepest suffix state, which is strictly shallower and,
+// being in the same anchor's closure, has already been reconciled.
+func (st *Store) flushReconcile(p *pendingReconcile) error {
+	if len(p.anchors) == 0 || st.lazy {
+		return nil
+	}
+	var expanded pendingReconcile
+	for _, a := range p.anchors {
+		expanded.add(a.ri, a.wid, a.key)
+		for _, z := range st.dependents(st.pathByWid[a.wid]) {
+			expanded.add(a.ri, z, a.key)
+		}
+	}
+	slices := expanded.anchors
+	sort.Slice(slices, func(i, j int) bool {
+		pi, pj := st.pathByWid[slices[i].wid], st.pathByWid[slices[j].wid]
+		if len(pi) != len(pj) {
+			return len(pi) < len(pj)
+		}
+		if ki, kj := pi.Key(), pj.Key(); ki != kj {
+			return ki < kj
+		}
+		if ri, rj := slices[i].ri.def.Name, slices[j].ri.def.Name; ri != rj {
+			return ri < rj
+		}
+		return slices[i].key.Key() < slices[j].key.Key()
+	})
+	for _, s := range slices {
+		if err := st.reconcileKeySlice(s.ri, s.wid, s.key); err != nil {
+			return err
+		}
+	}
+	return nil
+}

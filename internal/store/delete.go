@@ -25,37 +25,21 @@ func (st *Store) Delete(stmt core.Statement) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("store: unknown relation %q", stmt.Tuple.Rel)
 	}
-	y, ok := st.widOf(stmt.Path)
-	if !ok {
-		return false, nil
-	}
-	tid, ok := st.starFind(ri, stmt.Tuple)
-	if !ok {
-		return false, nil
-	}
-	key, _ := val.Coerce(stmt.Tuple.Key(), ri.def.Columns[0].Type)
-	s := signStr(stmt.Sign)
-
-	var target *vRow
-	for _, r := range st.vRowsByWidKey(ri, y, key) {
-		if r.tid == tid && r.sign == s && r.expl == ExplicitYes {
-			row := r
-			target = &row
-			break
-		}
-	}
+	y, key, target := st.resolveExplicit(ri, stmt)
 	if target == nil {
 		return false, nil
 	}
-	if err := st.logOp(wal.Delete(stmt)); err != nil {
-		return false, err
-	}
-
+	// Begin before the journal append (see Insert): a Begin failure must
+	// not leave a durable record that was never applied.
 	txn, err := st.cat.Begin()
 	if err != nil {
 		return false, err
 	}
-	if err := st.deleteLocked(ri, y, key, *target); err != nil {
+	if err := st.logOp(wal.Delete(stmt)); err != nil {
+		txn.Rollback()
+		return false, err
+	}
+	if err := st.deleteLocked(ri, y, key, *target, nil); err != nil {
 		txn.Rollback()
 		return false, err
 	}
@@ -66,12 +50,40 @@ func (st *Store) Delete(stmt core.Statement) (bool, error) {
 	return true, nil
 }
 
-func (st *Store) deleteLocked(ri *relInfo, y int64, key val.Value, target vRow) error {
+// resolveExplicit locates the explicit V row stating stmt, returning its
+// world id, coerced key, and row (nil when the statement is not explicitly
+// present — an unknown world, unknown ground tuple, or implicit-only
+// belief).
+func (st *Store) resolveExplicit(ri *relInfo, stmt core.Statement) (int64, val.Value, *vRow) {
+	y, ok := st.widOf(stmt.Path)
+	if !ok {
+		return 0, val.Null(), nil
+	}
+	tid, ok := st.starFind(ri, stmt.Tuple)
+	if !ok {
+		return 0, val.Null(), nil
+	}
+	key, _ := val.Coerce(stmt.Tuple.Key(), ri.def.Columns[0].Type)
+	s := signStr(stmt.Sign)
+	for _, r := range st.vRowsByWidKey(ri, y, key) {
+		if r.tid == tid && r.sign == s && r.expl == ExplicitYes {
+			row := r
+			return y, key, &row
+		}
+	}
+	return 0, val.Null(), nil
+}
+
+func (st *Store) deleteLocked(ri *relInfo, y int64, key val.Value, target vRow, pend *pendingReconcile) error {
 	if err := ri.v.Delete(target.rowID); err != nil {
 		return err
 	}
 	if st.lazy {
 		return nil // nothing materialized to reconcile
+	}
+	if pend != nil {
+		pend.add(ri, y, key)
+		return nil
 	}
 	// The world may now inherit rows the explicit statement was blocking.
 	if err := st.reconcileKeySlice(ri, y, key); err != nil {
@@ -98,42 +110,31 @@ func (st *Store) Replace(old core.Statement, newTuple core.Tuple) (bool, error) 
 	if newTuple.Rel != old.Tuple.Rel {
 		return false, fmt.Errorf("store: replace cannot change the relation")
 	}
-	y, ok := st.widOf(old.Path)
-	if !ok {
-		return false, nil
-	}
-	tid, ok := st.starFind(ri, old.Tuple)
-	if !ok {
-		return false, nil
-	}
-	key, _ := val.Coerce(old.Tuple.Key(), ri.def.Columns[0].Type)
-	s := signStr(old.Sign)
-	var target *vRow
-	for _, r := range st.vRowsByWidKey(ri, y, key) {
-		if r.tid == tid && r.sign == s && r.expl == ExplicitYes {
-			row := r
-			target = &row
-			break
-		}
-	}
+	y, key, target := st.resolveExplicit(ri, old)
 	if target == nil {
 		return false, nil
 	}
-	if err := st.logOp(wal.Replace(old, newTuple.Vals)); err != nil {
-		return false, err
-	}
+	// Begin before the journal append (see Insert).
 	txn, err := st.cat.Begin()
 	if err != nil {
 		return false, err
 	}
-	if err := st.deleteLocked(ri, y, key, *target); err != nil {
+	if err := st.logOp(wal.Replace(old, newTuple.Vals)); err != nil {
 		txn.Rollback()
 		return false, err
 	}
-	newStmt := core.Statement{Path: old.Path, Sign: old.Sign, Tuple: newTuple}
-	if _, err := st.insertLocked(ri, newStmt); err != nil {
+	mark := st.markLogical()
+	fail := func(err error) (bool, error) {
 		txn.Rollback()
+		st.rewindLogical(mark)
 		return false, err
+	}
+	if err := st.deleteLocked(ri, y, key, *target, nil); err != nil {
+		return fail(err)
+	}
+	newStmt := core.Statement{Path: old.Path, Sign: old.Sign, Tuple: newTuple}
+	if _, err := st.insertLocked(ri, newStmt, nil); err != nil {
+		return fail(err)
 	}
 	if err := txn.Commit(); err != nil {
 		return false, err

@@ -40,20 +40,25 @@ func (st *Store) Insert(stmt core.Statement) (changed bool, err error) {
 	if !ok {
 		return false, fmt.Errorf("store: unknown relation %q", stmt.Tuple.Rel)
 	}
-	// Write-ahead: the operation is durable before any table changes. A
-	// conflicting or duplicate insert is logged too — replaying it makes
-	// the identical (deterministic) decision it made here.
-	if err := st.logOp(wal.Insert(stmt)); err != nil {
-		return false, err
-	}
-
+	// The transaction must open before the journal append: a failing Begin
+	// after the append would leave a durable record that was never applied,
+	// and crash-replay would silently diverge from the acknowledged state.
 	txn, err := st.cat.Begin()
 	if err != nil {
 		return false, err
 	}
-	changed, err = st.insertLocked(ri, stmt)
+	// Write-ahead: the operation is durable before any table changes. A
+	// conflicting or duplicate insert is logged too — replaying it makes
+	// the identical (deterministic) decision it made here.
+	if err := st.logOp(wal.Insert(stmt)); err != nil {
+		txn.Rollback()
+		return false, err
+	}
+	mark := st.markLogical()
+	changed, err = st.insertLocked(ri, stmt, nil)
 	if err != nil {
 		txn.Rollback()
+		st.rewindLogical(mark)
 		return false, err
 	}
 	if err := txn.Commit(); err != nil {
@@ -65,12 +70,12 @@ func (st *Store) Insert(stmt core.Statement) (changed bool, err error) {
 	return changed, nil
 }
 
-func (st *Store) insertLocked(ri *relInfo, stmt core.Statement) (bool, error) {
+func (st *Store) insertLocked(ri *relInfo, stmt core.Statement, pend *pendingReconcile) (bool, error) {
 	y, err := st.idWorld(stmt.Path)
 	if err != nil {
 		return false, err
 	}
-	return st.insertTuple(ri, stmt, y)
+	return st.insertTuple(ri, stmt, y, pend)
 }
 
 func signStr(s core.Sign) string {
@@ -88,7 +93,15 @@ func signStr(s core.Sign) string {
 // per-tuple propagation where the latter is well-defined and additionally
 // clears implicit beliefs that became stale because the insert overrode
 // them deeper in the suffix chain (see package comment).
-func (st *Store) insertTuple(ri *relInfo, stmt core.Statement, y int64) (bool, error) {
+//
+// With a non-nil pend the propagation is deferred: the affected
+// (relation, world, key) anchor is recorded and the batch reconciles every
+// dependent slice once at commit time (see flushReconcile). Deferral never
+// changes the statement's own outcome — the conflict checks of line 5 read
+// only explicit rows, which stay exact between statements, and the
+// implicit-row fast paths of lines 3-6 converge to the same state once the
+// slice is reconciled.
+func (st *Store) insertTuple(ri *relInfo, stmt core.Statement, y int64, pend *pendingReconcile) (bool, error) {
 	tid, err := st.starFindOrCreate(ri, stmt.Tuple)
 	if err != nil {
 		return false, err
@@ -147,6 +160,10 @@ func (st *Store) insertTuple(ri *relInfo, stmt core.Statement, y int64) (bool, e
 	// Propagate to dependent worlds in ascending depth (lines 8-14). The
 	// lazy representation stores explicit statements only.
 	if st.lazy {
+		return true, nil
+	}
+	if pend != nil {
+		pend.add(ri, y, key)
 		return true, nil
 	}
 	for _, z := range st.dependents(st.pathByWid[y]) {

@@ -74,6 +74,14 @@ func recoverFile(f *os.File, freshEpoch uint64, wrap func(Sink) Sink) (*Recovere
 		if err := f.Truncate(0); err != nil {
 			return nil, fmt.Errorf("wal: truncating short header: %w", err)
 		}
+		// Make the truncation durable before the fresh header is written
+		// over it (the same data-before-metadata ordering hazard Reset
+		// guards against).
+		if len(data) > 0 {
+			if err := f.Sync(); err != nil {
+				return nil, fmt.Errorf("wal: syncing truncation: %w", err)
+			}
+		}
 		if _, err := f.Seek(0, 0); err != nil {
 			return nil, err
 		}
@@ -96,9 +104,18 @@ func recoverFile(f *os.File, freshEpoch uint64, wrap func(Sink) Sink) (*Recovere
 		}
 		ops[i] = op
 	}
+	ops, cleanLen = dropIncompleteBatch(ops, payloads, cleanLen)
 	if cleanLen < int64(len(data)) {
 		if err := f.Truncate(cleanLen); err != nil {
 			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		// The truncation must be durable before the returned Log appends
+		// after it: a later crash could otherwise persist the new records
+		// while the truncate's metadata is lost, resurrecting the torn
+		// bytes beyond them as if they sat under the clean prefix. (The
+		// checkpoint Reset path already syncs for the same reason.)
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: syncing torn-tail truncation: %w", err)
 		}
 	}
 	if _, err := f.Seek(cleanLen, 0); err != nil {
@@ -110,6 +127,34 @@ func recoverFile(f *os.File, freshEpoch uint64, wrap func(Sink) Sink) (*Recovere
 		Log:       Attach(newSink(), epoch),
 		Truncated: int64(len(data)) - cleanLen,
 	}, nil
+}
+
+// dropIncompleteBatch trims a trailing batch group whose member records
+// were cut off by a torn write. A batch's marker and members reach the sink
+// in one Write and are acknowledged by one Sync, so a marker followed by
+// fewer members than it declares belongs to a batch that was never
+// committed; its intact leading records must be discarded with it (the
+// batch applies all-or-nothing) and the file truncated at the marker so
+// later appends cannot adopt the orphaned members. Mid-file groups are
+// always complete by construction.
+func dropIncompleteBatch(ops []Op, payloads [][]byte, cleanLen int64) ([]Op, int64) {
+	off := int64(HeaderLen)
+	for i := 0; i < len(ops); {
+		if ops[i].Kind != KindBatchBegin {
+			off += 8 + int64(len(payloads[i]))
+			i++
+			continue
+		}
+		n := ops[i].Count
+		if uint64(len(ops)-i-1) < n {
+			return ops[:i], off
+		}
+		for j := i; j < i+1+int(n); j++ {
+			off += 8 + int64(len(payloads[j]))
+		}
+		i += 1 + int(n)
+	}
+	return ops, cleanLen
 }
 
 func readAll(f *os.File) ([]byte, error) {

@@ -19,14 +19,15 @@ type Kind uint8
 // The operation kinds. Values are part of the on-disk format; never reuse
 // or renumber them.
 const (
-	KindAddUser Kind = 1 // Name
-	KindInsert  Kind = 2 // Stmt
-	KindDelete  Kind = 3 // Stmt
-	KindReplace Kind = 4 // Stmt (the old statement) + NewVals
-	KindRebuild Kind = 5
-	KindVacuum  Kind = 6
-	KindSQL     Kind = 7 // SQL (raw statement text against the internal schema)
-	KindSchema  Kind = 8 // Def: the external schema and representation the log was created under
+	KindAddUser    Kind = 1 // Name
+	KindInsert     Kind = 2 // Stmt
+	KindDelete     Kind = 3 // Stmt
+	KindReplace    Kind = 4 // Stmt (the old statement) + NewVals
+	KindRebuild    Kind = 5
+	KindVacuum     Kind = 6
+	KindSQL        Kind = 7 // SQL (raw statement text against the internal schema)
+	KindSchema     Kind = 8 // Def: the external schema and representation the log was created under
+	KindBatchBegin Kind = 9 // Count: the next Count records form one atomic batch
 )
 
 func (k Kind) String() string {
@@ -47,6 +48,8 @@ func (k Kind) String() string {
 		return "SQL"
 	case KindSchema:
 		return "Schema"
+	case KindBatchBegin:
+		return "BatchBegin"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -83,6 +86,7 @@ type Op struct {
 	Stmt    core.Statement // Insert/Delete: the statement; Replace: the old statement
 	NewVals []val.Value    // Replace: the replacement tuple's values
 	Def     *SchemaDef     // Schema: the log's schema identity
+	Count   uint64         // BatchBegin: number of member records that follow
 }
 
 // AddUser returns an AddUser op.
@@ -111,6 +115,10 @@ func SQL(sql string) Op { return Op{Kind: KindSQL, SQL: sql} }
 // Schema returns a schema-identity op.
 func Schema(def SchemaDef) Op { return Op{Kind: KindSchema, Def: &def} }
 
+// BatchBegin returns a batch-boundary marker: the next n records belong to
+// one atomic batch (written together by AppendBatch, replayed all-or-nothing).
+func BatchBegin(n uint64) Op { return Op{Kind: KindBatchBegin, Count: n} }
+
 // String renders the op for diagnostics.
 func (op Op) String() string {
 	switch op.Kind {
@@ -124,6 +132,8 @@ func (op Op) String() string {
 		return fmt.Sprintf("SQL(%q)", op.SQL)
 	case KindSchema:
 		return fmt.Sprintf("Schema(%+v)", *op.Def)
+	case KindBatchBegin:
+		return fmt.Sprintf("BatchBegin(%d)", op.Count)
 	default:
 		return op.Kind.String()
 	}
@@ -225,6 +235,8 @@ func (op Op) Encode(dst []byte) []byte {
 		dst = appendValues(dst, op.NewVals)
 	case KindSQL:
 		dst = AppendString(dst, op.SQL)
+	case KindBatchBegin:
+		dst = binary.AppendUvarint(dst, op.Count)
 	case KindSchema:
 		if op.Def.Lazy {
 			dst = append(dst, 1)
@@ -451,6 +463,8 @@ func DecodeOp(payload []byte) (Op, error) {
 		// no fields
 	case KindSQL:
 		op.SQL = r.Str()
+	case KindBatchBegin:
+		op.Count = r.Uvarint()
 	case KindSchema:
 		def := &SchemaDef{Lazy: r.Byte() != 0}
 		nr := r.Uvarint()

@@ -128,7 +128,9 @@ func (s *LimitSink) Written() int64 { return s.written }
 type Log struct {
 	sink    Sink
 	epoch   uint64
-	scratch []byte
+	syncs   uint64
+	scratch []byte // frame buffer (header + records ready to write)
+	payload []byte // per-record payload buffer, framed into scratch
 }
 
 // NewLog starts a fresh log on an empty sink: it writes and syncs the
@@ -139,7 +141,7 @@ func NewLog(sink Sink, epoch uint64) (*Log, error) {
 	if _, err := sink.Write(hdr); err != nil {
 		return nil, fmt.Errorf("wal: writing header: %w", err)
 	}
-	if err := sink.Sync(); err != nil {
+	if err := l.sync(); err != nil {
 		return nil, fmt.Errorf("wal: syncing header: %w", err)
 	}
 	return l, nil
@@ -152,25 +154,72 @@ func Attach(sink Sink, epoch uint64) *Log { return &Log{sink: sink, epoch: epoch
 // Epoch returns the log's current epoch.
 func (l *Log) Epoch() uint64 { return l.epoch }
 
+// Syncs reports how many times this Log has synced its sink — the fsync
+// count group commit amortizes. The count starts at zero when the Log is
+// created or attached, so callers measure deltas within one session.
+func (l *Log) Syncs() uint64 { return l.syncs }
+
+// sync flushes the sink and counts the successful fsyncs.
+func (l *Log) sync() error {
+	if err := l.sink.Sync(); err != nil {
+		return err
+	}
+	l.syncs++
+	return nil
+}
+
 // Append encodes, frames, writes, and syncs one operation. When Append
 // returns nil the record is durable; on error the tail of the sink must be
 // considered torn and the caller must stop appending (recovery will
 // truncate the partial frame).
 func (l *Log) Append(op Op) error {
-	l.scratch = l.scratch[:0]
-	l.scratch = op.Encode(l.scratch)
+	l.payload = op.Encode(l.payload[:0])
 	// A frame beyond maxRecordLen would be written and acknowledged but
 	// discarded as torn by the next Recover — taking every later record
 	// with it. Refuse it up front, before any byte reaches the sink.
-	if len(l.scratch) > maxRecordLen {
-		return fmt.Errorf("%w: %s payload is %d bytes (max %d)", ErrRecordTooLarge, op.Kind, len(l.scratch), maxRecordLen)
+	if len(l.payload) > maxRecordLen {
+		return fmt.Errorf("%w: %s payload is %d bytes (max %d)", ErrRecordTooLarge, op.Kind, len(l.payload), maxRecordLen)
 	}
-	frame := AppendRecord(nil, l.scratch)
-	if _, err := l.sink.Write(frame); err != nil {
+	l.scratch = AppendRecord(l.scratch[:0], l.payload)
+	if _, err := l.sink.Write(l.scratch); err != nil {
 		return fmt.Errorf("wal: appending %s: %w", op.Kind, err)
 	}
-	if err := l.sink.Sync(); err != nil {
+	if err := l.sync(); err != nil {
 		return fmt.Errorf("wal: syncing %s: %w", op.Kind, err)
+	}
+	return nil
+}
+
+// AppendBatch journals ops as one atomic batch under a single commit
+// boundary: a BatchBegin marker record plus one record per op, all encoded
+// into the scratch buffer and handed to the sink as one Write followed by
+// one Sync. The per-record CRC framing is unchanged, so byte-level recovery
+// is identical to per-op appends; the marker tells replay that the group
+// applies all-or-nothing, and recovery discards a trailing group whose
+// members were cut off by a torn write (the sync never completed, so the
+// batch was never acknowledged). Nothing is written when any record is
+// oversized or when ops itself contains a batch marker.
+func (l *Log) AppendBatch(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	l.payload = BatchBegin(uint64(len(ops))).Encode(l.payload[:0])
+	l.scratch = AppendRecord(l.scratch[:0], l.payload)
+	for _, op := range ops {
+		if op.Kind == KindBatchBegin {
+			return fmt.Errorf("wal: batches cannot nest (op %s)", op)
+		}
+		l.payload = op.Encode(l.payload[:0])
+		if len(l.payload) > maxRecordLen {
+			return fmt.Errorf("%w: %s payload is %d bytes (max %d)", ErrRecordTooLarge, op.Kind, len(l.payload), maxRecordLen)
+		}
+		l.scratch = AppendRecord(l.scratch, l.payload)
+	}
+	if _, err := l.sink.Write(l.scratch); err != nil {
+		return fmt.Errorf("wal: appending batch of %d: %w", len(ops), err)
+	}
+	if err := l.sync(); err != nil {
+		return fmt.Errorf("wal: syncing batch of %d: %w", len(ops), err)
 	}
 	return nil
 }
@@ -190,27 +239,28 @@ func (l *Log) Reset(newEpoch uint64) error {
 	// (filesystems may commit the 16-byte data write before the truncate's
 	// metadata), and recovery would double-apply the snapshot-covered
 	// prefix under the fresh epoch.
-	if err := l.sink.Sync(); err != nil {
+	if err := l.sync(); err != nil {
 		return fmt.Errorf("wal: syncing truncation: %w", err)
 	}
 	hdr := AppendHeader(nil, newEpoch)
 	if _, err := l.sink.Write(hdr); err != nil {
 		return fmt.Errorf("wal: writing new header: %w", err)
 	}
-	if err := l.sink.Sync(); err != nil {
+	if err := l.sync(); err != nil {
 		return fmt.Errorf("wal: syncing new header: %w", err)
 	}
 	l.epoch = newEpoch
 	return nil
 }
 
-// Close syncs and closes the sink (when it is closable).
+// Close syncs and closes the sink (when it is closable). The sink is closed
+// even when the final sync fails — returning early would leak the file
+// descriptor (and, through it, the directory flock's file) — and the two
+// errors are joined.
 func (l *Log) Close() error {
-	if err := l.sink.Sync(); err != nil {
-		return err
-	}
+	err := l.sync()
 	if c, ok := l.sink.(closable); ok {
-		return c.Close()
+		err = errors.Join(err, c.Close())
 	}
-	return nil
+	return err
 }

@@ -31,6 +31,17 @@
 // corruption cannot be trusted), so a mid-file checksum failure also ends
 // the clean prefix; because every append is synced before the mutation is
 // acknowledged, such a record was never reported committed.
+//
+// # Batches
+//
+// AppendBatch journals several operations under one commit boundary: a
+// BatchBegin marker record followed by the member records, all issued as a
+// single Write and acknowledged by a single Sync (the group-commit
+// primitive). The framing is unchanged — each record keeps its own length
+// prefix and CRC — but recovery additionally discards a trailing group
+// whose members were cut off by a torn write: the group's sync never
+// completed, so it was never acknowledged, and a batch applies
+// all-or-nothing.
 package wal
 
 import (

@@ -39,6 +39,15 @@ func sampleOps() []Op {
 			{Name: "S", Cols: []SchemaCol{{Name: "sid", Kind: 3}, {Name: "n", Kind: 1}}},
 			{Name: "Empty"},
 		}}),
+		// The group-commit marker (an additive opcode: files without it
+		// decode unchanged). Count=2 covers the two records that follow.
+		BatchBegin(2),
+		Insert(core.Statement{Sign: core.Pos, Tuple: core.Tuple{
+			Rel: "S", Vals: []val.Value{val.Str("k3"), val.Str("osprey")},
+		}}),
+		Delete(core.Statement{Sign: core.Neg, Tuple: core.Tuple{
+			Rel: "S", Vals: []val.Value{val.Str("k3"), val.Str("osprey")},
+		}}),
 	}
 }
 
