@@ -42,8 +42,11 @@
 package beliefdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"beliefdb/internal/bsql"
 	"beliefdb/internal/core"
@@ -110,6 +113,51 @@ type Schema struct {
 	Relations []Relation
 }
 
+// ParseSchemaSpec parses the compact schema notation the command-line
+// tools (beliefsql, beliefserver) share: one or more "Rel(col:type,...)"
+// items separated by ';', where the first column is the external key and
+// the types are int, float, text (the default), and bool.
+//
+//	Sightings(sid,uid,species,date,location); Ratings(rid, stars:int)
+func ParseSchemaSpec(spec string) (Schema, error) {
+	var sch Schema
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		open := strings.Index(item, "(")
+		if open < 0 || !strings.HasSuffix(item, ")") {
+			return sch, fmt.Errorf("beliefdb: bad relation spec %q", item)
+		}
+		rel := Relation{Name: strings.TrimSpace(item[:open])}
+		for _, col := range strings.Split(item[open+1:len(item)-1], ",") {
+			parts := strings.SplitN(strings.TrimSpace(col), ":", 2)
+			c := Column{Name: parts[0], Type: KindString}
+			if len(parts) == 2 {
+				switch strings.ToLower(strings.TrimSpace(parts[1])) {
+				case "int":
+					c.Type = KindInt
+				case "float":
+					c.Type = KindFloat
+				case "text", "string":
+					c.Type = KindString
+				case "bool":
+					c.Type = KindBool
+				default:
+					return sch, fmt.Errorf("beliefdb: bad column type %q", parts[1])
+				}
+			}
+			rel.Columns = append(rel.Columns, c)
+		}
+		sch.Relations = append(sch.Relations, rel)
+	}
+	if len(sch.Relations) == 0 {
+		return sch, fmt.Errorf("beliefdb: empty schema spec")
+	}
+	return sch, nil
+}
+
 // Result is a query result: column names, rows, and the number of affected
 // statements for DML.
 type Result = query.Result
@@ -129,6 +177,11 @@ type BeliefEntry struct {
 type DB struct {
 	st *store.Store
 	tr *bsql.Translator
+
+	// The shared group-commit coalescer behind SubmitBatch, created on
+	// first use; beliefserver funnels every client's batch through it.
+	coalOnce sync.Once
+	coal     *store.Coalescer
 }
 
 // Open creates a belief database with the given external schema, using the
@@ -200,8 +253,14 @@ func (db *DB) Checkpoint() error { return db.st.Checkpoint() }
 
 // Close flushes and closes the write-ahead log of a durable database.
 // Mutations after Close fail; reads keep serving the in-memory state.
-// Closing an in-memory database is a no-op.
-func (db *DB) Close() error { return db.st.Close() }
+// Closing an in-memory database is a no-op on the store, but always stops
+// the SubmitBatch coalescer first: later submissions fail fast, and
+// batches already accepted drain — commit and fsync — before the store
+// closes underneath them.
+func (db *DB) Close() error {
+	db.committer().Close()
+	return db.st.Close()
+}
 
 // AddUser registers a community member and returns their id.
 func (db *DB) AddUser(name string) (UserID, error) { return db.st.AddUser(name) }
@@ -350,6 +409,87 @@ func (db *DB) InsertBeliefs(stmts []Statement) (BatchResult, error) {
 func (db *DB) ExecBatch(script string) (BatchResult, error) {
 	return db.tr.ExecBatch(script)
 }
+
+// ParseBatch compiles a semicolon-separated BeliefSQL script of INSERT and
+// DELETE statements into a Batch without applying it — the ExecBatch front
+// half. DELETE ... WHERE clauses resolve against the current state, exactly
+// as ExecBatch would resolve them; apply the result with DB.Batch-style
+// atomicity via SubmitBatch.
+func (db *DB) ParseBatch(script string) (*Batch, error) {
+	ops, err := db.tr.CompileBatch(script)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{ops: ops}, nil
+}
+
+// committer returns the shared group-commit coalescer, creating it on
+// first use.
+func (db *DB) committer() *store.Coalescer {
+	db.coalOnce.Do(func() { db.coal = store.NewCoalescer(db.st) })
+	return db.coal
+}
+
+// SetGroupCommitWindow sets how long a SubmitBatch commit round lingers
+// before hitting the disk, giving concurrently submitted batches time to
+// join it — the commit-delay knob of classic group commit. Zero (the
+// default) commits immediately: batches then share an fsync only when they
+// happen to overlap a round already in flight. A sub-millisecond window
+// makes the amortization robust against scheduling luck at the cost of
+// that much extra latency per batch; beliefserver sets one, a purely
+// embedded caller usually should not. The window does not affect Batch,
+// InsertBeliefs, or ExecBatch, which commit on the caller's goroutine.
+func (db *DB) SetGroupCommitWindow(d time.Duration) { db.committer().SetWindow(d) }
+
+// SubmitBatch applies a batch through the shared group-commit coalescer:
+// batches submitted concurrently from several goroutines (or, through
+// beliefserver, several network clients) are committed together under a
+// single writer-lock acquisition and a single WAL fsync, while each batch
+// stays individually atomic — one batch's conflict rolls back that batch
+// alone. A lone submitter pays the same cost as DB.Batch plus a scheduling
+// hop, so the method earns its keep only under write concurrency.
+//
+// The context covers waiting: once a batch is accepted into a commit round
+// it applies (and, on a durable database, fsyncs) regardless of later
+// cancellation — SubmitBatch then reports the context error, and the caller
+// cannot know whether the batch committed, the same uncertainty as any
+// client abandoning an in-flight write. An empty batch returns a zero
+// result without touching the coalescer.
+func (db *DB) SubmitBatch(ctx context.Context, b *Batch) (BatchResult, error) {
+	if b == nil || len(b.ops) == 0 {
+		return BatchResult{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchResult{}, err
+	}
+	if ctx.Done() == nil {
+		// An uncancellable context (the server's per-request default)
+		// needs no watcher goroutine — skip the spawn and channel on the
+		// hot write path.
+		return db.committer().Submit(b.ops)
+	}
+	type outcome struct {
+		res BatchResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := db.committer().Submit(b.ops)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-ctx.Done():
+		return BatchResult{}, ctx.Err()
+	}
+}
+
+// WALSyncs reports how many fsyncs the durable write-ahead log has issued
+// in this session (zero for in-memory databases) — the cost SubmitBatch's
+// group commit amortizes across concurrent writers. The server benchmarks
+// report the delta per operation.
+func (db *DB) WALSyncs() uint64 { return db.st.WALSyncs() }
 
 // DeleteBelief retracts an explicit belief statement.
 func (db *DB) DeleteBelief(path Path, sign Sign, t Tuple) (bool, error) {

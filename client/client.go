@@ -1,0 +1,446 @@
+// Package client is the Go client for a beliefserver: it speaks the
+// internal/wire protocol over TCP and exposes the database's remote
+// surface — BeliefSQL queries and scripts, atomic batches (which the
+// server group-commits across clients), user registration, checkpointing.
+//
+//	cli, err := client.Dial("127.0.0.1:4045")
+//	...
+//	res, err := cli.Query(ctx, "select S.species from BELIEF 'Bob' Sightings S")
+//	br, err := cli.ExecBatch(ctx, "insert into Sightings values ('s9','Bob','owl','d','l');")
+//
+// A Client is safe for concurrent use: it keeps a bounded pool of
+// connections, checking one out per request, so concurrent callers issue
+// requests in parallel (and their batches coalesce server-side into
+// shared WAL fsyncs). Contexts cancel waiting at any point: cancellation
+// mid-request abandons (and discards) the connection, and whether the
+// server still applied an in-flight mutation is then unknowable — the
+// inherent uncertainty of abandoning any remote write.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"beliefdb"
+	"beliefdb/internal/wire"
+)
+
+// Result is a query result (columns, rows, affected count), shared with
+// the embedded API.
+type Result = beliefdb.Result
+
+// BatchResult reports a committed batch, shared with the embedded API.
+type BatchResult = beliefdb.BatchResult
+
+// UserID identifies a registered user, shared with the embedded API.
+type UserID = beliefdb.UserID
+
+// ErrClosed is returned by every method after Close.
+var ErrClosed = errors.New("client: closed")
+
+// Options configure a Client; the zero value of each field selects the
+// default.
+type Options struct {
+	// PoolSize bounds the open connections (default 4). Requests beyond
+	// the bound wait for a connection instead of dialing more.
+	PoolSize int
+	// MaxFrame bounds a protocol frame's payload in both directions
+	// (default wire.DefaultMaxFrame). Must match the server's bound: a
+	// response larger than this is refused and the connection dropped.
+	MaxFrame int
+	// DialTimeout bounds each TCP dial + handshake (default 10s).
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Client is a pooled connection to one beliefserver.
+type Client struct {
+	addr string
+	opts Options
+
+	sem chan struct{} // counting semaphore: one token per in-flight request
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+}
+
+// conn is one established, handshaken connection.
+type conn struct {
+	c net.Conn
+	r *wire.Reader
+	w *wire.Writer
+	b *bufio.Writer
+}
+
+// Dial connects to a beliefserver and verifies the protocol handshake on
+// one eagerly opened connection (kept for the pool), so a wrong address or
+// an incompatible server fails here rather than on the first request.
+func Dial(addr string, opts ...Options) (*Client, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	cli := &Client{addr: addr, opts: o, sem: make(chan struct{}, o.PoolSize)}
+	cn, err := cli.dial()
+	if err != nil {
+		return nil, err
+	}
+	cli.idle = []*conn{cn}
+	return cli, nil
+}
+
+// dial opens and handshakes one connection.
+func (cli *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", cli.addr, cli.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", cli.addr, err)
+	}
+	cn := &conn{c: nc, b: bufio.NewWriter(nc)}
+	cn.r = wire.NewReader(bufio.NewReader(nc), cli.opts.MaxFrame)
+	cn.w = wire.NewWriter(cn.b, cli.opts.MaxFrame)
+
+	nc.SetDeadline(time.Now().Add(cli.opts.DialTimeout))
+	defer nc.SetDeadline(time.Time{})
+	if err := cn.send(wire.Hello()); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	m, err := cn.r.Read()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake with %s: %w", cli.addr, err)
+	}
+	switch m.Kind {
+	case wire.KindServerHello:
+		if m.Version != wire.ProtoVersion {
+			nc.Close()
+			return nil, fmt.Errorf("client: server %s speaks protocol %d, this client %d", cli.addr, m.Version, wire.ProtoVersion)
+		}
+		return cn, nil
+	case wire.KindError:
+		nc.Close()
+		return nil, fmt.Errorf("client: server %s refused the session: %s", cli.addr, m.Text)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake with %s: unexpected %s", cli.addr, m.Kind)
+	}
+}
+
+// send writes one frame and flushes it.
+func (cn *conn) send(m wire.Msg) error {
+	if err := cn.w.Write(m); err != nil {
+		return err
+	}
+	return cn.b.Flush()
+}
+
+// get checks a connection out of the pool, dialing a fresh one when the
+// pool has capacity but no idle connection. It blocks while PoolSize
+// requests are in flight, honouring ctx.
+func (cli *Client) get(ctx context.Context) (*conn, error) {
+	select {
+	case cli.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	cli.mu.Lock()
+	if cli.closed {
+		cli.mu.Unlock()
+		<-cli.sem
+		return nil, ErrClosed
+	}
+	if n := len(cli.idle); n > 0 {
+		cn := cli.idle[n-1]
+		cli.idle = cli.idle[:n-1]
+		cli.mu.Unlock()
+		return cn, nil
+	}
+	cli.mu.Unlock()
+	cn, err := cli.dial()
+	if err != nil {
+		<-cli.sem
+		return nil, err
+	}
+	return cn, nil
+}
+
+// put returns a healthy connection to the pool.
+func (cli *Client) put(cn *conn) {
+	cli.mu.Lock()
+	if cli.closed {
+		cli.mu.Unlock()
+		cn.c.Close()
+	} else {
+		cli.idle = append(cli.idle, cn)
+		cli.mu.Unlock()
+	}
+	<-cli.sem
+}
+
+// discard drops a connection whose stream state is unknown (an I/O error,
+// a cancellation mid-request): the next request dials fresh.
+func (cli *Client) discard(cn *conn) {
+	cn.c.Close()
+	<-cli.sem
+}
+
+// Close releases the pool: idle connections close immediately and new
+// requests fail with ErrClosed. Requests already in flight are not
+// interrupted — they run to completion on their checked-out connections,
+// which are then closed on return instead of rejoining the pool. Use
+// request contexts to cut work short.
+func (cli *Client) Close() error {
+	cli.mu.Lock()
+	if cli.closed {
+		cli.mu.Unlock()
+		return nil
+	}
+	cli.closed = true
+	idle := cli.idle
+	cli.idle = nil
+	cli.mu.Unlock()
+	for _, cn := range idle {
+		cn.c.Close()
+	}
+	return nil
+}
+
+// do runs one request/response exchange on a pooled connection. fn sends
+// the request and reads the complete response; a watchdog goroutine turns
+// ctx cancellation into an immediate deadline so fn's blocking I/O
+// returns. Connections survive request-level errors (the server answered)
+// and are discarded on I/O errors or cancellation.
+func (cli *Client) do(ctx context.Context, fn func(*conn) error) error {
+	cn, err := cli.get(ctx)
+	if err != nil {
+		return err
+	}
+	// The watchdog turns cancellation into an immediate deadline. It is
+	// joined (not just signalled) after fn returns, so by the time `fired`
+	// is read the poke either fully happened or never will — a half-poked
+	// connection can never slip back into the pool.
+	fired := false
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			fired = true
+			cn.c.SetDeadline(time.Now()) // unblock fn's reads and writes
+		case <-stop:
+		}
+	}()
+	err = fn(cn)
+	close(stop)
+	<-done
+	if fired {
+		// The poke may have raced a completed response; either way the
+		// stream position is unknowable, so the connection dies and the
+		// context's error wins.
+		cli.discard(cn)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	if err != nil {
+		var re errRemote
+		if errors.As(err, &re) {
+			// The server answered with an Error frame: the conversation
+			// stayed in sync and the connection is healthy.
+			cli.put(cn)
+			return err
+		}
+		cli.discard(cn)
+		return err
+	}
+	cli.put(cn)
+	return nil
+}
+
+// errRemote marks a request-level failure reported by the server: the
+// conversation stayed in sync, so the connection is reusable.
+type errRemote struct{ msg string }
+
+func (e errRemote) Error() string { return e.msg }
+
+// Query runs one BeliefSQL statement (or script) and returns its result.
+func (cli *Client) Query(ctx context.Context, beliefSQL string) (*Result, error) {
+	return cli.roundTrip(ctx, wire.Query(beliefSQL))
+}
+
+// Exec runs a BeliefSQL script for effect; rows, if the script ends in a
+// SELECT, are returned like Query's.
+func (cli *Client) Exec(ctx context.Context, beliefSQL string) (*Result, error) {
+	return cli.roundTrip(ctx, wire.Exec(beliefSQL))
+}
+
+// roundTrip sends one result-bearing request and consumes its stream.
+func (cli *Client) roundTrip(ctx context.Context, req wire.Msg) (*Result, error) {
+	var res *Result
+	err := cli.do(ctx, func(cn *conn) error {
+		if err := cn.send(req); err != nil {
+			return err
+		}
+		r, err := readResult(cn)
+		res = r
+		return err
+	})
+	return res, unwrapRemote(err)
+}
+
+// readResult consumes one result stream: optional RowHeader + RowChunks,
+// then ResultEnd; or an Error frame.
+func readResult(cn *conn) (*Result, error) {
+	res := &Result{}
+	sawHeader := false
+	for {
+		m, err := cn.r.Read()
+		if err != nil {
+			return nil, fmt.Errorf("client: mid-result: %w", eofAsUnexpected(err))
+		}
+		switch m.Kind {
+		case wire.KindError:
+			return nil, errRemote{m.Text}
+		case wire.KindRowHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("client: duplicate row header")
+			}
+			sawHeader = true
+			res.Columns = m.Cols
+		case wire.KindRowChunk:
+			if !sawHeader {
+				return nil, fmt.Errorf("client: row chunk before header")
+			}
+			res.Rows = append(res.Rows, m.Rows...)
+		case wire.KindResultEnd:
+			res.Affected = int(m.Affected)
+			return res, nil
+		default:
+			return nil, fmt.Errorf("client: unexpected %s in result stream", m.Kind)
+		}
+	}
+}
+
+// ExecBatch runs a semicolon-separated BeliefSQL script of INSERT and
+// DELETE statements as one atomic batch on the server. Concurrent
+// ExecBatch calls — from this client or others — are group-committed
+// together server-side, sharing a single WAL fsync.
+func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, error) {
+	var out BatchResult
+	err := cli.do(ctx, func(cn *conn) error {
+		if err := cn.send(wire.ExecBatch(script)); err != nil {
+			return err
+		}
+		m, err := cn.r.Read()
+		if err != nil {
+			return fmt.Errorf("client: mid-batch: %w", eofAsUnexpected(err))
+		}
+		switch m.Kind {
+		case wire.KindError:
+			return errRemote{m.Text}
+		case wire.KindBatchDone:
+			out = BatchResult{Applied: int(m.Applied), Changed: int(m.Changed)}
+			return nil
+		default:
+			return fmt.Errorf("client: unexpected %s after ExecBatch", m.Kind)
+		}
+	})
+	return out, unwrapRemote(err)
+}
+
+// AddUser registers a community member on the server and returns their id.
+func (cli *Client) AddUser(ctx context.Context, name string) (UserID, error) {
+	var uid UserID
+	err := cli.do(ctx, func(cn *conn) error {
+		if err := cn.send(wire.AddUser(name)); err != nil {
+			return err
+		}
+		m, err := cn.r.Read()
+		if err != nil {
+			return eofAsUnexpected(err)
+		}
+		switch m.Kind {
+		case wire.KindError:
+			return errRemote{m.Text}
+		case wire.KindUserAdded:
+			uid = UserID(m.UID)
+			return nil
+		default:
+			return fmt.Errorf("client: unexpected %s after AddUser", m.Kind)
+		}
+	})
+	return uid, unwrapRemote(err)
+}
+
+// Checkpoint snapshots a durable server-side database and truncates its
+// write-ahead log.
+func (cli *Client) Checkpoint(ctx context.Context) error {
+	return cli.fieldless(ctx, wire.Msg{Kind: wire.KindCheckpoint}, wire.KindOK)
+}
+
+// Ping verifies the server is reachable and answering.
+func (cli *Client) Ping(ctx context.Context) error {
+	return cli.fieldless(ctx, wire.Msg{Kind: wire.KindPing}, wire.KindPong)
+}
+
+func (cli *Client) fieldless(ctx context.Context, req wire.Msg, want wire.Kind) error {
+	err := cli.do(ctx, func(cn *conn) error {
+		if err := cn.send(req); err != nil {
+			return err
+		}
+		m, err := cn.r.Read()
+		if err != nil {
+			return eofAsUnexpected(err)
+		}
+		switch m.Kind {
+		case wire.KindError:
+			return errRemote{m.Text}
+		case want:
+			return nil
+		default:
+			return fmt.Errorf("client: unexpected %s after %s", m.Kind, req.Kind)
+		}
+	})
+	return unwrapRemote(err)
+}
+
+// eofAsUnexpected turns a clean EOF inside a response into the unexpected
+// kind it is: the server vanished mid-conversation.
+func eofAsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// unwrapRemote strips the internal remote marker so callers see the
+// server's message verbatim.
+func unwrapRemote(err error) error {
+	var re errRemote
+	if errors.As(err, &re) {
+		return errors.New(re.msg)
+	}
+	return err
+}

@@ -1,0 +1,311 @@
+package client
+
+// Client-side failure-mode tests against scripted fake servers: a real
+// beliefserver is exercised by internal/server's integration tests and the
+// CI end-to-end job (e2e_test.go); here the peer is a hand-driven listener
+// so the failure can be injected at an exact point in the conversation —
+// mid-stream, mid-batch, mid-frame.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beliefdb/internal/wire"
+)
+
+// fakeServer accepts connections on a loopback listener and runs script
+// for each, after answering the handshake. The script gets the raw conn
+// plus wire reader/writer and returns when the connection's scene is over.
+type fakeServer struct {
+	ln    net.Listener
+	conns atomic.Int64
+}
+
+func newFakeServer(t *testing.T, script func(c net.Conn, r *wire.Reader, w *wire.Writer)) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fs.conns.Add(1)
+			go func() {
+				defer c.Close()
+				r := wire.NewReader(c, 0)
+				w := wire.NewWriter(c, 0)
+				if m, err := r.Read(); err != nil || m.Kind != wire.KindHello {
+					return
+				}
+				if err := w.Write(wire.ServerHello("fake")); err != nil {
+					return
+				}
+				script(c, r, w)
+			}()
+		}
+	}()
+	return fs
+}
+
+func (fs *fakeServer) addr() string { return fs.ln.Addr().String() }
+
+// TestServerGoneMidStream: the server dies after the row header, half way
+// through a streamed result. The client must fail the query (not hang, not
+// return a truncated result) and recover on a fresh connection.
+func TestServerGoneMidStream(t *testing.T) {
+	var killed atomic.Bool
+	fs := newFakeServer(t, func(c net.Conn, r *wire.Reader, w *wire.Writer) {
+		for {
+			m, err := r.Read()
+			if err != nil {
+				return
+			}
+			switch {
+			case m.Kind == wire.KindPing:
+				if err := w.Write(wire.Msg{Kind: wire.KindPong}); err != nil {
+					return
+				}
+			case m.Kind == wire.KindQuery && !killed.Load():
+				// Start a result stream, then vanish mid-stream.
+				killed.Store(true)
+				w.Write(wire.Msg{Kind: wire.KindRowHeader, Cols: []string{"k"}})
+				c.Close()
+				return
+			case m.Kind == wire.KindQuery:
+				w.Write(wire.Msg{Kind: wire.KindRowHeader, Cols: []string{"k"}})
+				w.Write(wire.Msg{Kind: wire.KindResultEnd})
+			default:
+				w.Write(wire.Errorf("unexpected %s", m.Kind))
+			}
+		}
+	})
+
+	cli, err := Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	_, err = cli.Query(ctx, "select R.k from R")
+	if err == nil {
+		t.Fatal("mid-stream disconnect returned a result")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want an unexpected-EOF failure", err)
+	}
+	// The poisoned connection was discarded: the next request dials fresh
+	// and succeeds.
+	if _, err := cli.Query(ctx, "select R.k from R"); err != nil {
+		t.Fatalf("query after reconnect: %v", err)
+	}
+}
+
+// TestContextCancellationMidBatch: the server sits on an ExecBatch without
+// answering; the client's context expires. The call must return the
+// context error promptly and the abandoned connection must not be reused.
+func TestContextCancellationMidBatch(t *testing.T) {
+	release := make(chan struct{})
+	fs := newFakeServer(t, func(c net.Conn, r *wire.Reader, w *wire.Writer) {
+		for {
+			m, err := r.Read()
+			if err != nil {
+				return
+			}
+			switch m.Kind {
+			case wire.KindExecBatch:
+				<-release // never answers within the test's patience
+				w.Write(wire.Msg{Kind: wire.KindBatchDone, Applied: 1, Changed: 1})
+			case wire.KindPing:
+				if err := w.Write(wire.Msg{Kind: wire.KindPong}); err != nil {
+					return
+				}
+			}
+		}
+	})
+	defer close(release)
+
+	cli, err := Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cli.ExecBatch(ctx, "insert into R values ('a','1');")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// The abandoned connection is gone; a fresh one answers.
+	before := fs.conns.Load()
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after cancellation: %v", err)
+	}
+	if fs.conns.Load() == before {
+		t.Error("client reused the connection it abandoned mid-batch")
+	}
+}
+
+// TestOversizedFrameRejectedClientSide: a response frame beyond the
+// client's limit is refused on its header — the client errors out without
+// reading the payload and drops the connection.
+func TestOversizedFrameRejectedClientSide(t *testing.T) {
+	fs := newFakeServer(t, func(c net.Conn, r *wire.Reader, w *wire.Writer) {
+		for {
+			m, err := r.Read()
+			if err != nil {
+				return
+			}
+			if m.Kind == wire.KindQuery {
+				// An absurd row chunk, larger than the client's MaxFrame.
+				big := wire.Msg{Kind: wire.KindRowHeader, Cols: []string{strings.Repeat("x", 1<<16)}}
+				if err := w.Write(big); err != nil {
+					return
+				}
+			}
+		}
+	})
+
+	cli, err := Dial(fs.addr(), Options{MaxFrame: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.Query(context.Background(), "select R.k from R")
+	if !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestOversizedRequestRefusedBeforeSend: a request beyond the frame limit
+// never reaches the wire — the connection stays clean and reusable.
+func TestOversizedRequestRefusedBeforeSend(t *testing.T) {
+	fs := newFakeServer(t, func(c net.Conn, r *wire.Reader, w *wire.Writer) {
+		for {
+			m, err := r.Read()
+			if err != nil {
+				return
+			}
+			if m.Kind == wire.KindPing {
+				if err := w.Write(wire.Msg{Kind: wire.KindPong}); err != nil {
+					return
+				}
+			}
+		}
+	})
+
+	cli, err := Dial(fs.addr(), Options{MaxFrame: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.ExecBatch(context.Background(), strings.Repeat("x", 1<<13))
+	if !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after refused request: %v", err)
+	}
+}
+
+// TestDialFailures: a dead address and a refusing peer both fail Dial with
+// a diagnosable error.
+func TestDialFailures(t *testing.T) {
+	// Nothing listens here (a listener opened and immediately closed).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(dead, Options{DialTimeout: time.Second}); err == nil {
+		t.Error("Dial to a dead address succeeded")
+	}
+
+	// A peer that answers the handshake with an Error.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go func() {
+		c, err := ln2.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		r := wire.NewReader(c, 0)
+		w := wire.NewWriter(c, 0)
+		r.Read()
+		w.Write(wire.Errorf("go away"))
+	}()
+	if _, err := Dial(ln2.Addr().String()); err == nil || !strings.Contains(err.Error(), "go away") {
+		t.Errorf("refused handshake: %v", err)
+	}
+}
+
+// TestPoolReusesConnections: sequential requests ride one connection; the
+// pool never dials per-request.
+func TestPoolReusesConnections(t *testing.T) {
+	fs := newFakeServer(t, func(c net.Conn, r *wire.Reader, w *wire.Writer) {
+		for {
+			m, err := r.Read()
+			if err != nil {
+				return
+			}
+			if m.Kind == wire.KindPing {
+				if err := w.Write(wire.Msg{Kind: wire.KindPong}); err != nil {
+					return
+				}
+			}
+		}
+	})
+	cli, err := Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 10; i++ {
+		if err := cli.Ping(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.conns.Load(); got != 1 {
+		t.Errorf("10 sequential pings used %d connections, want 1", got)
+	}
+}
+
+// TestClientClose: methods fail after Close; Close is idempotent.
+func TestClientClose(t *testing.T) {
+	fs := newFakeServer(t, func(c net.Conn, r *wire.Reader, w *wire.Writer) {})
+	cli, err := Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Ping(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ping after close: %v", err)
+	}
+}

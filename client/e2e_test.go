@@ -1,0 +1,147 @@
+package client
+
+// End-to-end tests against an externally started beliefserver, used by the
+// CI server job: the workflow builds cmd/beliefserver, starts it on a temp
+// store, exports BELIEFDB_E2E_ADDR, and runs these under -race. Without
+// the variable the tests skip, so `go test ./...` needs no live server.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func e2eAddr(t *testing.T) string {
+	addr := os.Getenv("BELIEFDB_E2E_ADDR")
+	if addr == "" {
+		t.Skip("BELIEFDB_E2E_ADDR not set; skipping live-server e2e test")
+	}
+	return addr
+}
+
+// e2eRun tags keys so reruns against the same server directory never
+// collide with a previous process's rows.
+var e2eRun = fmt.Sprintf("%d-%d", os.Getpid(), time.Now().UnixNano()%1e9)
+
+// TestE2EServerRoundTrip drives the full remote surface of a live
+// beliefserver started with -demo: ping, user registration, batched
+// mutations, streamed queries, checkpoint.
+func TestE2EServerRoundTrip(t *testing.T) {
+	addr := e2eAddr(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	if err := cli.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	user := "e2e-" + e2eRun
+	uid, err := cli.AddUser(ctx, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uid <= 0 {
+		t.Fatalf("uid = %d", uid)
+	}
+
+	sid := "e2e-s-" + e2eRun
+	br, err := cli.ExecBatch(ctx, fmt.Sprintf(
+		"insert into Sightings values ('%s','%s','osprey','7-29-26','Lake E2E');"+
+			"insert into BELIEF '%s' not Sightings values ('%s','%s','osprey','7-29-26','Lake E2E');",
+		sid, user, user, sid, user))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 2 {
+		t.Fatalf("batch result = %+v", br)
+	}
+
+	res, err := cli.Query(ctx, fmt.Sprintf("select S.species from Sightings S where S.sid = '%s'", sid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "osprey" {
+		t.Fatalf("query result = %+v", res)
+	}
+
+	// A request-level error leaves the session healthy.
+	if _, err := cli.Query(ctx, "select X.k from NoSuchRel X"); err == nil {
+		t.Error("query over unknown relation succeeded")
+	}
+	if err := cli.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE2EConcurrentClients: eight client connections interleave batches
+// and queries against the live server; every batch must land exactly once.
+func TestE2EConcurrentClients(t *testing.T) {
+	addr := e2eAddr(t)
+	const clients = 8
+	const rounds = 5
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			ctx := context.Background()
+			for i := 0; i < rounds; i++ {
+				sid := fmt.Sprintf("e2e-c%d-%d-%s", c, i, e2eRun)
+				if _, err := cli.ExecBatch(ctx, fmt.Sprintf(
+					"insert into Sightings values ('%s','u','heron','d','l');", sid)); err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", c, i, err)
+					return
+				}
+				res, err := cli.Query(ctx, fmt.Sprintf(
+					"select S.sid from Sightings S where S.sid = '%s'", sid))
+				if err != nil || len(res.Rows) != 1 {
+					errs <- fmt.Errorf("client %d round %d: rows=%v err=%w", c, i, res, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every batch landed exactly once: re-check the whole set from a fresh
+	// connection.
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for c := 0; c < clients; c++ {
+		for i := 0; i < rounds; i++ {
+			sid := fmt.Sprintf("e2e-c%d-%d-%s", c, i, e2eRun)
+			res, err := cli.Query(context.Background(), fmt.Sprintf(
+				"select S.sid from Sightings S where S.sid = '%s'", sid))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				t.Errorf("sid %s: %d rows, want 1", sid, len(res.Rows))
+			}
+		}
+	}
+}

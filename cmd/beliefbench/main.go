@@ -2,12 +2,14 @@
 // Table 1 (relative overhead grid), Figure 6 (overhead vs. number of
 // annotations), Table 2 (query latencies), and the Sect. 5.4 space-bound
 // ablation — plus the durability benchmark (WAL append/replay, snapshot
-// write/load) and the group-commit ingest benchmark (fsyncs per statement
-// at several batch sizes), which have no counterpart in the paper.
+// write/load), the group-commit ingest benchmark (fsyncs per statement at
+// several batch sizes), and the client/server ingest benchmark (fsyncs
+// per statement at several concurrent-client counts through a live
+// beliefserver), which have no counterpart in the paper.
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
 //
 // Without -full, scaled-down parameters keep runtime in seconds; -full uses
 // the paper's parameters (n = 10,000 annotations, 10 databases per Table 1
@@ -63,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		lazy    = fs.Bool("lazy", false, "run the lazy-vs-eager representation ablation (Sect. 6.3)")
 		durab   = fs.Bool("durability", false, "run the WAL/snapshot durability benchmark")
 		batchN  = fs.Int("batch", 0, "run the group-commit ingest benchmark comparing batch size N against size 1 (with -all alone: sizes 1, 16, 256)")
+		serveN  = fs.Int("serve", 0, "run the client/server ingest benchmark comparing N concurrent clients against 1 (with -all alone: 1, 4, 16)")
 		all     = fs.Bool("all", false, "run everything")
 		full    = fs.Bool("full", false, "use the paper's full-scale parameters")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
@@ -74,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -255,6 +258,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 			})
 		}
 		emit(bench.RenderBatchIngest(rows, nb, mb), recs)
+	}
+
+	if *all || *serveN > 0 {
+		ns, ms := 300, 10
+		if *full {
+			ns = 3000
+		}
+		if *n > 0 {
+			ns = *n
+		}
+		counts := []int{1, 4, 16}
+		switch {
+		case *serveN == 1:
+			counts = []int{1}
+		case *serveN > 1:
+			counts = []int{1, *serveN}
+		}
+		rows, err := bench.RunServerBench(ns, ms, 13, counts, progress)
+		if err != nil {
+			return err
+		}
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs, benchRecord{
+				Name:    fmt.Sprintf("server/clients%d", r.Clients),
+				NsPerOp: r.NsPerStmt,
+				Value:   r.SyncsPerStmt,
+				Unit:    "fsyncs_per_stmt",
+			})
+		}
+		emit(bench.RenderServerBench(rows, ns, ms), recs)
 	}
 
 	if *jsonOut {

@@ -1,0 +1,155 @@
+// Command beliefserver serves a belief database over TCP, turning the
+// embedded engine into shared community infrastructure: many clients (the
+// client package, or beliefsql -connect) insert and query beliefs
+// concurrently over the internal/wire protocol, and their batch mutations
+// are group-committed together — one WAL fsync covers many clients.
+//
+// Usage:
+//
+//	beliefserver [-addr host:port] [-db dir] [-schema spec] [-demo]
+//
+// The schema is declared with -schema using one or more
+// "Rel(col:type,...)" items separated by ';' (the first column is the
+// external key; types: int, float, text, bool). -demo serves the paper's
+// NatureMapping schema with users Alice/Bob/Carol registered (and, on a
+// fresh database, the example statements i1..i8 preloaded). With -db the
+// database is durable under that directory, exactly as in beliefsql:
+// mutations are journaled before they are acknowledged and a restart
+// recovers the committed state. Without -db the served database lives in
+// memory and dies with the process.
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
+// requests, then close the database.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"beliefdb"
+	"beliefdb/internal/paperex"
+	"beliefdb/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "beliefserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4045", "TCP listen address")
+		dbdir   = flag.String("db", "", "durable database directory (WAL + snapshot; created on first use, recovered on reopen)")
+		schema  = flag.String("schema", "", "schema spec: Rel(col:type,...);...")
+		demo    = flag.Bool("demo", false, "serve the paper's NatureMapping demo schema (preloading i1..i8 on a fresh database)")
+		timeout = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+
+	db, err := openDB(*demo, *schema, *dbdir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := server.New(db, server.WithInfo("beliefserver"))
+	fmt.Fprintf(os.Stderr, "beliefserver: serving on %s (pid %d)\n", ln.Addr(), os.Getpid())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "beliefserver: %s; draining connections\n", s)
+	}
+
+	// Shutdown ordering: listener and connections first, database last —
+	// a request drained by Shutdown must still find the store open.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "beliefserver: drain incomplete: %v\n", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "beliefserver: shut down cleanly")
+	return nil
+}
+
+// openDB opens the served database: -demo and -schema mirror beliefsql's
+// flags, and -db selects durability.
+func openDB(demo bool, schemaSpec, dbdir string) (*beliefdb.DB, error) {
+	if demo && schemaSpec != "" {
+		return nil, fmt.Errorf("-demo and -schema are mutually exclusive")
+	}
+	var sch beliefdb.Schema
+	switch {
+	case demo:
+		sch = beliefdb.Schema{Relations: paperex.Relations()}
+	case schemaSpec != "":
+		var err error
+		if sch, err = beliefdb.ParseSchemaSpec(schemaSpec); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("declare a schema with -schema or serve the demo with -demo")
+	}
+
+	var db *beliefdb.DB
+	var err error
+	if dbdir == "" {
+		db, err = beliefdb.Open(sch)
+	} else {
+		db, err = beliefdb.OpenAt(dbdir, sch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if dbdir != "" {
+		if s := db.Stats(); s.Annotations > 0 || s.Users > 0 {
+			fmt.Fprintf(os.Stderr, "beliefserver: recovered %s: %d users, %d statements\n",
+				dbdir, s.Users, s.Annotations)
+		}
+	}
+	if demo {
+		// The recovered-directory rules (idempotent user registration,
+		// never resurrect durably deleted demo statements) live in paperex,
+		// shared with beliefsql -demo.
+		if err := paperex.EnsureUsers(db); err != nil {
+			db.Close()
+			return nil, err
+		}
+		loaded, err := paperex.PreloadStatements(db)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if !loaded {
+			fmt.Fprintln(os.Stderr, "beliefserver: database already contains statements; skipping -demo preload")
+		}
+	}
+	return db, nil
+}

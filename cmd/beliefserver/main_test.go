@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestOpenDBDemo(t *testing.T) {
+	db, err := openDB(true, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.Stats().Annotations; got != 8 {
+		t.Errorf("demo annotations = %d", got)
+	}
+	if _, ok := db.UserID("Carol"); !ok {
+		t.Error("demo users not registered")
+	}
+}
+
+func TestOpenDBDurableDemoRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := openDB(true, "", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Durably delete one demo statement; a rerun of -demo must not
+	// resurrect it.
+	if _, err := db.Exec("delete from BELIEF 'Bob' Comments where Comments.cid = 'c2'"); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Stats().Annotations
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := openDB(true, "", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Stats().Annotations; got != want {
+		t.Errorf("recovered %d statements, want %d (deleted demo row resurrected?)", got, want)
+	}
+}
+
+func TestOpenDBFlagValidation(t *testing.T) {
+	if _, err := openDB(false, "", ""); err == nil {
+		t.Error("no schema accepted")
+	}
+	if _, err := openDB(true, "R(k)", ""); err == nil {
+		t.Error("-demo with -schema accepted")
+	}
+	db, err := openDB(false, "R(k,v:int)", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("insert into R values ('a', 1)"); err != nil {
+		t.Error(err)
+	}
+}

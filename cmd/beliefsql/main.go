@@ -1,9 +1,9 @@
-// Command beliefsql is an interactive BeliefSQL shell over an embedded
-// belief database.
+// Command beliefsql is an interactive BeliefSQL shell over a belief
+// database — embedded in-process, or remote through a beliefserver.
 //
 // Usage:
 //
-//	beliefsql [-demo] [-schema spec] [-db dir] [script.bsql ...]
+//	beliefsql [-demo] [-schema spec] [-db dir] [-connect addr] [script.bsql ...]
 //
 // The schema is declared with -schema using one or more
 // "Rel(col:type,...)" items separated by ';' (the first column is the
@@ -15,6 +15,14 @@
 // previous session's committed state exactly. Script files are executed
 // before the prompt; with no TTY-style interaction desired, pass scripts
 // and pipe input.
+//
+// With -connect host:port the shell drives a running beliefserver instead
+// of opening a database itself: the server owns the schema and the store,
+// and -demo/-schema/-db do not apply. Statements, \batch (whose commits
+// the server group-commits together with other clients' batches),
+// \adduser, and \checkpoint work as in embedded mode; the meta commands
+// that inspect in-process state (\world, \translate, \sql, \stats,
+// \statements, \dump) need the embedded engine and report so.
 //
 // Meta commands at the prompt:
 //
@@ -30,34 +38,62 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"beliefdb"
+	"beliefdb/client"
 	"beliefdb/internal/paperex"
 )
 
+// session is the execution surface the shell drives: the embedded *beliefdb.DB
+// satisfies it directly, and remoteSession adapts a beliefserver client.
+type session interface {
+	ExecScript(src string) (*beliefdb.Result, error)
+	ExecBatch(script string) (beliefdb.BatchResult, error)
+	AddUser(name string) (beliefdb.UserID, error)
+	Checkpoint() error
+	Close() error
+}
+
+// remoteSession drives a beliefserver over the client package.
+type remoteSession struct{ cli *client.Client }
+
+func (r remoteSession) ExecScript(src string) (*beliefdb.Result, error) {
+	return r.cli.Exec(context.Background(), src)
+}
+func (r remoteSession) ExecBatch(script string) (beliefdb.BatchResult, error) {
+	return r.cli.ExecBatch(context.Background(), script)
+}
+func (r remoteSession) AddUser(name string) (beliefdb.UserID, error) {
+	return r.cli.AddUser(context.Background(), name)
+}
+func (r remoteSession) Checkpoint() error { return r.cli.Checkpoint(context.Background()) }
+func (r remoteSession) Close() error      { return r.cli.Close() }
+
 func main() {
 	var (
-		demo   = flag.Bool("demo", false, "preload the paper's running example")
-		schema = flag.String("schema", "", "schema spec: Rel(col:type,...);...")
-		dbdir  = flag.String("db", "", "durable database directory (WAL + snapshot; created on first use, recovered on reopen)")
+		demo    = flag.Bool("demo", false, "preload the paper's running example")
+		schema  = flag.String("schema", "", "schema spec: Rel(col:type,...);...")
+		dbdir   = flag.String("db", "", "durable database directory (WAL + snapshot; created on first use, recovered on reopen)")
+		connect = flag.String("connect", "", "drive a running beliefserver at host:port instead of opening a database")
 	)
 	flag.Parse()
 
-	db, err := openDB(*demo, *schema, *dbdir)
+	sess, db, err := openSession(*connect, *demo, *schema, *dbdir)
 	if err != nil {
 		fatal(err)
 	}
-	defer db.Close()
+	defer sess.Close()
 	for _, file := range flag.Args() {
 		data, err := os.ReadFile(file)
 		if err != nil {
 			fatal(err)
 		}
-		if res, err := db.ExecScript(string(data)); err != nil {
+		if res, err := sess.ExecScript(string(data)); err != nil {
 			fatal(fmt.Errorf("%s: %w", file, err))
 		} else {
 			printResult(res)
@@ -67,7 +103,7 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("beliefdb shell — BeliefSQL statements end with ';', meta commands start with '\\' (\\help)")
-	sh := &shell{db: db}
+	sh := &shell{sess: sess, db: db}
 	prompt := func() {
 		switch {
 		case sh.buf.Len() > 0:
@@ -90,8 +126,10 @@ func main() {
 
 // shell is the interactive loop's state: the statement continuation buffer
 // and, when \batch is active, the queued statements awaiting an atomic
-// commit.
+// commit. db is nil in -connect mode; the meta commands that need the
+// embedded engine check it.
 type shell struct {
+	sess    session
 	db      *beliefdb.DB
 	buf     strings.Builder
 	inBatch bool
@@ -113,7 +151,7 @@ func (sh *shell) handleLine(line string) bool {
 			sh.batch = append(sh.batch, stmt)
 			fmt.Printf("queued (%d statement(s) in batch; \\batch commit to apply)\n", len(sh.batch))
 		} else {
-			run(sh.db, stmt)
+			run(sh.sess, stmt)
 		}
 	}
 	return true
@@ -127,7 +165,7 @@ func (sh *shell) flush() {
 		if sh.inBatch {
 			sh.batch = append(sh.batch, sh.buf.String())
 		} else {
-			run(sh.db, sh.buf.String())
+			run(sh.sess, sh.buf.String())
 		}
 		sh.buf.Reset()
 	}
@@ -174,7 +212,7 @@ func (sh *shell) batchCmd(arg string) {
 			fmt.Println("empty batch; nothing to do")
 			return
 		}
-		res, err := sh.db.ExecBatch(script)
+		res, err := sh.sess.ExecBatch(script)
 		if err != nil {
 			fmt.Println("error (batch rolled back):", err)
 			return
@@ -183,6 +221,29 @@ func (sh *shell) batchCmd(arg string) {
 	default:
 		fmt.Println("usage: \\batch [begin|commit|abort|status]")
 	}
+}
+
+// openSession opens the shell's execution surface: a remote session when
+// -connect is set (the other database flags then do not apply), otherwise
+// an embedded database, returned both as the session and as the *DB the
+// engine-inspection meta commands need.
+func openSession(connect string, demo bool, schemaSpec, dbdir string) (session, *beliefdb.DB, error) {
+	if connect == "" {
+		db, err := openDB(demo, schemaSpec, dbdir)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db, db, nil
+	}
+	if demo || schemaSpec != "" || dbdir != "" {
+		return nil, nil, fmt.Errorf("-connect drives a server-owned database; -demo, -schema and -db do not apply")
+	}
+	cli, err := client.Dial(connect)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("connected to beliefserver at %s\n", connect)
+	return remoteSession{cli}, nil, nil
 }
 
 func openDB(demo bool, schemaSpec, dbdir string) (*beliefdb.DB, error) {
@@ -204,36 +265,29 @@ func openDB(demo bool, schemaSpec, dbdir string) (*beliefdb.DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		// A recovered -db directory that already holds statements has real
-		// history: re-running the preload there would journal needless
-		// records and resurrect demo statements the user durably deleted.
-		// Mere user registrations (auto-added by any prior session) do not
-		// count — a first -demo run must still work after them.
-		hasStatements := db.Stats().Annotations > 0
-		for _, name := range []string{"Alice", "Bob", "Carol"} {
-			if _, ok := db.UserID(name); ok {
-				continue // already registered by a previous durable session
-			}
-			if _, err := db.AddUser(name); err != nil {
-				return nil, err
-			}
+		// The recovered-directory rules (idempotent user registration,
+		// never resurrect durably deleted demo statements) live in
+		// paperex, shared with beliefserver -demo.
+		if err := paperex.EnsureUsers(db); err != nil {
+			return nil, err
 		}
 		switch {
-		case demo && hasStatements:
-			fmt.Println("database already contains statements; skipping -demo preload")
-		case demo:
-			for _, st := range paperex.Statements() {
-				if _, err := db.InsertBelief(st.Path, st.Sign, st.Tuple); err != nil {
-					return nil, err
-				}
-			}
-			fmt.Println("loaded running example: users Alice, Bob, Carol; statements i1..i8")
-		default:
+		case !demo:
 			fmt.Println("using NatureMapping demo schema: Sightings(sid,uid,species,date,location), Comments(cid,comment,sid)")
+		default:
+			loaded, err := paperex.PreloadStatements(db)
+			if err != nil {
+				return nil, err
+			}
+			if loaded {
+				fmt.Println("loaded running example: users Alice, Bob, Carol; statements i1..i8")
+			} else {
+				fmt.Println("database already contains statements; skipping -demo preload")
+			}
 		}
 		return db, nil
 	}
-	sch, err := parseSchema(schemaSpec)
+	sch, err := beliefdb.ParseSchemaSpec(schemaSpec)
 	if err != nil {
 		return nil, err
 	}
@@ -241,64 +295,11 @@ func openDB(demo bool, schemaSpec, dbdir string) (*beliefdb.DB, error) {
 }
 
 func natureSchema() beliefdb.Schema {
-	return beliefdb.Schema{Relations: []beliefdb.Relation{
-		{Name: "Sightings", Columns: []beliefdb.Column{
-			{Name: "sid", Type: beliefdb.KindString},
-			{Name: "uid", Type: beliefdb.KindString},
-			{Name: "species", Type: beliefdb.KindString},
-			{Name: "date", Type: beliefdb.KindString},
-			{Name: "location", Type: beliefdb.KindString},
-		}},
-		{Name: "Comments", Columns: []beliefdb.Column{
-			{Name: "cid", Type: beliefdb.KindString},
-			{Name: "comment", Type: beliefdb.KindString},
-			{Name: "sid", Type: beliefdb.KindString},
-		}},
-	}}
+	return beliefdb.Schema{Relations: paperex.Relations()}
 }
 
-// parseSchema parses "Rel(col:type,...);Rel2(...)".
-func parseSchema(spec string) (beliefdb.Schema, error) {
-	var sch beliefdb.Schema
-	for _, item := range strings.Split(spec, ";") {
-		item = strings.TrimSpace(item)
-		if item == "" {
-			continue
-		}
-		open := strings.Index(item, "(")
-		if open < 0 || !strings.HasSuffix(item, ")") {
-			return sch, fmt.Errorf("bad relation spec %q", item)
-		}
-		rel := beliefdb.Relation{Name: strings.TrimSpace(item[:open])}
-		for _, col := range strings.Split(item[open+1:len(item)-1], ",") {
-			parts := strings.SplitN(strings.TrimSpace(col), ":", 2)
-			c := beliefdb.Column{Name: parts[0], Type: beliefdb.KindString}
-			if len(parts) == 2 {
-				switch strings.ToLower(strings.TrimSpace(parts[1])) {
-				case "int":
-					c.Type = beliefdb.KindInt
-				case "float":
-					c.Type = beliefdb.KindFloat
-				case "text", "string":
-					c.Type = beliefdb.KindString
-				case "bool":
-					c.Type = beliefdb.KindBool
-				default:
-					return sch, fmt.Errorf("bad column type %q", parts[1])
-				}
-			}
-			rel.Columns = append(rel.Columns, c)
-		}
-		sch.Relations = append(sch.Relations, rel)
-	}
-	if len(sch.Relations) == 0 {
-		return sch, fmt.Errorf("empty schema spec")
-	}
-	return sch, nil
-}
-
-func run(db *beliefdb.DB, src string) {
-	res, err := db.ExecScript(src)
+func run(sess session, src string) {
+	res, err := sess.ExecScript(src)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -330,6 +331,17 @@ func meta(sh *shell, line string) bool {
 	db := sh.db
 	cmd, arg, _ := strings.Cut(strings.TrimPrefix(line, "\\"), " ")
 	arg = strings.TrimSpace(arg)
+	// The engine-inspection commands read in-process state that a remote
+	// session does not hold.
+	needsDB := map[string]bool{
+		"users": true, "world": true, "translate": true, "sql": true,
+		"stats": true, "statements": true, "dump": true,
+	}
+	if db == nil && needsDB[cmd] {
+		fmt.Printf("\\%s inspects the embedded engine and is unavailable over -connect "+
+			"(statements, \\batch, \\adduser and \\checkpoint run remotely)\n", cmd)
+		return true
+	}
 	switch cmd {
 	case "q", "quit", "exit":
 		return false
@@ -347,14 +359,17 @@ func meta(sh *shell, line string) bool {
   \dump            emit a replayable BeliefSQL script
   \checkpoint      snapshot a durable database and truncate its WAL
   \batch           queue INSERT/DELETE statements; \batch commit applies
-                   them atomically under one WAL fsync (group commit)
-  \quit`)
+                   them atomically under one WAL fsync (group commit);
+                   over -connect the server group-commits the batch
+                   together with other clients' batches
+  \quit
+(over -connect, the engine-inspection commands are unavailable)`)
 	case "adduser":
 		if arg == "" {
 			fmt.Println("usage: \\adduser NAME")
 			break
 		}
-		uid, err := db.AddUser(arg)
+		uid, err := sh.sess.AddUser(arg)
 		if err != nil {
 			fmt.Println("error:", err)
 			break
@@ -406,7 +421,7 @@ func meta(sh *shell, line string) bool {
 		}
 		fmt.Print(script)
 	case "checkpoint":
-		if err := db.Checkpoint(); err != nil {
+		if err := sh.sess.Checkpoint(); err != nil {
 			fmt.Println("error:", err)
 			break
 		}

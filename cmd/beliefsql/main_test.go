@@ -1,37 +1,102 @@
 package main
 
 import (
+	"context"
+	"net"
+	"strings"
 	"testing"
+	"time"
 
 	"beliefdb"
+	"beliefdb/internal/server"
 )
 
-func TestParseSchema(t *testing.T) {
-	sch, err := parseSchema("R(k:text,n:int,x:float,b:bool); T(a)")
+// TestRemoteSession drives the -connect plumbing against an in-process
+// beliefserver: statements, batches, \adduser and \checkpoint go over the
+// wire, and the embedded-only meta commands are refused gracefully.
+func TestRemoteSession(t *testing.T) {
+	db, err := beliefdb.OpenAt(t.TempDir(), natureSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sch.Relations) != 2 {
-		t.Fatalf("relations = %d", len(sch.Relations))
+	defer db.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
 	}
-	r := sch.Relations[0]
-	if r.Name != "R" || len(r.Columns) != 4 {
-		t.Fatalf("r = %+v", r)
+	srv := server.New(db)
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	sess, shellDB, err := openSession(ln.Addr().String(), false, "", "")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if r.Columns[0].Type != beliefdb.KindString || r.Columns[1].Type != beliefdb.KindInt ||
-		r.Columns[2].Type != beliefdb.KindFloat || r.Columns[3].Type != beliefdb.KindBool {
-		t.Errorf("types = %+v", r.Columns)
-	}
-	// Unspecified type defaults to text.
-	if sch.Relations[1].Columns[0].Type != beliefdb.KindString {
-		t.Error("default type not text")
+	defer sess.Close()
+	if shellDB != nil {
+		t.Fatal("remote session returned an embedded DB")
 	}
 
-	bad := []string{"", "R", "R(", "R(k:wat)"}
-	for _, s := range bad {
-		if _, err := parseSchema(s); err == nil {
-			t.Errorf("parseSchema(%q) succeeded", s)
+	if _, err := sess.AddUser("Remote"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecScript("insert into Sightings values ('s1','Remote','owl','d','l')"); err != nil {
+		t.Fatal(err)
+	}
+	br, err := sess.ExecBatch("insert into BELIEF 'Remote' not Sightings values ('s1','Remote','owl','d','l');")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 1 {
+		t.Fatalf("batch result = %+v", br)
+	}
+	res, err := sess.ExecScript("select S.species from Sightings S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "owl" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if err := sess.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shell refuses engine-inspection meta commands without a DB but
+	// keeps running.
+	sh := &shell{sess: sess, db: nil}
+	for _, cmd := range []string{"\\stats", "\\world", "\\sql select 1", "\\dump"} {
+		if !sh.handleLine(cmd) {
+			t.Fatalf("%s quit the shell", cmd)
 		}
+	}
+	// Remote \adduser works through the shell path too.
+	if !sh.handleLine("\\adduser ShellUser") {
+		t.Fatal("\\adduser quit the shell")
+	}
+	if _, ok := db.UserID("ShellUser"); !ok {
+		t.Error("\\adduser did not reach the server")
+	}
+}
+
+// TestOpenSessionFlagValidation: -connect excludes the embedded-database
+// flags and reports unreachable servers.
+func TestOpenSessionFlagValidation(t *testing.T) {
+	if _, _, err := openSession("127.0.0.1:1", true, "", ""); err == nil ||
+		!strings.Contains(err.Error(), "do not apply") {
+		t.Errorf("-connect with -demo: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	if _, _, err := openSession(dead, false, "", ""); err == nil {
+		t.Error("openSession to a dead address succeeded")
 	}
 }
 
@@ -84,7 +149,7 @@ func TestMetaCommands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := &shell{db: db}
+	sh := &shell{sess: db, db: db}
 	for _, cmd := range []string{
 		"\\help", "\\users", "\\stats", "\\statements", "\\dump",
 		"\\world Bob.Alice", "\\world", "\\adduser Dora",
@@ -148,7 +213,7 @@ func TestShellBatchMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := &shell{db: db}
+	sh := &shell{sess: db, db: db}
 	feed := func(lines ...string) {
 		t.Helper()
 		for _, l := range lines {
@@ -206,7 +271,7 @@ func TestShellBatchDiscardedAtEOF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := &shell{db: db}
+	sh := &shell{sess: db, db: db}
 	for _, l := range []string{
 		`\batch`,
 		`insert into Sightings values ('e1','x','crow','d','loc');`,

@@ -1,0 +1,185 @@
+// Client/server throughput benchmark: the generated durability workload
+// pushed through a live beliefserver by concurrent network clients. The
+// interesting column is fsyncs per statement — the server's batch
+// coalescer commits many clients' batches per WAL sync, so the per-client
+// fsync tax of PR 4's embedded group commit (1/batch-size) drops further,
+// to roughly 1/(batch size × clients per commit round).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"beliefdb"
+	"beliefdb/client"
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/server"
+)
+
+// ServerBenchResult is one measured client-count configuration.
+type ServerBenchResult struct {
+	Clients      int     // concurrent client connections
+	Stmts        int     // statements ingested across all clients
+	NsPerStmt    float64 // wall time per statement
+	SyncsPerStmt float64 // WAL fsyncs per statement
+}
+
+// RunServerBench loads the same n-statement generated workload through a
+// loopback beliefserver once per client count, as single-statement
+// ExecBatch requests split evenly across the clients, and measures the
+// per-statement wall cost and fsync amortization. Batch size stays 1 so
+// every fsync saving visible here is cross-client coalescing, not PR 4's
+// within-batch amortization.
+func RunServerBench(n, m int, seed int64, clientCounts []int, progress func(string)) ([]ServerBenchResult, error) {
+	cfg := durabilityConfig(m, seed, n)
+	_, stmts, err := gen.Statements(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	var out []ServerBenchResult
+	for _, clients := range clientCounts {
+		if clients < 1 {
+			return nil, fmt.Errorf("bench: client count %d", clients)
+		}
+		res, err := serverIngestOnce(cfg, stmts, clients)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(fmt.Sprintf("server clients=%-3d %10.1f µs/stmt %6.3f fsyncs/stmt",
+				res.Clients, res.NsPerStmt/1e3, res.SyncsPerStmt))
+		}
+	}
+	return out, nil
+}
+
+func serverIngestOnce(cfg gen.Config, stmts []core.Statement, clients int) (ServerBenchResult, error) {
+	dir, err := os.MkdirTemp("", "beliefdb-server-*")
+	if err != nil {
+		return ServerBenchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := beliefdb.OpenAt(dir, beliefdb.Schema{Relations: []beliefdb.Relation{GenRelation()}})
+	if err != nil {
+		return ServerBenchResult{}, err
+	}
+	defer db.Close()
+	userNames := make(map[core.UserID]string, cfg.Users)
+	for i := 1; i <= cfg.Users; i++ {
+		name := fmt.Sprintf("u%d", i)
+		uid, err := db.AddUser(name)
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		userNames[uid] = name
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerBenchResult{}, err
+	}
+	srv := server.New(db)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+	}()
+
+	clis := make([]*client.Client, clients)
+	for i := range clis {
+		if clis[i], err = client.Dial(ln.Addr().String()); err != nil {
+			return ServerBenchResult{}, err
+		}
+		defer clis[i].Close()
+	}
+
+	// Pre-render every statement as a one-insert batch script, sliced
+	// round-robin across clients, so the timed region is pure wire + commit
+	// work. gen.Statements is conflict-free, so order across clients cannot
+	// make a batch roll back.
+	scripts := make([]string, len(stmts))
+	for i, s := range stmts {
+		script, err := renderInsert(s, userNames)
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		scripts[i] = script
+	}
+
+	syncs0 := db.WALSyncs()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(scripts); i += clients {
+				if _, err := clis[c].ExecBatch(context.Background(), scripts[i]); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return ServerBenchResult{}, err
+	}
+	elapsed := time.Since(start)
+	return ServerBenchResult{
+		Clients:      clients,
+		Stmts:        len(stmts),
+		NsPerStmt:    float64(elapsed) / float64(len(stmts)),
+		SyncsPerStmt: float64(db.WALSyncs()-syncs0) / float64(len(stmts)),
+	}, nil
+}
+
+// renderInsert renders one belief statement as a BeliefSQL INSERT.
+func renderInsert(s core.Statement, userNames map[core.UserID]string) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("insert into ")
+	for _, u := range s.Path {
+		name, ok := userNames[u]
+		if !ok {
+			return "", fmt.Errorf("bench: statement path names unknown user %d", u)
+		}
+		fmt.Fprintf(&sb, "BELIEF '%s' ", strings.ReplaceAll(name, "'", "''"))
+	}
+	if s.Sign == core.Neg {
+		sb.WriteString("not ")
+	}
+	sb.WriteString(s.Tuple.Rel)
+	sb.WriteString(" values (")
+	for i, v := range s.Tuple.Vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.SQL())
+	}
+	sb.WriteString(");")
+	return sb.String(), nil
+}
+
+// RenderServerBench prints the client/server ingest comparison.
+func RenderServerBench(rows []ServerBenchResult, n, m int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Network service: durable ingest of n=%d single-statement batches (m=%d users) through beliefserver\n\n", n, m)
+	fmt.Fprintf(&sb, "  %10s %14s %14s\n", "clients", "µs/stmt", "fsyncs/stmt")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %10d %14.1f %14.3f\n", r.Clients, r.NsPerStmt/1e3, r.SyncsPerStmt)
+	}
+	return sb.String()
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestRunServerBench smoke-tests the network ingest benchmark at a small
+// scale and pins its headline property: more concurrent clients means
+// fewer fsyncs per statement, dropping below one per statement (the
+// single-client tax) once the coalescer has clients to merge.
+func TestRunServerBench(t *testing.T) {
+	rows, err := RunServerBench(120, 5, 11, []int{1, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stmts != 120 {
+			t.Errorf("clients %d ingested %d statements, want 120", r.Clients, r.Stmts)
+		}
+		if r.SyncsPerStmt <= 0 {
+			t.Errorf("clients %d: fsyncs/stmt = %v", r.Clients, r.SyncsPerStmt)
+		}
+	}
+	if one, eight := rows[0].SyncsPerStmt, rows[1].SyncsPerStmt; eight >= one {
+		t.Errorf("8 clients paid %.3f fsyncs/stmt, single client %.3f; coalescing saved nothing", eight, one)
+	}
+	if out := RenderServerBench(rows, 120, 5); out == "" {
+		t.Error("empty render")
+	}
+}

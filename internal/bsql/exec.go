@@ -68,12 +68,25 @@ func (tr *Translator) ExecScript(src string) (*query.Result, error) {
 // single writer-lock acquisition and a single WAL commit, and rolled back
 // whole if any statement fails.
 func (tr *Translator) ExecBatch(src string) (store.BatchResult, error) {
-	stmts, err := ParseAll(src)
+	ops, err := tr.CompileBatch(src)
 	if err != nil {
 		return store.BatchResult{}, err
 	}
+	return tr.st.ApplyBatch(ops)
+}
+
+// CompileBatch resolves a batch script into store operations without
+// applying them: the ExecBatch front half, split out so callers can route
+// the compiled batch through a different commit path — the network server
+// compiles each client's script outside the writer lock and submits the
+// operations to its group-commit coalescer.
+func (tr *Translator) CompileBatch(src string) ([]store.BatchOp, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
 	if len(stmts) == 0 {
-		return store.BatchResult{}, fmt.Errorf("bsql: empty batch")
+		return nil, fmt.Errorf("bsql: empty batch")
 	}
 	var ops []store.BatchOp
 	for _, s := range stmts {
@@ -81,22 +94,22 @@ func (tr *Translator) ExecBatch(src string) (store.BatchResult, error) {
 		case Insert:
 			ins, err := tr.insertOps(s)
 			if err != nil {
-				return store.BatchResult{}, err
+				return nil, err
 			}
 			ops = append(ops, ins...)
 		case Delete:
 			targets, _, err := tr.matchTargets(s.Target, s.Where)
 			if err != nil {
-				return store.BatchResult{}, err
+				return nil, err
 			}
 			for _, t := range targets {
 				ops = append(ops, store.BatchOp{Delete: true, Stmt: t})
 			}
 		default:
-			return store.BatchResult{}, fmt.Errorf("bsql: a batch supports INSERT and DELETE only, got %T", s)
+			return nil, fmt.Errorf("bsql: a batch supports INSERT and DELETE only, got %T", s)
 		}
 	}
-	return tr.st.ApplyBatch(ops)
+	return ops, nil
 }
 
 // ExecStmt executes one parsed BeliefSQL statement.

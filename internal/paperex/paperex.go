@@ -6,7 +6,9 @@
 package paperex
 
 import (
+	"beliefdb"
 	"beliefdb/internal/core"
+	"beliefdb/internal/store"
 	"beliefdb/internal/val"
 )
 
@@ -82,3 +84,54 @@ func Base() *core.BeliefBase {
 
 // Users returns the user universe of the example.
 func Users() []core.UserID { return []core.UserID{Alice, Bob, Carol} }
+
+// Relations returns the NatureMapping external schema (Fig. 2) as store
+// relations — the demo schema the command-line tools (beliefsql,
+// beliefserver) share. Every column is text, as in the paper's example.
+func Relations() []store.Relation {
+	rel := func(name string, cols []string) store.Relation {
+		r := store.Relation{Name: name}
+		for _, c := range cols {
+			r.Columns = append(r.Columns, store.Column{Name: c, Type: val.KindString})
+		}
+		return r
+	}
+	return []store.Relation{
+		rel(SightingsRel, SightingsCols),
+		rel(CommentsRel, CommentsCols),
+	}
+}
+
+// EnsureUsers registers Alice, Bob and Carol on db, skipping any already
+// present (a recovered durable directory has them from its first
+// session). Shared by the demo modes of beliefsql and beliefserver.
+func EnsureUsers(db *beliefdb.DB) error {
+	for _, name := range []string{"Alice", "Bob", "Carol"} {
+		if _, ok := db.UserID(name); ok {
+			continue
+		}
+		if _, err := db.AddUser(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PreloadStatements inserts the running example's statements i1..i8 and
+// reports whether it did. A database that already holds any statement is
+// left untouched: a recovered -db directory has real history, and
+// re-running the preload there would journal needless records and
+// resurrect demo statements the user durably deleted. This
+// skip-if-recovered rule lives here, once, so the CLIs sharing it cannot
+// drift apart.
+func PreloadStatements(db *beliefdb.DB) (bool, error) {
+	if db.Stats().Annotations > 0 {
+		return false, nil
+	}
+	for _, st := range Statements() {
+		if _, err := db.InsertBelief(st.Path, st.Sign, st.Tuple); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,393 @@
+// Package server is the network service layer of the belief database: a
+// TCP server speaking the internal/wire protocol over an embedded
+// beliefdb.DB, one goroutine per connection, with every client's batch
+// mutations funneled through the database's group-commit coalescer
+// (DB.SubmitBatch) so concurrent clients share WAL fsyncs instead of
+// paying one each.
+//
+// # Request handling
+//
+// A connection opens with the wire handshake (Hello/ServerHello) and then
+// carries requests answered strictly in order, so clients may pipeline.
+// Request-level failures (a bad query, a batch conflict) are answered with
+// an Error frame and the connection stays usable; protocol-level failures
+// (a torn frame, a checksum mismatch, an oversized frame, an unexpected
+// opcode) poison the stream and close the connection — after an Error
+// frame describing the reason, when the stream is still writable.
+//
+// # Shutdown ordering
+//
+// Shutdown closes the listener (no new connections), then interrupts every
+// connection's pending read; a handler mid-request finishes writing its
+// response before exiting, so no accepted request is abandoned. Only after
+// every handler has returned — or the context expires and the connections
+// are force-closed — should the caller close the DB. See the Network
+// service section of DESIGN.md.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"beliefdb"
+	"beliefdb/internal/wire"
+)
+
+// RowChunkSize bounds how many result rows travel in one RowChunk frame.
+// Chunking keeps every frame small regardless of result size, so a slow
+// client never forces the server to buffer a whole result in one frame.
+// Chunks are additionally bounded by encoded bytes (see writeResult), so
+// wide rows cannot push a frame past the wire limit either.
+const RowChunkSize = 256
+
+// DefaultCommitWindow is how long the database's group-commit rounds
+// linger for more batches while a server fronts it (see
+// beliefdb.DB.SetGroupCommitWindow). Without a window, batches coalesce
+// only when they happen to overlap a round already on disk — reliable
+// under real fsync latency, a scheduling accident on fast storage. A
+// fraction of a millisecond is noise next to a network round trip and
+// guarantees that concurrent clients share fsyncs.
+const DefaultCommitWindow = 200 * time.Microsecond
+
+// A Server serves the wire protocol over one belief database. Create with
+// New, start with Serve, stop with Shutdown.
+type Server struct {
+	db       *beliefdb.DB
+	maxFrame int
+	info     string
+	window   time.Duration
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	handlers sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxFrame bounds the payload of a single protocol frame in both
+// directions (0 means wire.DefaultMaxFrame).
+func WithMaxFrame(n int) Option { return func(s *Server) { s.maxFrame = n } }
+
+// WithInfo sets the human-readable identity sent in the handshake.
+func WithInfo(info string) Option { return func(s *Server) { s.info = info } }
+
+// WithCommitWindow overrides DefaultCommitWindow (negative disables the
+// window entirely).
+func WithCommitWindow(d time.Duration) Option { return func(s *Server) { s.window = d } }
+
+// New returns a server over db and arms db's group-commit window so
+// concurrent clients' batches share WAL fsyncs.
+func New(db *beliefdb.DB, opts ...Option) *Server {
+	s := &Server{
+		db:       db,
+		maxFrame: wire.DefaultMaxFrame,
+		info:     "beliefdb",
+		window:   DefaultCommitWindow,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.window < 0 {
+		s.window = 0
+	}
+	db.SetGroupCommitWindow(s.window)
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil here)
+// or a listener failure. Each connection is handled on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: Serve after Shutdown")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.shuttingDown() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		if !s.track(conn) {
+			conn.Close() // raced Shutdown; refuse quietly
+			continue
+		}
+		go func() {
+			defer s.handlers.Done()
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
+	}
+}
+
+// track registers a connection and takes its handler slot in the wait
+// group. The Add happens under the same mutex that Shutdown takes before
+// waiting, so Add is strictly ordered against handlers.Wait — an Add
+// outside the lock could land while a draining Shutdown's Wait sits at
+// zero, the documented WaitGroup misuse panic.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.handlers.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) shuttingDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+// Shutdown stops the server gracefully: close the listener, interrupt
+// every connection's pending read (a handler mid-request still writes its
+// response), and wait for the handlers to drain. If ctx expires first the
+// remaining connections are force-closed before Shutdown returns ctx's
+// error. The database is not touched either way — closing it is the
+// caller's next step, after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Wake handlers blocked between requests: an expired read deadline
+	// fails the pending frame read, and the handler sees shutdown and
+	// exits. Handlers inside a request keep running — only their next read
+	// fails — so accepted requests drain.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle runs one connection: handshake, then the request loop. Reads and
+// writes go through bufio so a streamed response costs one syscall per
+// flush, not one per frame; every response is flushed before the next read.
+func (s *Server) handle(conn net.Conn) {
+	bw := bufio.NewWriter(conn)
+	r := wire.NewReader(bufio.NewReader(conn), s.maxFrame)
+	w := wire.NewWriter(bw, s.maxFrame)
+
+	hello, err := r.Read()
+	if err != nil {
+		s.abort(w, bw, err)
+		return
+	}
+	if hello.Kind != wire.KindHello {
+		w.Write(wire.Errorf("server: expected Hello, got %s", hello.Kind))
+		bw.Flush()
+		return
+	}
+	if hello.Version != wire.ProtoVersion {
+		w.Write(wire.Errorf("server: protocol version %d not supported (server speaks %d)",
+			hello.Version, wire.ProtoVersion))
+		bw.Flush()
+		return
+	}
+	if err := w.Write(wire.ServerHello(s.info)); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	for {
+		req, err := r.Read()
+		if err != nil {
+			// Clean close, a poisoned stream, or the shutdown poke — none
+			// leave anything answerable.
+			s.abort(w, bw, err)
+			return
+		}
+		if err := s.serveRequest(w, req); err != nil {
+			// The stream is done for — but any Error frame explaining why
+			// (an unexpected opcode) is still sitting in the buffer, and
+			// the promise is to describe the drop when the stream is
+			// writable.
+			bw.Flush()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if s.shuttingDown() {
+			return // drained the request that was already in flight
+		}
+	}
+}
+
+// abort reports a protocol-level failure on the way out when the stream
+// may still be writable and the failure is worth describing (not a clean
+// EOF, not the shutdown poke).
+func (s *Server) abort(w *wire.Writer, bw *bufio.Writer, err error) {
+	if err == io.EOF || s.shuttingDown() {
+		return
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return
+	}
+	w.Write(wire.Errorf("server: dropping connection: %v", err))
+	bw.Flush()
+}
+
+// serveRequest answers one request. The returned error reports a failure
+// to write the response (fatal for the connection); request-level failures
+// are answered with an Error frame and return nil.
+func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) error {
+	switch req.Kind {
+	case wire.KindQuery, wire.KindExec:
+		res, err := s.db.ExecScript(req.Text)
+		if err != nil {
+			return w.Write(wire.Errorf("%v", err))
+		}
+		return s.writeResult(w, res)
+
+	case wire.KindExecBatch:
+		// Compile outside any lock, then commit through the coalescer:
+		// batches from concurrent connections share one WAL fsync.
+		b, err := s.db.ParseBatch(req.Text)
+		if err != nil {
+			return w.Write(wire.Errorf("%v", err))
+		}
+		res, err := s.db.SubmitBatch(context.Background(), b)
+		if err != nil {
+			return w.Write(wire.Errorf("%v", err))
+		}
+		return w.Write(wire.Msg{
+			Kind:    wire.KindBatchDone,
+			Applied: uint64(res.Applied),
+			Changed: uint64(res.Changed),
+		})
+
+	case wire.KindAddUser:
+		uid, err := s.db.AddUser(req.Text)
+		if err != nil {
+			return w.Write(wire.Errorf("%v", err))
+		}
+		return w.Write(wire.Msg{Kind: wire.KindUserAdded, UID: int64(uid)})
+
+	case wire.KindCheckpoint:
+		if err := s.db.Checkpoint(); err != nil {
+			return w.Write(wire.Errorf("%v", err))
+		}
+		return w.Write(wire.Msg{Kind: wire.KindOK})
+
+	case wire.KindPing:
+		return w.Write(wire.Msg{Kind: wire.KindPong})
+
+	default:
+		// An unknown or out-of-place opcode (a response kind, a second
+		// Hello) means the peer lost the plot; answer and drop the
+		// connection by reporting a write error upward.
+		w.Write(wire.Errorf("server: unexpected %s request", req.Kind))
+		return fmt.Errorf("server: unexpected %s request", req.Kind)
+	}
+}
+
+// writeResult streams one query result: a RowHeader and chunked rows when
+// the result has columns, then ResultEnd. Chunks are bounded both by row
+// count and by encoded bytes, so wide rows cannot grow a frame past the
+// wire limit and kill the connection mid-stream; a single row that cannot
+// fit any frame is answered with an in-stream Error (which the client
+// treats as the request's failure) instead of a dead connection.
+func (s *Server) writeResult(w *wire.Writer, res *beliefdb.Result) error {
+	affected := uint64(0)
+	if res != nil {
+		affected = uint64(res.Affected)
+	}
+	if res != nil && len(res.Columns) > 0 {
+		if err := w.Write(wire.Msg{Kind: wire.KindRowHeader, Cols: res.Columns}); err != nil {
+			return err
+		}
+		// Leave generous headroom under the frame limit for the chunk's
+		// own framing and count prefixes.
+		budget := s.maxFrame - s.maxFrame/8
+		start, bytes := 0, 0
+		flush := func(end int) error {
+			if end == start {
+				return nil
+			}
+			err := w.Write(wire.Msg{Kind: wire.KindRowChunk, Rows: res.Rows[start:end]})
+			start, bytes = end, 0
+			return err
+		}
+		for i, row := range res.Rows {
+			sz := wire.RowSize(row)
+			if sz > budget {
+				return w.Write(wire.Errorf("server: result row %d encodes to %d bytes, beyond the %d-byte frame limit", i, sz, s.maxFrame))
+			}
+			if bytes+sz > budget {
+				if err := flush(i); err != nil {
+					return err
+				}
+			}
+			bytes += sz
+			if i-start+1 >= RowChunkSize {
+				if err := flush(i + 1); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(len(res.Rows)); err != nil {
+			return err
+		}
+	}
+	return w.Write(wire.Msg{Kind: wire.KindResultEnd, Affected: affected})
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"beliefdb/internal/core"
+	"beliefdb/internal/engine"
 	"beliefdb/internal/val"
 	"beliefdb/internal/wal"
 )
@@ -50,42 +51,54 @@ type BatchResult struct {
 func (st *Store) ApplyBatch(ops []BatchOp) (BatchResult, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	var res BatchResult
 	if len(ops) == 0 {
-		return res, nil
+		return BatchResult{}, nil
 	}
-	// Validate everything before journaling or touching a table, so a
-	// malformed batch is rejected whole with no journal record. Deletes are
-	// as lenient as Store.Delete: an unknown world or absent statement is a
-	// no-op, only the relation must exist.
+	if err := st.validateBatchLocked(ops); err != nil {
+		return BatchResult{}, err
+	}
+	// Begin before the journal append, like the single-statement paths: a
+	// failing Begin must not leave a durable batch that was never applied.
+	txn, err := st.cat.Begin()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if err := st.logBatch(ops); err != nil {
+		txn.Rollback()
+		return BatchResult{}, err
+	}
+	return st.applyBatchLocked(txn, ops)
+}
+
+// validateBatchLocked checks a batch before anything is journaled or any
+// table touched, so a malformed batch is rejected whole with no journal
+// record. Deletes are as lenient as Store.Delete: an unknown world or
+// absent statement is a no-op, only the relation must exist.
+func (st *Store) validateBatchLocked(ops []BatchOp) error {
 	for i, op := range ops {
 		if _, ok := st.rels[op.Stmt.Tuple.Rel]; !ok {
-			return res, fmt.Errorf("store: batch statement %d: unknown relation %q", i, op.Stmt.Tuple.Rel)
+			return fmt.Errorf("store: batch statement %d: unknown relation %q", i, op.Stmt.Tuple.Rel)
 		}
 		if !op.Stmt.Path.Valid() {
-			return res, fmt.Errorf("store: batch statement %d: invalid belief path %s", i, op.Stmt.Path)
+			return fmt.Errorf("store: batch statement %d: invalid belief path %s", i, op.Stmt.Path)
 		}
 		if op.Delete {
 			continue
 		}
 		for _, u := range op.Stmt.Path {
 			if _, ok := st.usersByID[u]; !ok {
-				return res, fmt.Errorf("store: batch statement %d: unknown user %d in path %s", i, u, op.Stmt.Path)
+				return fmt.Errorf("store: batch statement %d: unknown user %d in path %s", i, u, op.Stmt.Path)
 			}
 		}
 	}
+	return nil
+}
 
-	// Begin before the journal append, like the single-statement paths: a
-	// failing Begin must not leave a durable batch that was never applied.
-	txn, err := st.cat.Begin()
-	if err != nil {
-		return res, err
-	}
-	if err := st.logBatch(ops); err != nil {
-		txn.Rollback()
-		return res, err
-	}
-
+// applyBatchLocked runs an already-validated, already-journaled batch
+// through the update algorithms inside txn: all-or-nothing, with
+// dependent-world reconciliation deferred to one pass at the end.
+func (st *Store) applyBatchLocked(txn *engine.Txn, ops []BatchOp) (BatchResult, error) {
+	var res BatchResult
 	mark := st.markLogical()
 	fail := func(err error) (BatchResult, error) {
 		txn.Rollback()
@@ -124,6 +137,118 @@ func (st *Store) ApplyBatch(ops []BatchOp) (BatchResult, error) {
 	}
 	res.Applied = len(ops)
 	return res, nil
+}
+
+// BatchOutcome is one batch's result within an ApplyBatchGroup round: its
+// BatchResult on success, or the error that rolled it (alone) back.
+type BatchOutcome struct {
+	Res BatchResult
+	Err error
+}
+
+// ApplyBatchGroup applies several independent batches under one writer-lock
+// acquisition and one WAL commit boundary: every valid batch is journaled
+// in a single write acknowledged by a single fsync (wal.Log.AppendGroups),
+// then applied exactly like ApplyBatch would apply it — each batch is
+// individually atomic, and one batch's failure (a conflict, an arity error)
+// rolls back that batch only. This is the group-commit primitive behind the
+// network server's write pipeline: mutations arriving concurrently from
+// many clients share one disk sync instead of paying one each.
+//
+// Outcomes are positional: outcome i belongs to groups[i]. A batch that
+// fails validation is excluded before journaling and reports its error; an
+// empty batch succeeds with a zero BatchResult; a journaling failure fails
+// every batch of the round (nothing was applied). On-disk, the round is
+// indistinguishable from consecutive ApplyBatch calls, so crash replay
+// re-runs each group with identical (deterministic) per-group outcomes.
+func (st *Store) ApplyBatchGroup(groups [][]BatchOp) []BatchOutcome {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]BatchOutcome, len(groups))
+
+	// An open raw-SQL transaction would make every Begin below fail after
+	// the groups were already journaled; refuse the round up front instead,
+	// mirroring ApplyBatch's Begin-before-journal ordering.
+	if st.cat.InTxn() {
+		err := fmt.Errorf("store: cannot group-commit inside an open transaction")
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+
+	valid := make([]int, 0, len(groups))
+	for i, ops := range groups {
+		if len(ops) == 0 {
+			continue // vacuous success: nothing to journal or apply
+		}
+		if err := st.validateBatchLocked(ops); err != nil {
+			out[i].Err = err
+			continue
+		}
+		valid = append(valid, i)
+	}
+	if len(valid) == 0 {
+		return out
+	}
+	journal := make([][]BatchOp, len(valid))
+	for k, i := range valid {
+		journal[k] = groups[i]
+	}
+	if err := st.logBatchGroups(journal); err != nil {
+		for _, i := range valid {
+			out[i].Err = err
+		}
+		return out
+	}
+	for _, i := range valid {
+		txn, err := st.cat.Begin()
+		if err != nil {
+			out[i].Err = err // unreachable under the lock after the InTxn check
+			continue
+		}
+		out[i].Res, out[i].Err = st.applyBatchLocked(txn, groups[i])
+	}
+	return out
+}
+
+// logBatchGroups journals several batches as independent WAL groups under a
+// single fsync. Like logBatch it is a no-op on in-memory stores and sticky
+// on genuine I/O failures.
+func (st *Store) logBatchGroups(groups [][]BatchOp) error {
+	if st.closed {
+		return ErrClosed
+	}
+	if st.wal == nil {
+		return nil
+	}
+	if st.walErr != nil {
+		return fmt.Errorf("store: database is read-only after a WAL failure: %w", st.walErr)
+	}
+	wgroups := make([][]wal.Op, len(groups))
+	records := uint64(0)
+	for k, ops := range groups {
+		wops := make([]wal.Op, len(ops))
+		for i, op := range ops {
+			if op.Delete {
+				wops[i] = wal.Delete(op.Stmt)
+			} else {
+				wops[i] = wal.Insert(op.Stmt)
+			}
+		}
+		wgroups[k] = wops
+		records += uint64(len(ops)) + 1 // members + marker
+	}
+	if err := st.wal.AppendGroups(wgroups); err != nil {
+		// Oversized records are refused before any byte is written; only
+		// genuine I/O failures poison the store (see logOp).
+		if !errors.Is(err, wal.ErrRecordTooLarge) {
+			st.walErr = err
+		}
+		return err
+	}
+	st.walCount += records
+	return nil
 }
 
 // deleteStmtLocked is the batch-side Delete body: resolve at apply time (an

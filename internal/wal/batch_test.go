@@ -304,3 +304,135 @@ func appendBytes(t *testing.T, path string, b []byte) {
 	}
 	f.Close()
 }
+
+// TestAppendGroupsSingleSync: several independent groups land through one
+// Write and one Sync, and the bytes are identical to consecutive
+// AppendBatch calls — recovery needs no new cases.
+func TestAppendGroupsSingleSync(t *testing.T) {
+	groups := [][]Op{
+		{Insert(batchStmt("a1")), Insert(batchStmt("a2"))},
+		{Delete(batchStmt("b1"))},
+		{Insert(batchStmt("c1")), Delete(batchStmt("c2")), Insert(batchStmt("c3"))},
+	}
+
+	one := &MemSink{}
+	logOne, err := NewLog(one, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerSyncs := logOne.Syncs()
+	if err := logOne.AppendGroups(groups); err != nil {
+		t.Fatal(err)
+	}
+	if got := logOne.Syncs() - headerSyncs; got != 1 {
+		t.Errorf("AppendGroups issued %d syncs, want 1", got)
+	}
+	if one.Synced != len(one.Buf) {
+		t.Errorf("sink not fully synced: %d of %d bytes", one.Synced, len(one.Buf))
+	}
+
+	many := &MemSink{}
+	logMany, err := NewLog(many, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if err := logMany.AppendBatch(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(one.Buf, many.Buf) {
+		t.Error("AppendGroups bytes differ from consecutive AppendBatch calls")
+	}
+
+	payloads, _, cleanLen, err := Recover(one.Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanLen != int64(len(one.Buf)) {
+		t.Fatalf("cleanLen = %d, want %d", cleanLen, len(one.Buf))
+	}
+	wantRecords := 0
+	for _, g := range groups {
+		wantRecords += 1 + len(g)
+	}
+	if len(payloads) != wantRecords {
+		t.Fatalf("recovered %d records, want %d", len(payloads), wantRecords)
+	}
+}
+
+// TestAppendGroupsRejectsBadInput: a no-group call is a no-op; empty
+// groups, nested markers, and oversized members are refused before any byte
+// reaches the sink, leaving the log clean.
+func TestAppendGroupsRejectsBadInput(t *testing.T) {
+	sink := &MemSink{}
+	log, err := NewLog(sink, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := len(sink.Buf)
+	if err := log.AppendGroups(nil); err != nil {
+		t.Errorf("no groups: %v", err)
+	}
+	if err := log.AppendGroups([][]Op{{Insert(batchStmt("k"))}, {}}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if err := log.AppendGroups([][]Op{{Insert(batchStmt("k"))}, {BatchBegin(1)}}); err == nil {
+		t.Error("nested batch marker accepted")
+	}
+	huge := core.Statement{Sign: core.Pos, Tuple: core.Tuple{
+		Rel: "S", Vals: []val.Value{val.Str(string(make([]byte, maxRecordLen)))},
+	}}
+	err = log.AppendGroups([][]Op{{Insert(batchStmt("k"))}, {Insert(huge)}})
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("oversized member: %v", err)
+	}
+	if len(sink.Buf) != hdr {
+		t.Errorf("rejected group writes left %d bytes", len(sink.Buf)-hdr)
+	}
+	if err := log.Append(Insert(batchStmt("after"))); err != nil {
+		t.Errorf("append after rejected groups: %v", err)
+	}
+}
+
+// TestAppendGroupsTornTrailingGroup: when a combined multi-group write is
+// torn mid-way, the complete leading groups survive recovery (durable but
+// unacknowledged, like any pre-sync crash survivor) and only the cut-off
+// trailing group is discarded and truncated away.
+func TestAppendGroupsTornTrailingGroup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bdb")
+	rec, err := OpenFile(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Log.Close()
+
+	// The bytes AppendGroups would emit for two groups, torn three bytes
+	// into the second group's last member.
+	var buf []byte
+	buf = AppendRecord(buf, BatchBegin(2).Encode(nil))
+	buf = AppendRecord(buf, Insert(batchStmt("g1a")).Encode(nil))
+	buf = AppendRecord(buf, Insert(batchStmt("g1b")).Encode(nil))
+	g1len := len(buf)
+	buf = AppendRecord(buf, BatchBegin(2).Encode(nil))
+	buf = AppendRecord(buf, Insert(batchStmt("g2a")).Encode(nil))
+	full := AppendRecord(buf, Insert(batchStmt("g2b")).Encode(nil))
+	appendBytes(t, path, full[:len(full)-3])
+
+	re, err := OpenFile(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Log.Close()
+	if len(re.Ops) != 3 || re.Ops[0].Kind != KindBatchBegin || re.Ops[0].Count != 2 {
+		t.Fatalf("recovered ops = %v, want group 1's marker + 2 members", re.Ops)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(HeaderLen + g1len); fi.Size() != want {
+		t.Errorf("file is %d bytes, want truncated to %d (header + complete group)", fi.Size(), want)
+	}
+}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -82,7 +83,7 @@ func recoverFile(f *os.File, freshEpoch uint64, wrap func(Sink) Sink) (*Recovere
 				return nil, fmt.Errorf("wal: syncing truncation: %w", err)
 			}
 		}
-		if _, err := f.Seek(0, 0); err != nil {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return nil, err
 		}
 		log, err := NewLog(newSink(), freshEpoch)
@@ -118,7 +119,7 @@ func recoverFile(f *os.File, freshEpoch uint64, wrap func(Sink) Sink) (*Recovere
 			return nil, fmt.Errorf("wal: syncing torn-tail truncation: %w", err)
 		}
 	}
-	if _, err := f.Seek(cleanLen, 0); err != nil {
+	if _, err := f.Seek(cleanLen, io.SeekStart); err != nil {
 		return nil, err
 	}
 	return &Recovered{

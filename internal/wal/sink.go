@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -33,7 +34,7 @@ func (s *FileSink) Reset() error {
 	if err := s.F.Truncate(0); err != nil {
 		return err
 	}
-	_, err := s.F.Seek(0, 0)
+	_, err := s.F.Seek(0, io.SeekStart)
 	return err
 }
 
@@ -203,23 +204,50 @@ func (l *Log) AppendBatch(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	l.payload = BatchBegin(uint64(len(ops))).Encode(l.payload[:0])
-	l.scratch = AppendRecord(l.scratch[:0], l.payload)
-	for _, op := range ops {
-		if op.Kind == KindBatchBegin {
-			return fmt.Errorf("wal: batches cannot nest (op %s)", op)
+	return l.AppendGroups([][]Op{ops})
+}
+
+// AppendGroups journals several independent batch groups under one commit
+// boundary: each group keeps its own BatchBegin marker and all-or-nothing
+// replay semantics, but the whole sequence reaches the sink as a single
+// Write acknowledged by a single Sync — the fsync amortization the server's
+// batch coalescer relies on to commit many clients' batches at once. On
+// disk the bytes are indistinguishable from consecutive AppendBatch calls,
+// so recovery needs no new cases: complete leading groups replay normally
+// (durable but unacknowledged, like any record whose sync raced a crash)
+// and a trailing group cut off by a torn write is discarded whole. Nothing
+// is written when any record is oversized, any group nests a batch marker,
+// or any group is empty (an empty group would journal a marker promising
+// zero members — bytes no caller asked to commit).
+func (l *Log) AppendGroups(groups [][]Op) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	total := 0
+	l.scratch = l.scratch[:0]
+	for _, ops := range groups {
+		if len(ops) == 0 {
+			return fmt.Errorf("wal: empty batch group")
 		}
-		l.payload = op.Encode(l.payload[:0])
-		if len(l.payload) > maxRecordLen {
-			return fmt.Errorf("%w: %s payload is %d bytes (max %d)", ErrRecordTooLarge, op.Kind, len(l.payload), maxRecordLen)
-		}
+		l.payload = BatchBegin(uint64(len(ops))).Encode(l.payload[:0])
 		l.scratch = AppendRecord(l.scratch, l.payload)
+		for _, op := range ops {
+			if op.Kind == KindBatchBegin {
+				return fmt.Errorf("wal: batches cannot nest (op %s)", op)
+			}
+			l.payload = op.Encode(l.payload[:0])
+			if len(l.payload) > maxRecordLen {
+				return fmt.Errorf("%w: %s payload is %d bytes (max %d)", ErrRecordTooLarge, op.Kind, len(l.payload), maxRecordLen)
+			}
+			l.scratch = AppendRecord(l.scratch, l.payload)
+		}
+		total += len(ops)
 	}
 	if _, err := l.sink.Write(l.scratch); err != nil {
-		return fmt.Errorf("wal: appending batch of %d: %w", len(ops), err)
+		return fmt.Errorf("wal: appending %d batch group(s) of %d: %w", len(groups), total, err)
 	}
 	if err := l.sync(); err != nil {
-		return fmt.Errorf("wal: syncing batch of %d: %w", len(ops), err)
+		return fmt.Errorf("wal: syncing %d batch group(s) of %d: %w", len(groups), total, err)
 	}
 	return nil
 }

@@ -1,0 +1,377 @@
+// Package wire is the network protocol of the belief database service: a
+// length-prefixed, CRC-checksummed frame format carrying typed request and
+// response messages between a client and a beliefserver (see internal/server
+// and the public client package).
+//
+// # Frame layout
+//
+// Every message travels in one frame, framed exactly like a WAL record
+// (internal/wal) so the two binary surfaces share one framing vocabulary:
+//
+//	offset 0  payload length  4 bytes little-endian (uint32)
+//	offset 4  CRC-32C         4 bytes little-endian, over the payload only
+//	offset 8  payload         encoded Msg, see below
+//
+// A frame whose declared length exceeds the reader's limit is rejected
+// before any payload byte is read, so a corrupt or malicious length field
+// cannot drive a huge allocation; a CRC mismatch is a hard protocol error
+// (TCP already retransmits damaged segments, so a mismatch means a bug or a
+// desynchronized stream, and the connection must be dropped, not resynced).
+//
+// # Message encoding
+//
+// A payload is one opcode byte followed by the message's fields, encoded
+// with the same primitives as WAL op payloads (length-prefixed strings,
+// varints, tagged values — see wal.AppendValue and wal.Reader). Opcode
+// values are part of the protocol; never reuse or renumber them.
+//
+// # Conversation shape
+//
+// The client opens with Hello carrying its protocol version; the server
+// answers with ServerHello or an Error. Afterwards the client sends
+// requests and the server answers each with one response — except Query
+// and Exec results with rows, which stream as RowHeader, zero or more
+// RowChunk frames, and a final ResultEnd, bounding every frame regardless
+// of result size. Requests on one connection are answered strictly in
+// order, so a client may pipeline: send several requests before reading
+// the first response.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"beliefdb/internal/val"
+	"beliefdb/internal/wal"
+)
+
+// ProtoVersion is the protocol revision spoken by this build. A server
+// refuses a Hello carrying a different version: the framing may survive
+// revisions but field layouts need not.
+const ProtoVersion = 1
+
+// DefaultMaxFrame bounds a frame's payload unless the caller chooses
+// otherwise: large enough for generous batches and row chunks, far below
+// anything that could exhaust memory.
+const DefaultMaxFrame = 8 << 20
+
+// frameHeaderLen is the fixed per-frame overhead (length + CRC).
+const frameHeaderLen = 8
+
+// Kind enumerates the message opcodes. Requests and responses share one
+// numbering space; the low range is requests, 16 and up responses.
+type Kind uint8
+
+// The message kinds. Values are part of the wire protocol; never reuse or
+// renumber them.
+const (
+	KindHello      Kind = 1 // client's opening message: protocol version
+	KindQuery      Kind = 2 // Text: a BeliefSQL statement expected to return rows
+	KindExec       Kind = 3 // Text: a BeliefSQL script (DML or query)
+	KindExecBatch  Kind = 4 // Text: an INSERT/DELETE script applied as one atomic batch
+	KindAddUser    Kind = 5 // Name: register a community member
+	KindCheckpoint Kind = 6 // snapshot a durable store and truncate its WAL
+	KindPing       Kind = 7 // liveness probe
+
+	KindServerHello Kind = 16 // Version + Info: accepts the session
+	KindError       Kind = 17 // Text: the request failed; the connection stays usable
+	KindRowHeader   Kind = 18 // Cols: starts a streamed result set
+	KindRowChunk    Kind = 19 // Rows: a bounded slice of the result set
+	KindResultEnd   Kind = 20 // Affected: ends a result (streamed or row-less)
+	KindBatchDone   Kind = 21 // Applied + Changed: an ExecBatch committed
+	KindUserAdded   Kind = 22 // UID: an AddUser succeeded
+	KindOK          Kind = 23 // a fieldless request (Checkpoint) succeeded
+	KindPong        Kind = 24 // answer to Ping
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "Hello"
+	case KindQuery:
+		return "Query"
+	case KindExec:
+		return "Exec"
+	case KindExecBatch:
+		return "ExecBatch"
+	case KindAddUser:
+		return "AddUser"
+	case KindCheckpoint:
+		return "Checkpoint"
+	case KindPing:
+		return "Ping"
+	case KindServerHello:
+		return "ServerHello"
+	case KindError:
+		return "Error"
+	case KindRowHeader:
+		return "RowHeader"
+	case KindRowChunk:
+		return "RowChunk"
+	case KindResultEnd:
+		return "ResultEnd"
+	case KindBatchDone:
+		return "BatchDone"
+	case KindUserAdded:
+		return "UserAdded"
+	case KindOK:
+		return "OK"
+	case KindPong:
+		return "Pong"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Msg is one protocol message. Which fields are meaningful depends on Kind;
+// the zero value of every other field is ignored by Encode and produced by
+// Decode.
+type Msg struct {
+	Kind     Kind
+	Version  uint32        // Hello, ServerHello
+	Info     string        // ServerHello: human-readable server identity
+	Text     string        // Query/Exec/ExecBatch: BeliefSQL; AddUser: name; Error: message
+	Cols     []string      // RowHeader
+	Rows     [][]val.Value // RowChunk
+	Affected uint64        // ResultEnd
+	Applied  uint64        // BatchDone
+	Changed  uint64        // BatchDone
+	UID      int64         // UserAdded
+}
+
+// Convenience constructors for the common messages.
+
+// Hello returns the client's opening message.
+func Hello() Msg { return Msg{Kind: KindHello, Version: ProtoVersion} }
+
+// ServerHello returns the server's session acceptance.
+func ServerHello(info string) Msg {
+	return Msg{Kind: KindServerHello, Version: ProtoVersion, Info: info}
+}
+
+// Query returns a row-returning request.
+func Query(text string) Msg { return Msg{Kind: KindQuery, Text: text} }
+
+// Exec returns a script-execution request.
+func Exec(text string) Msg { return Msg{Kind: KindExec, Text: text} }
+
+// ExecBatch returns an atomic-batch request.
+func ExecBatch(script string) Msg { return Msg{Kind: KindExecBatch, Text: script} }
+
+// AddUser returns a user-registration request.
+func AddUser(name string) Msg { return Msg{Kind: KindAddUser, Text: name} }
+
+// Errorf returns an error response.
+func Errorf(format string, args ...interface{}) Msg {
+	return Msg{Kind: KindError, Text: fmt.Sprintf(format, args...)}
+}
+
+// Encode appends the message's payload (opcode byte + fields) to dst.
+func (m Msg) Encode(dst []byte) []byte {
+	dst = append(dst, byte(m.Kind))
+	switch m.Kind {
+	case KindHello:
+		dst = binary.AppendUvarint(dst, uint64(m.Version))
+	case KindServerHello:
+		dst = binary.AppendUvarint(dst, uint64(m.Version))
+		dst = wal.AppendString(dst, m.Info)
+	case KindQuery, KindExec, KindExecBatch, KindAddUser, KindError:
+		dst = wal.AppendString(dst, m.Text)
+	case KindRowHeader:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Cols)))
+		for _, c := range m.Cols {
+			dst = wal.AppendString(dst, c)
+		}
+	case KindRowChunk:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Rows)))
+		for _, row := range m.Rows {
+			dst = binary.AppendUvarint(dst, uint64(len(row)))
+			for _, v := range row {
+				dst = wal.AppendValue(dst, v)
+			}
+		}
+	case KindResultEnd:
+		dst = binary.AppendUvarint(dst, m.Affected)
+	case KindBatchDone:
+		dst = binary.AppendUvarint(dst, m.Applied)
+		dst = binary.AppendUvarint(dst, m.Changed)
+	case KindUserAdded:
+		dst = binary.AppendVarint(dst, m.UID)
+	case KindCheckpoint, KindPing, KindOK, KindPong:
+		// no fields
+	}
+	return dst
+}
+
+// Decode parses one frame payload back into a Msg. Unknown opcodes,
+// malformed fields, and trailing bytes are errors: a checksummed payload
+// that fails to decode means the peer speaks a different protocol revision,
+// which must surface, not be skipped.
+func Decode(payload []byte) (Msg, error) {
+	r := wal.NewReader(payload)
+	m := Msg{Kind: Kind(r.Byte())}
+	switch m.Kind {
+	case KindHello:
+		m.Version = uint32(r.Uvarint())
+	case KindServerHello:
+		m.Version = uint32(r.Uvarint())
+		m.Info = r.Str()
+	case KindQuery, KindExec, KindExecBatch, KindAddUser, KindError:
+		m.Text = r.Str()
+	case KindRowHeader:
+		n := r.Count(1)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			m.Cols = append(m.Cols, r.Str())
+		}
+	case KindRowChunk:
+		n := r.Count(1)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			w := r.Count(1)
+			// Count only guarantees w fits the remaining bytes at one byte
+			// per element; pre-sizing from it verbatim would let an 8 MiB
+			// frame demand a slice of millions of 24-byte values before a
+			// single element is validated. Cap the hint and let append
+			// grow if the elements really are there.
+			row := make([]val.Value, 0, min(w, 1024))
+			for j := uint64(0); j < w && r.Err() == nil; j++ {
+				row = append(row, r.Value())
+			}
+			m.Rows = append(m.Rows, row)
+		}
+	case KindResultEnd:
+		m.Affected = r.Uvarint()
+	case KindBatchDone:
+		m.Applied = r.Uvarint()
+		m.Changed = r.Uvarint()
+	case KindUserAdded:
+		m.UID = r.Varint()
+	case KindCheckpoint, KindPing, KindOK, KindPong:
+		// no fields
+	default:
+		r.Fail("unknown message opcode %d", m.Kind)
+	}
+	if r.Err() == nil && r.Len() != 0 {
+		r.Fail("%d trailing bytes after %s message", r.Len(), m.Kind)
+	}
+	return m, r.Err()
+}
+
+// ErrFrameTooLarge reports a frame whose payload exceeds the agreed limit —
+// sent or received. The sender-side check refuses the frame before any byte
+// reaches the connection, so the stream stays clean.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Writer frames and writes messages to one side of a connection. It is not
+// internally locked; each connection has a single writing goroutine.
+type Writer struct {
+	w        io.Writer
+	maxFrame int
+	payload  []byte // message encoding, framed into buf
+	buf      []byte // frame ready to hand to one Write call
+}
+
+// NewWriter returns a Writer with the given payload limit (0 means
+// DefaultMaxFrame).
+func NewWriter(w io.Writer, maxFrame int) *Writer {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Writer{w: w, maxFrame: maxFrame}
+}
+
+// Write frames one message and hands it to the underlying writer in a
+// single Write call, so a frame is never interleaved with another even when
+// the writer is shared at the io layer.
+func (w *Writer) Write(m Msg) error {
+	w.payload = m.Encode(w.payload[:0])
+	if len(w.payload) > w.maxFrame {
+		return fmt.Errorf("%w: %s payload is %d bytes (max %d)", ErrFrameTooLarge, m.Kind, len(w.payload), w.maxFrame)
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf[:0], uint32(len(w.payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, wal.Checksum(w.payload))
+	w.buf = append(w.buf, w.payload...)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("wire: writing %s: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// Reader reads and decodes frames from one side of a connection.
+type Reader struct {
+	r        io.Reader
+	maxFrame int
+	hdr      [frameHeaderLen]byte
+	payload  []byte
+}
+
+// NewReader returns a Reader with the given payload limit (0 means
+// DefaultMaxFrame).
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{r: r, maxFrame: maxFrame}
+}
+
+// Read reads one frame and decodes its message. io.EOF is returned verbatim
+// when the stream ends cleanly between frames (the peer closed); any other
+// failure — a short frame, an oversized length field, a checksum mismatch,
+// an undecodable payload — wraps the cause and means the connection must be
+// dropped.
+func (r *Reader) Read() (Msg, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Msg{}, io.EOF
+		}
+		return Msg{}, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(r.hdr[:4])
+	if int64(n) > int64(r.maxFrame) {
+		return Msg{}, fmt.Errorf("%w: peer declared %d bytes (max %d)", ErrFrameTooLarge, n, r.maxFrame)
+	}
+	if uint64(n) > uint64(cap(r.payload)) {
+		r.payload = make([]byte, n)
+	}
+	r.payload = r.payload[:n]
+	if _, err := io.ReadFull(r.r, r.payload); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading %d-byte payload: %w", n, err)
+	}
+	if got, want := wal.Checksum(r.payload), binary.LittleEndian.Uint32(r.hdr[4:8]); got != want {
+		return Msg{}, fmt.Errorf("wire: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	m, err := Decode(r.payload)
+	if err != nil {
+		return Msg{}, fmt.Errorf("wire: %w", err)
+	}
+	return m, nil
+}
+
+// RowSize returns an upper bound on the encoded size of one result row
+// (its count prefix plus every tagged value) — what a row contributes to
+// a RowChunk payload. Senders chunk on it so a frame can never outgrow
+// the limit mid-encode.
+func RowSize(row []val.Value) int {
+	n := binary.MaxVarintLen64 // row width prefix
+	for _, v := range row {
+		switch v.Kind() {
+		case val.KindString:
+			n += 1 + binary.MaxVarintLen64 + len(v.AsString())
+		case val.KindFloat:
+			n += 1 + 8
+		default: // null, bool, int
+			n += 1 + binary.MaxVarintLen64
+		}
+	}
+	return n
+}
+
+// AppendFrame appends a fully framed message to dst; the byte-level seam
+// the tests and the fuzzer share with the Writer.
+func AppendFrame(dst []byte, m Msg) []byte {
+	payload := m.Encode(nil)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, wal.Checksum(payload))
+	return append(dst, payload...)
+}

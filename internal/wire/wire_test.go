@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"beliefdb/internal/val"
+)
+
+// sampleMsgs covers every message kind with representative field values.
+func sampleMsgs() []Msg {
+	return []Msg{
+		Hello(),
+		ServerHello("beliefdb test"),
+		Query("select S.species from Sightings S"),
+		Exec("insert into Sightings values ('s9','Bob','owl','d','l')"),
+		ExecBatch("insert into R values ('a'); delete from R where k = 'b';"),
+		AddUser("Dave"),
+		{Kind: KindCheckpoint},
+		{Kind: KindPing},
+		Errorf("boom: %d", 7),
+		{Kind: KindRowHeader, Cols: []string{"species", "count"}},
+		{Kind: KindRowChunk, Rows: [][]val.Value{
+			{val.Str("bald eagle"), val.Int(3)},
+			{val.Null(), val.Float(2.5)},
+			{val.Bool(true), val.Str("")},
+		}},
+		{Kind: KindResultEnd, Affected: 42},
+		{Kind: KindBatchDone, Applied: 10, Changed: 9},
+		{Kind: KindUserAdded, UID: -3},
+		{Kind: KindOK},
+		{Kind: KindPong},
+	}
+}
+
+func msgsEqual(a, b Msg) bool {
+	if a.Kind != b.Kind || a.Version != b.Version || a.Info != b.Info || a.Text != b.Text ||
+		a.Affected != b.Affected || a.Applied != b.Applied || a.Changed != b.Changed || a.UID != b.UID {
+		return false
+	}
+	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		if !val.RowsEqual(a.Rows[i], b.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		got, err := Decode(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Kind, err)
+		}
+		if !msgsEqual(m, got) {
+			t.Errorf("%s: round trip mismatch:\n in  %+v\n out %+v", m.Kind, m, got)
+		}
+	}
+}
+
+func TestReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		if err := w.Write(m); err != nil {
+			t.Fatalf("write %s: %v", m.Kind, err)
+		}
+	}
+	r := NewReader(&buf, 0)
+	for i, want := range msgs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !msgsEqual(want, got) {
+			t.Errorf("message %d (%s) mismatch", i, want.Kind)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterRefusesOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 64)
+	err := w.Write(Query(strings.Repeat("x", 100)))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("refused frame leaked %d bytes onto the stream", buf.Len())
+	}
+}
+
+func TestReaderRejectsOversizedFrame(t *testing.T) {
+	// A header declaring more than maxFrame must fail before any payload
+	// allocation or read.
+	hdr := binary.LittleEndian.AppendUint32(nil, 1<<30)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0)
+	r := NewReader(bytes.NewReader(hdr), 1024)
+	if _, err := r.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReaderRejectsChecksumMismatch(t *testing.T) {
+	frame := AppendFrame(nil, Query("select 1"))
+	frame[len(frame)-1] ^= 0x40 // corrupt the payload
+	r := NewReader(bytes.NewReader(frame), 0)
+	if _, err := r.Read(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	frame := AppendFrame(nil, Query("select 1"))
+	for cut := 1; cut < len(frame); cut++ {
+		r := NewReader(bytes.NewReader(frame[:cut]), 0)
+		if _, err := r.Read(); err == nil || err == io.EOF {
+			t.Fatalf("cut at %d: err = %v, want a truncation error", cut, err)
+		}
+	}
+	// A clean boundary (zero bytes) is EOF, not an error.
+	r := NewReader(bytes.NewReader(nil), 0)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejectsUnknownOpcode(t *testing.T) {
+	if _, err := Decode([]byte{0xEE}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	payload := Msg{Kind: KindPong}.Encode(nil)
+	payload = append(payload, 0x01)
+	if _, err := Decode(payload); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDecodeRejectsTruncatedFields(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		payload := m.Encode(nil)
+		// Every strict prefix must either fail or decode to a fieldless
+		// message of the same kind (those have a 1-byte payload).
+		for cut := 1; cut < len(payload); cut++ {
+			got, err := Decode(payload[:cut])
+			if err == nil && !msgsEqual(got, m) {
+				// A prefix that happens to decode cleanly to a different
+				// message would be a framing ambiguity.
+				t.Fatalf("%s: prefix of %d/%d bytes decoded to %+v", m.Kind, cut, len(payload), got)
+			}
+		}
+	}
+}

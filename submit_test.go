@@ -1,0 +1,170 @@
+package beliefdb_test
+
+// Public-API tests for the server-mode hooks: ParseBatch (compile without
+// applying), SubmitBatch (coalesced group commit), and ParseSchemaSpec.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"beliefdb"
+)
+
+func submitSchema() beliefdb.Schema {
+	return beliefdb.Schema{Relations: []beliefdb.Relation{
+		{Name: "R", Columns: []beliefdb.Column{
+			{Name: "k", Type: beliefdb.KindString},
+			{Name: "v", Type: beliefdb.KindString},
+		}},
+	}}
+}
+
+func TestParseBatchCompilesWithoutApplying(t *testing.T) {
+	db, err := beliefdb.Open(submitSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.ParseBatch("insert into R values ('a','1'); insert into R values ('b','2');")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("compiled batch holds %d ops, want 2", b.Len())
+	}
+	if got := db.Stats().Annotations; got != 0 {
+		t.Fatalf("ParseBatch applied %d statements", got)
+	}
+	res, err := db.SubmitBatch(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Changed != 2 {
+		t.Fatalf("submit result = %+v", res)
+	}
+	if got := db.Stats().Annotations; got != 2 {
+		t.Fatalf("store holds %d statements, want 2", got)
+	}
+
+	// Compile errors surface at parse time, not submit time.
+	if _, err := db.ParseBatch("select * from R"); err == nil {
+		t.Error("ParseBatch accepted a SELECT")
+	}
+	if _, err := db.ParseBatch(""); err == nil {
+		t.Error("ParseBatch accepted an empty script")
+	}
+}
+
+func TestSubmitBatchConcurrentAmortizesFsyncs(t *testing.T) {
+	db, err := beliefdb.OpenAt(t.TempDir(), submitSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Waves of simultaneous submissions (released together by a start
+	// barrier) so the batches genuinely overlap, plus a gathering window:
+	// without it, whether two batches share a round is a scheduling
+	// accident and the amortization assertion gets flaky (see
+	// SetGroupCommitWindow).
+	db.SetGroupCommitWindow(200 * time.Microsecond)
+	const workers, waves = 24, 8
+	syncs0 := db.WALSyncs()
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			b, err := db.ParseBatch(fmt.Sprintf("insert into R values ('v%d-%d','x');", wave, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(b *beliefdb.Batch) {
+				defer wg.Done()
+				<-start
+				if _, err := db.SubmitBatch(context.Background(), b); err != nil {
+					errs <- err
+				}
+			}(b)
+		}
+		close(start)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+	total := workers * waves
+	if got := db.Stats().Annotations; got != total {
+		t.Fatalf("store holds %d statements, want %d", got, total)
+	}
+	if syncs := db.WALSyncs() - syncs0; syncs >= uint64(total) {
+		t.Errorf("%d submitted batches cost %d fsyncs; coalescing saved nothing", total, syncs)
+	}
+}
+
+func TestSubmitBatchAfterClose(t *testing.T) {
+	db, err := beliefdb.Open(submitSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.ParseBatch("insert into R values ('a','1');")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SubmitBatch(context.Background(), b); err == nil {
+		t.Fatal("SubmitBatch after Close succeeded")
+	}
+	// A nil/empty batch is a vacuous success even on a closed database.
+	if _, err := db.SubmitBatch(context.Background(), &beliefdb.Batch{}); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestSubmitBatchContextCancelled(t *testing.T) {
+	db, err := beliefdb.Open(submitSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.ParseBatch("insert into R values ('a','1');")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.SubmitBatch(ctx, b); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseSchemaSpec(t *testing.T) {
+	sch, err := beliefdb.ParseSchemaSpec("R(k:text,n:int,x:float,b:bool); T(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Relations) != 2 {
+		t.Fatalf("relations = %d", len(sch.Relations))
+	}
+	r := sch.Relations[0]
+	if r.Name != "R" || len(r.Columns) != 4 {
+		t.Fatalf("r = %+v", r)
+	}
+	if r.Columns[0].Type != beliefdb.KindString || r.Columns[1].Type != beliefdb.KindInt ||
+		r.Columns[2].Type != beliefdb.KindFloat || r.Columns[3].Type != beliefdb.KindBool {
+		t.Errorf("types = %+v", r.Columns)
+	}
+	if sch.Relations[1].Columns[0].Type != beliefdb.KindString {
+		t.Error("default type not text")
+	}
+	for _, bad := range []string{"", "R", "R(", "R(k:wat)"} {
+		if _, err := beliefdb.ParseSchemaSpec(bad); err == nil {
+			t.Errorf("ParseSchemaSpec(%q) succeeded", bad)
+		}
+	}
+}
