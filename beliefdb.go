@@ -158,6 +158,20 @@ func ParseSchemaSpec(spec string) (Schema, error) {
 	return sch, nil
 }
 
+// Sentinel errors callers can classify with errors.Is.
+var (
+	// ErrDegraded marks mutations rejected while the database is in its
+	// sticky read-only state after a WAL append or fsync failure; reads
+	// keep working. beliefserver forwards the condition to clients as the
+	// wire protocol's degraded error code.
+	ErrDegraded = store.ErrDegraded
+	// ErrClosed marks mutations attempted after Close.
+	ErrClosed = store.ErrClosed
+	// ErrParse marks BeliefSQL syntax errors (Exec, Query, ExecBatch,
+	// ParseBatch): the statement can never succeed, so retrying is useless.
+	ErrParse = bsql.ErrParse
+)
+
 // Result is a query result: column names, rows, and the number of affected
 // statements for DML.
 type Result = query.Result
@@ -245,6 +259,11 @@ func (db *DB) Lazy() bool { return db.st.Lazy() }
 // Durable reports whether the database persists to disk (opened with
 // OpenAt/OpenLazyAt).
 func (db *DB) Durable() bool { return db.st.Durable() }
+
+// Degraded reports whether the database is in the sticky read-only state
+// entered after a WAL failure: reads keep serving, mutations fail with an
+// error matching ErrDegraded.
+func (db *DB) Degraded() bool { return db.st.Degraded() }
 
 // Checkpoint writes a snapshot of the internal representation and
 // truncates the write-ahead log, bounding recovery time. It is an error on
@@ -354,8 +373,19 @@ type BatchResult = store.BatchResult
 // Methods only record the statements; nothing touches the database until
 // the batch commits.
 type Batch struct {
-	ops []store.BatchOp
+	ops   []store.BatchOp
+	token string
 }
+
+// SetToken attaches a client-generated idempotency token ("" = none) for
+// SubmitBatch. A token already applied — journaled in the WAL and entered
+// into a bounded dedup table that recovery rebuilds — makes SubmitBatch
+// return the original result instead of re-applying the batch, so a retry
+// after a lost acknowledgement commits exactly once, even across a
+// restart. Tokens should be unique per logical batch (the network client
+// generates 16 random bytes, hex-encoded); reusing one suppresses the
+// second application.
+func (b *Batch) SetToken(token string) { b.token = token }
 
 // Insert queues an insert of one explicit belief statement.
 func (b *Batch) Insert(path Path, sign Sign, t Tuple) {
@@ -466,7 +496,7 @@ func (db *DB) SubmitBatch(ctx context.Context, b *Batch) (BatchResult, error) {
 		// An uncancellable context (the server's per-request default)
 		// needs no watcher goroutine — skip the spawn and channel on the
 		// hot write path.
-		return db.committer().Submit(b.ops)
+		return db.committer().SubmitToken(b.ops, b.token)
 	}
 	type outcome struct {
 		res BatchResult
@@ -474,7 +504,7 @@ func (db *DB) SubmitBatch(ctx context.Context, b *Batch) (BatchResult, error) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := db.committer().Submit(b.ops)
+		res, err := db.committer().SubmitToken(b.ops, b.token)
 		done <- outcome{res, err}
 	}()
 	select {

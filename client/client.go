@@ -20,9 +20,12 @@ package client
 import (
 	"bufio"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -44,6 +47,28 @@ type UserID = beliefdb.UserID
 // ErrClosed is returned by every method after Close.
 var ErrClosed = errors.New("client: closed")
 
+// Sentinels classifying server-reported failures by their stable wire
+// error codes — never by matching error text. Test with errors.Is; the
+// error's message stays the server's verbatim.
+var (
+	// ErrDegraded: the server's database is in its sticky read-only state
+	// (a WAL failure); reads keep working, writes are refused. Retrying a
+	// write is useless until the operator restarts the server.
+	ErrDegraded = errors.New("client: server is degraded (read-only)")
+	// ErrReadOnly: the server's database is closed to mutations.
+	ErrReadOnly = errors.New("client: server database is read-only")
+	// ErrParse: the statement is syntactically invalid and can never
+	// succeed.
+	ErrParse = errors.New("client: parse error")
+	// ErrRetryExhausted wraps the last transport error after every
+	// automatic retry failed.
+	ErrRetryExhausted = errors.New("client: retries exhausted")
+	// ErrRemote matches every server-reported failure regardless of its
+	// code, letting callers separate "the server answered no" (the
+	// connection is fine, retrying is pointless) from transport failures.
+	ErrRemote = errors.New("client: server-reported error")
+)
+
 // Options configure a Client; the zero value of each field selects the
 // default.
 type Options struct {
@@ -56,6 +81,20 @@ type Options struct {
 	MaxFrame int
 	// DialTimeout bounds each TCP dial + handshake (default 10s).
 	DialTimeout time.Duration
+	// MaxRetries bounds automatic retries after a transport failure
+	// (default 3; negative disables retrying). Only transport errors are
+	// retried — a reconnect is transparent because discarded connections
+	// are redialed — and only on requests that are safe to repeat: reads
+	// (Query, Ping), idempotent operations (Checkpoint), and ExecBatch,
+	// whose idempotency token makes the server apply the batch exactly
+	// once however many times it is retried. Server-answered errors are
+	// never retried.
+	MaxRetries int
+	// RetryBackoff is the first retry's backoff (default 25ms); each
+	// further retry doubles it, jittered ±50%, up to RetryMaxBackoff.
+	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the backoff growth (default 1s).
+	RetryMaxBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +106,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.RetryMaxBackoff <= 0 {
+		o.RetryMaxBackoff = time.Second
 	}
 	return o
 }
@@ -280,34 +331,124 @@ func (cli *Client) do(ctx context.Context, fn func(*conn) error) error {
 }
 
 // errRemote marks a request-level failure reported by the server: the
-// conversation stayed in sync, so the connection is reusable.
-type errRemote struct{ msg string }
+// conversation stayed in sync, so the connection is reusable — and never
+// retried, because the server already gave its answer. The wire error code
+// makes the error match the package sentinels under errors.Is while the
+// message stays the server's verbatim.
+type errRemote struct {
+	code wire.ErrCode
+	msg  string
+}
 
 func (e errRemote) Error() string { return e.msg }
 
+func (e errRemote) Is(target error) bool {
+	switch target {
+	case ErrRemote:
+		return true
+	case ErrDegraded:
+		return e.code == wire.CodeDegraded
+	case ErrReadOnly:
+		return e.code == wire.CodeReadOnly
+	case ErrParse:
+		return e.code == wire.CodeParse
+	}
+	return false
+}
+
+// retryable reports whether an error came from the transport (a dropped
+// connection, a dial failure, a torn frame) rather than from the server or
+// the caller — the only failures a retry can fix.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re errRemote
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, ErrClosed) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// doRetry runs do under the automatic retry policy: transport failures are
+// retried with exponential backoff and ±50% jitter, reconnecting
+// transparently (the failed connection was discarded, so the next attempt
+// dials fresh). The caller guarantees fn is safe to repeat. When every
+// attempt fails the last error is wrapped in ErrRetryExhausted.
+func (cli *Client) doRetry(ctx context.Context, fn func(*conn) error) error {
+	backoff := cli.opts.RetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = cli.do(ctx, fn)
+		if err == nil || !retryable(err) {
+			return err
+		}
+		if attempt >= cli.opts.MaxRetries {
+			break
+		}
+		// Full jitter around the midpoint: backoff/2 .. 3*backoff/2.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff)+1))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > cli.opts.RetryMaxBackoff {
+			backoff = cli.opts.RetryMaxBackoff
+		}
+	}
+	return fmt.Errorf("%w (%d attempts): %w", ErrRetryExhausted, cli.opts.MaxRetries+1, err)
+}
+
+// newToken returns a fresh idempotency token: 16 random bytes, hex-encoded.
+func newToken() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand practically cannot fail; fall back to math/rand
+		// rather than aborting the batch (uniqueness, not secrecy, is what
+		// the token needs).
+		for i := range b {
+			b[i] = byte(rand.Int())
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Query runs one BeliefSQL statement (or script) and returns its result.
+// Being a read, it is automatically retried across transient connection
+// failures (see Options.MaxRetries).
 func (cli *Client) Query(ctx context.Context, beliefSQL string) (*Result, error) {
-	return cli.roundTrip(ctx, wire.Query(beliefSQL))
+	return cli.roundTrip(ctx, wire.Query(beliefSQL), true)
 }
 
 // Exec runs a BeliefSQL script for effect; rows, if the script ends in a
-// SELECT, are returned like Query's.
+// SELECT, are returned like Query's. Exec carries no idempotency token, so
+// it is never retried automatically: a retried script could apply twice.
+// Use ExecBatch for retry-safe mutations.
 func (cli *Client) Exec(ctx context.Context, beliefSQL string) (*Result, error) {
-	return cli.roundTrip(ctx, wire.Exec(beliefSQL))
+	return cli.roundTrip(ctx, wire.Exec(beliefSQL), false)
 }
 
 // roundTrip sends one result-bearing request and consumes its stream.
-func (cli *Client) roundTrip(ctx context.Context, req wire.Msg) (*Result, error) {
+func (cli *Client) roundTrip(ctx context.Context, req wire.Msg, retry bool) (*Result, error) {
 	var res *Result
-	err := cli.do(ctx, func(cn *conn) error {
+	fn := func(cn *conn) error {
 		if err := cn.send(req); err != nil {
 			return err
 		}
 		r, err := readResult(cn)
 		res = r
 		return err
-	})
-	return res, unwrapRemote(err)
+	}
+	var err error
+	if retry {
+		err = cli.doRetry(ctx, fn)
+	} else {
+		err = cli.do(ctx, fn)
+	}
+	return res, err
 }
 
 // readResult consumes one result stream: optional RowHeader + RowChunks,
@@ -322,7 +463,7 @@ func readResult(cn *conn) (*Result, error) {
 		}
 		switch m.Kind {
 		case wire.KindError:
-			return nil, errRemote{m.Text}
+			return nil, errRemote{code: m.Code, msg: m.Text}
 		case wire.KindRowHeader:
 			if sawHeader {
 				return nil, fmt.Errorf("client: duplicate row header")
@@ -347,10 +488,18 @@ func readResult(cn *conn) (*Result, error) {
 // DELETE statements as one atomic batch on the server. Concurrent
 // ExecBatch calls — from this client or others — are group-committed
 // together server-side, sharing a single WAL fsync.
+//
+// Every call carries a fresh client-generated idempotency token, reused
+// across its automatic retries: if the connection dies after the server
+// applied the batch but before the acknowledgement arrived, the retried
+// request is answered from the server's applied-token table instead of
+// applying again — exactly once, even across a server restart (the token
+// is journaled in the WAL and recovered with the data).
 func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, error) {
 	var out BatchResult
-	err := cli.do(ctx, func(cn *conn) error {
-		if err := cn.send(wire.ExecBatch(script)); err != nil {
+	token := newToken()
+	err := cli.doRetry(ctx, func(cn *conn) error {
+		if err := cn.send(wire.ExecBatch(script, token)); err != nil {
 			return err
 		}
 		m, err := cn.r.Read()
@@ -359,7 +508,7 @@ func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, e
 		}
 		switch m.Kind {
 		case wire.KindError:
-			return errRemote{m.Text}
+			return errRemote{code: m.Code, msg: m.Text}
 		case wire.KindBatchDone:
 			out = BatchResult{Applied: int(m.Applied), Changed: int(m.Changed)}
 			return nil
@@ -367,10 +516,13 @@ func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, e
 			return fmt.Errorf("client: unexpected %s after ExecBatch", m.Kind)
 		}
 	})
-	return out, unwrapRemote(err)
+	return out, err
 }
 
 // AddUser registers a community member on the server and returns their id.
+// AddUser is not retried automatically: it carries no idempotency token,
+// and a duplicate registration is a server-side error the caller should
+// see.
 func (cli *Client) AddUser(ctx context.Context, name string) (UserID, error) {
 	var uid UserID
 	err := cli.do(ctx, func(cn *conn) error {
@@ -383,7 +535,7 @@ func (cli *Client) AddUser(ctx context.Context, name string) (UserID, error) {
 		}
 		switch m.Kind {
 		case wire.KindError:
-			return errRemote{m.Text}
+			return errRemote{code: m.Code, msg: m.Text}
 		case wire.KindUserAdded:
 			uid = UserID(m.UID)
 			return nil
@@ -391,22 +543,24 @@ func (cli *Client) AddUser(ctx context.Context, name string) (UserID, error) {
 			return fmt.Errorf("client: unexpected %s after AddUser", m.Kind)
 		}
 	})
-	return uid, unwrapRemote(err)
+	return uid, err
 }
 
 // Checkpoint snapshots a durable server-side database and truncates its
-// write-ahead log.
+// write-ahead log. Checkpointing is idempotent, so it is retried
+// automatically across transient connection failures.
 func (cli *Client) Checkpoint(ctx context.Context) error {
 	return cli.fieldless(ctx, wire.Msg{Kind: wire.KindCheckpoint}, wire.KindOK)
 }
 
-// Ping verifies the server is reachable and answering.
+// Ping verifies the server is reachable and answering; retried like any
+// read.
 func (cli *Client) Ping(ctx context.Context) error {
 	return cli.fieldless(ctx, wire.Msg{Kind: wire.KindPing}, wire.KindPong)
 }
 
 func (cli *Client) fieldless(ctx context.Context, req wire.Msg, want wire.Kind) error {
-	err := cli.do(ctx, func(cn *conn) error {
+	return cli.doRetry(ctx, func(cn *conn) error {
 		if err := cn.send(req); err != nil {
 			return err
 		}
@@ -416,14 +570,13 @@ func (cli *Client) fieldless(ctx context.Context, req wire.Msg, want wire.Kind) 
 		}
 		switch m.Kind {
 		case wire.KindError:
-			return errRemote{m.Text}
+			return errRemote{code: m.Code, msg: m.Text}
 		case want:
 			return nil
 		default:
 			return fmt.Errorf("client: unexpected %s after %s", m.Kind, req.Kind)
 		}
 	})
-	return unwrapRemote(err)
 }
 
 // eofAsUnexpected turns a clean EOF inside a response into the unexpected
@@ -431,16 +584,6 @@ func (cli *Client) fieldless(ctx context.Context, req wire.Msg, want wire.Kind) 
 func eofAsUnexpected(err error) error {
 	if err == io.EOF {
 		return io.ErrUnexpectedEOF
-	}
-	return err
-}
-
-// unwrapRemote strips the internal remote marker so callers see the
-// server's message verbatim.
-func unwrapRemote(err error) error {
-	var re errRemote
-	if errors.As(err, &re) {
-		return errors.New(re.msg)
 	}
 	return err
 }

@@ -92,7 +92,8 @@ func TestServerGoneMidStream(t *testing.T) {
 		}
 	})
 
-	cli, err := Dial(fs.addr())
+	// With retries disabled the truncated stream surfaces as an error.
+	cli, err := Dial(fs.addr(), Options{MaxRetries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +111,22 @@ func TestServerGoneMidStream(t *testing.T) {
 	// and succeeds.
 	if _, err := cli.Query(ctx, "select R.k from R"); err != nil {
 		t.Fatalf("query after reconnect: %v", err)
+	}
+
+	// A default client absorbs the same failure: queries are idempotent,
+	// so the retry layer replays them on a fresh connection transparently.
+	killed.Store(false)
+	cli2, err := Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	res, err := cli2.Query(ctx, "select R.k from R")
+	if err != nil {
+		t.Fatalf("retrying client: %v", err)
+	}
+	if res == nil {
+		t.Fatal("retrying client returned no result")
 	}
 }
 

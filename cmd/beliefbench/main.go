@@ -9,7 +9,12 @@
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
+//
+// -chaos runs the seeded fault-injection schedule from internal/bench
+// against a live loopback server and exits non-zero on any invariant
+// violation; it is excluded from -all so robustness runs never perturb
+// the benchdiff performance trajectories.
 //
 // Without -full, scaled-down parameters keep runtime in seconds; -full uses
 // the paper's parameters (n = 10,000 annotations, 10 databases per Table 1
@@ -66,7 +71,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		durab   = fs.Bool("durability", false, "run the WAL/snapshot durability benchmark")
 		batchN  = fs.Int("batch", 0, "run the group-commit ingest benchmark comparing batch size N against size 1 (with -all alone: sizes 1, 16, 256)")
 		serveN  = fs.Int("serve", 0, "run the client/server ingest benchmark comparing N concurrent clients against 1 (with -all alone: 1, 4, 16)")
-		all     = fs.Bool("all", false, "run everything")
+		chaos   = fs.Bool("chaos", false, "run the seeded chaos schedule against a live server and report invariant violations (not part of -all)")
+		seed    = fs.Int64("seed", 0, "override the chaos fault-schedule seed")
+		all     = fs.Bool("all", false, "run everything except -chaos")
 		full    = fs.Bool("full", false, "use the paper's full-scale parameters")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
 		n       = fs.Int("n", 0, "override the number of annotations")
@@ -77,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *chaos || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -85,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		progress = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 	var records []benchRecord
+	violations := 0
 	emit := func(text string, recs []benchRecord) {
 		if *jsonOut {
 			records = append(records, recs...)
@@ -291,10 +299,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 		emit(bench.RenderServerBench(rows, ns, ms), recs)
 	}
 
+	// Chaos is deliberately outside -all: it measures robustness, not
+	// performance, so its records must not perturb benchdiff trajectories.
+	if *chaos {
+		cfg := bench.DefaultChaos()
+		if *full {
+			cfg.Ops, cfg.Restarts = 2000, 3
+		}
+		if *n > 0 {
+			cfg.Ops = *n
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := bench.RunChaos(cfg, progress)
+		if err != nil {
+			return err
+		}
+		recs := []benchRecord{
+			{Name: "chaos/acked", Value: float64(res.Acked), Unit: "batches"},
+			{Name: "chaos/faults", Value: float64(res.Faults), Unit: "faults"},
+			{Name: "chaos/restarts", Value: float64(res.Restarts), Unit: "restarts"},
+			{Name: "chaos/reads", Value: float64(res.Reads), Unit: "reads"},
+			{Name: "chaos/violations", Value: float64(len(res.Violations)), Unit: "violations"},
+		}
+		emit(res.Render(), recs)
+		if len(res.Violations) > 0 {
+			// Render (or the JSON below) carries the details; the non-zero
+			// exit is what a chaos CI job keys on.
+			for _, v := range res.Violations {
+				fmt.Fprintln(stderr, "chaos violation:", v)
+			}
+			violations = len(res.Violations)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(records)
+		if err := enc.Encode(records); err != nil {
+			return err
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("chaos: %d invariant violations", violations)
 	}
 	return nil
 }

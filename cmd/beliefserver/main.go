@@ -7,6 +7,14 @@
 // Usage:
 //
 //	beliefserver [-addr host:port] [-db dir] [-schema spec] [-demo]
+//	             [-max-conns N] [-request-timeout D] [-drain D]
+//
+// -max-conns caps concurrent connections; dials beyond the cap queue in
+// the OS listen backlog until a slot frees (backpressure, not refusal).
+// -request-timeout bounds each request's commit wait and response write.
+// Operational transitions are logged as one-line JSON events on stderr —
+// notably {"event":"degraded",...} the first time a WAL failure flips the
+// store read-only while reads continue to be served.
 //
 // The schema is declared with -schema using one or more
 // "Rel(col:type,...)" items separated by ';' (the first column is the
@@ -51,6 +59,8 @@ func run() error {
 		schema  = flag.String("schema", "", "schema spec: Rel(col:type,...);...")
 		demo    = flag.Bool("demo", false, "serve the paper's NatureMapping demo schema (preloading i1..i8 on a fresh database)")
 		timeout = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		maxConn = flag.Int("max-conns", 0, "cap concurrent connections; excess dials wait in the listen backlog (0 = unlimited)")
+		reqTime = flag.Duration("request-timeout", 30*time.Second, "per-request deadline for batch commits and response writes (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -67,7 +77,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := server.New(db, server.WithInfo("beliefserver"))
+	opts := []server.Option{
+		server.WithInfo("beliefserver"),
+		// Structured operational events (degraded transitions, recovered
+		// panics) go to stderr, one line each, alongside the plain startup
+		// and shutdown notices.
+		server.WithLogger(func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}),
+	}
+	if *maxConn > 0 {
+		opts = append(opts, server.WithMaxConns(*maxConn))
+	}
+	if *reqTime > 0 {
+		opts = append(opts, server.WithRequestTimeout(*reqTime))
+	}
+	srv := server.New(db, opts...)
 	fmt.Fprintf(os.Stderr, "beliefserver: serving on %s (pid %d)\n", ln.Addr(), os.Getpid())
 
 	serveErr := make(chan error, 1)

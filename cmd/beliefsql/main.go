@@ -39,10 +39,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"beliefdb"
 	"beliefdb/client"
@@ -59,11 +61,25 @@ type session interface {
 	Close() error
 }
 
-// remoteSession drives a beliefserver over the client package.
+// remoteSession drives a beliefserver over the client package. Idempotent
+// requests (queries, pings, tokened batches) already reconnect and retry
+// with backoff inside the client; a plain statement is not auto-retried,
+// so a transport failure mid-statement leaves its fate unknown — the
+// session re-establishes the connection and says so, instead of leaving
+// the REPL wedged on a broken pipe.
 type remoteSession struct{ cli *client.Client }
 
 func (r remoteSession) ExecScript(src string) (*beliefdb.Result, error) {
-	return r.cli.Exec(context.Background(), src)
+	res, err := r.cli.Exec(context.Background(), src)
+	if err == nil || errors.Is(err, client.ErrRemote) || errors.Is(err, client.ErrClosed) {
+		return res, err
+	}
+	// Transport failure. Ping rides the client's backoff ladder onto a
+	// fresh connection, so the next statement finds a working session.
+	if perr := r.cli.Ping(context.Background()); perr != nil {
+		return nil, fmt.Errorf("connection lost (%v) and the server is unreachable: %v", err, perr)
+	}
+	return nil, fmt.Errorf("connection lost mid-statement (%v); reconnected — the statement may or may not have applied, check before re-running", err)
 }
 func (r remoteSession) ExecBatch(script string) (beliefdb.BatchResult, error) {
 	return r.cli.ExecBatch(context.Background(), script)
@@ -238,7 +254,14 @@ func openSession(connect string, demo bool, schemaSpec, dbdir string) (session, 
 	if demo || schemaSpec != "" || dbdir != "" {
 		return nil, nil, fmt.Errorf("-connect drives a server-owned database; -demo, -schema and -db do not apply")
 	}
-	cli, err := client.Dial(connect)
+	// An interactive shell favors persistence over fast failure: ride out
+	// server restarts with a patient backoff ladder rather than bailing on
+	// the first broken pipe.
+	cli, err := client.Dial(connect, client.Options{
+		MaxRetries:      6,
+		RetryBackoff:    100 * time.Millisecond,
+		RetryMaxBackoff: 3 * time.Second,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,397 @@
+// Chaos harness: a live beliefserver under a mixed read/write workload
+// while a seeded fault schedule tears at the network between them — ack
+// blackholes, connection drops, and full server kill+recover cycles. The
+// harness is not a benchmark in the timing sense; its product is the
+// invariant report. Three invariants must survive any schedule:
+//
+//  1. Exactly once: every acknowledged batch is present in the final
+//     state exactly once, even when its ack was eaten and the client's
+//     retry re-sent the same idempotency token.
+//  2. No torn state: no key appears more than once, acked or not — a
+//     retried batch whose first attempt did commit must be deduplicated,
+//     never reapplied.
+//  3. Recovery equivalence: reopening the database from its WAL and
+//     snapshot reproduces the exact final row set.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beliefdb"
+	"beliefdb/client"
+	"beliefdb/internal/faults"
+	"beliefdb/internal/server"
+)
+
+// ChaosConfig parameterizes one chaos run. The schedule is fully
+// determined by Seed — two runs with the same config inject the same
+// fault sequence at the same points in wall-clock time (workload
+// interleaving still varies, which is the point: the invariants must
+// hold for every interleaving).
+type ChaosConfig struct {
+	Seed        int64         // fault-schedule seed
+	Clients     int           // concurrent writer connections
+	Readers     int           // concurrent reader connections
+	Ops         int           // total single-insert batches across all writers
+	Restarts    int           // server kill+recover cycles during the run
+	FaultPeriod time.Duration // mean delay between injected faults
+}
+
+// DefaultChaos keeps a run in the low seconds.
+func DefaultChaos() ChaosConfig {
+	return ChaosConfig{Seed: 1, Clients: 4, Readers: 2, Ops: 300, Restarts: 1, FaultPeriod: 5 * time.Millisecond}
+}
+
+// ChaosResult reports what the schedule did and which invariants held.
+type ChaosResult struct {
+	Ops        int           // batches attempted
+	Acked      int           // batches acknowledged to a writer
+	Unacked    int           // batches whose final retry still failed
+	Faults     int           // injected network faults
+	Restarts   int           // completed kill+recover cycles
+	Reads      int           // successful reads during the storm
+	Rows       int           // rows in the final state
+	Elapsed    time.Duration // wall time of the storm phase
+	Violations []string      // empty means every invariant held
+}
+
+// chaosServer owns the restartable server half of the harness: the store
+// directory, the current DB/listener/server, and the proxy the clients
+// stay pointed at across restarts.
+type chaosServer struct {
+	dir    string
+	schema beliefdb.Schema
+	proxy  *faults.Proxy
+
+	mu       sync.Mutex
+	db       *beliefdb.DB
+	srv      *server.Server
+	ln       net.Listener
+	serveErr chan error
+}
+
+func (cs *chaosServer) start() error {
+	db, err := beliefdb.OpenAt(cs.dir, cs.schema)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		return err
+	}
+	srv := server.New(db, server.WithMaxConns(64), server.WithRequestTimeout(5*time.Second))
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	cs.mu.Lock()
+	cs.db, cs.srv, cs.ln, cs.serveErr = db, srv, ln, serveErr
+	cs.mu.Unlock()
+	if cs.proxy != nil {
+		cs.proxy.SetBackend(ln.Addr().String())
+	}
+	return nil
+}
+
+func (cs *chaosServer) stop() error {
+	cs.mu.Lock()
+	srv, db, serveErr := cs.srv, cs.db, cs.serveErr
+	cs.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	return db.Close()
+}
+
+// restart kills the server and store, then recovers from the journal. The
+// proxy retargets to the recovered server's fresh port and severs every
+// in-flight relay, so clients experience it exactly as a crash: dead
+// connections, then a reachable server with replayed state.
+func (cs *chaosServer) restart() error {
+	if err := cs.stop(); err != nil {
+		return err
+	}
+	if err := cs.start(); err != nil {
+		return err
+	}
+	cs.proxy.DropActive()
+	return nil
+}
+
+func (cs *chaosServer) database() *beliefdb.DB {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.db
+}
+
+// RunChaos executes one seeded chaos schedule and verifies the
+// invariants. A non-empty Violations list is the harness finding a real
+// robustness bug, not an error running the harness.
+func RunChaos(cfg ChaosConfig, progress func(string)) (*ChaosResult, error) {
+	if cfg.Clients < 1 || cfg.Ops < 1 {
+		return nil, fmt.Errorf("bench: chaos needs at least one client and one op")
+	}
+	if cfg.FaultPeriod <= 0 {
+		cfg.FaultPeriod = 5 * time.Millisecond
+	}
+	dir, err := os.MkdirTemp("", "beliefdb-chaos-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	schema := beliefdb.Schema{Relations: []beliefdb.Relation{{
+		Name: "C",
+		Columns: []beliefdb.Column{
+			{Name: "k", Type: beliefdb.KindString},
+			{Name: "v", Type: beliefdb.KindString},
+		},
+	}}}
+	cs := &chaosServer{dir: dir, schema: schema}
+	if err := cs.start(); err != nil {
+		return nil, err
+	}
+	defer cs.stop()
+	proxy, err := faults.NewProxy(cs.ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+	cs.proxy = proxy
+
+	// Clients retry hard: the schedule includes multi-millisecond server
+	// outages the backoff ladder must ride out.
+	opts := client.Options{MaxRetries: 10, RetryBackoff: 5 * time.Millisecond, RetryMaxBackoff: 250 * time.Millisecond}
+	writers := make([]*client.Client, cfg.Clients)
+	for i := range writers {
+		if writers[i], err = client.Dial(proxy.Addr(), opts); err != nil {
+			return nil, err
+		}
+		defer writers[i].Close()
+	}
+
+	res := &ChaosResult{Ops: cfg.Ops}
+	var (
+		acked   sync.Map // key -> struct{}
+		ackedN  atomic.Int64
+		unacked atomic.Int64
+		reads   atomic.Int64
+		done    = make(chan struct{})
+	)
+
+	// Fault injector: seeded schedule of ack blackholes and connection
+	// drops on a jittered cadence.
+	var faultN atomic.Int64
+	var injectWG sync.WaitGroup
+	injectWG.Add(1)
+	go func() {
+		defer injectWG.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for {
+			d := cfg.FaultPeriod/2 + time.Duration(rng.Int63n(int64(cfg.FaultPeriod)+1))
+			select {
+			case <-done:
+				return
+			case <-time.After(d):
+			}
+			switch rng.Intn(3) {
+			case 0:
+				// Ack blackhole: requests reach the server, responses
+				// vanish, then the relays die — the exactly-once trap.
+				proxy.Blackhole(true)
+				time.Sleep(time.Millisecond)
+				proxy.DropActive()
+				proxy.Blackhole(false)
+			default:
+				proxy.DropActive()
+			}
+			faultN.Add(1)
+		}
+	}()
+
+	// Restart controller: each scheduled kill fires once a share of the
+	// workload has been acknowledged, so recovery always has state to
+	// replay and work arrives while the server is down.
+	restartErr := make(chan error, 1)
+	var restarts atomic.Int64
+	var restartWG sync.WaitGroup
+	restartWG.Add(1)
+	go func() {
+		defer restartWG.Done()
+		for r := 1; r <= cfg.Restarts; r++ {
+			threshold := int64(cfg.Ops * r / (cfg.Restarts + 1))
+			for ackedN.Load() < threshold {
+				select {
+				case <-done:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("chaos: kill+recover %d/%d at %d acked", r, cfg.Restarts, ackedN.Load()))
+			}
+			if err := cs.restart(); err != nil {
+				restartErr <- err
+				return
+			}
+			restarts.Add(1)
+		}
+	}()
+
+	// Readers hammer the same proxy throughout — including the blackhole
+	// windows and restarts — and must keep getting answers.
+	var readerWG sync.WaitGroup
+	for i := 0; i < cfg.Readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			cli, err := client.Dial(proxy.Addr(), opts)
+			if err != nil {
+				return
+			}
+			defer cli.Close()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := cli.Query(context.Background(), "select C.k from C"); err == nil {
+					reads.Add(1)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	start := time.Now()
+	var writerWG sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		writerWG.Add(1)
+		go func(c int) {
+			defer writerWG.Done()
+			for i := c; i < cfg.Ops; i += cfg.Clients {
+				key := fmt.Sprintf("k%06d", i)
+				script := fmt.Sprintf("insert into C values ('%s','v');", key)
+				if _, err := writers[c].ExecBatch(context.Background(), script); err == nil {
+					acked.Store(key, struct{}{})
+					ackedN.Add(1)
+				} else {
+					unacked.Add(1)
+				}
+			}
+		}(c)
+	}
+	writerWG.Wait()
+	res.Elapsed = time.Since(start)
+	close(done)
+	injectWG.Wait()
+	restartWG.Wait()
+	readerWG.Wait()
+	select {
+	case err := <-restartErr:
+		return nil, fmt.Errorf("bench: chaos restart: %w", err)
+	default:
+	}
+
+	res.Acked = int(ackedN.Load())
+	res.Unacked = int(unacked.Load())
+	res.Faults = int(faultN.Load())
+	res.Restarts = int(restarts.Load())
+	res.Reads = int(reads.Load())
+
+	// Verification phase: quiesced, in-process reads against the final
+	// store, then a recovery pass.
+	counts, err := chaosScan(cs.database())
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = len(counts)
+	acked.Range(func(k, _ interface{}) bool {
+		if counts[k.(string)] != 1 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("acked key %s present %d times, want exactly 1", k, counts[k.(string)]))
+		}
+		return true
+	})
+	for k, n := range counts {
+		if n > 1 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("key %s duplicated %d times (torn retry)", k, n))
+		}
+	}
+
+	// Recovery equivalence: close everything, reopen from the journal,
+	// and demand the identical row set.
+	if err := cs.stop(); err != nil {
+		return nil, err
+	}
+	db2, err := beliefdb.OpenAt(dir, schema)
+	if err != nil {
+		return nil, fmt.Errorf("bench: chaos recovery reopen: %w", err)
+	}
+	counts2, err := chaosScan(db2)
+	db2.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(counts2) != len(counts) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("recovery produced %d keys, want %d", len(counts2), len(counts)))
+	}
+	for k, n := range counts {
+		if counts2[k] != n {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("recovery changed key %s: %d -> %d", k, n, counts2[k]))
+		}
+	}
+	// cs.stop already ran; restart a throwaway server so the deferred
+	// cs.stop finds live handles to tear down.
+	if err := cs.start(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// chaosScan counts rows per key through the public query path.
+func chaosScan(db *beliefdb.DB) (map[string]int, error) {
+	res, err := db.Query("select C.k from C")
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, len(res.Rows))
+	for _, row := range res.Rows {
+		counts[row[0].AsString()]++
+	}
+	return counts, nil
+}
+
+// Render prints the chaos report.
+func (r *ChaosResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Chaos: %d batches (acked=%d, unacked=%d) under %d faults, %d kill+recover cycles (%.2fs)\n",
+		r.Ops, r.Acked, r.Unacked, r.Faults, r.Restarts, r.Elapsed.Seconds())
+	fmt.Fprintf(&sb, "  reads served during storm: %d\n", r.Reads)
+	fmt.Fprintf(&sb, "  final rows: %d\n", r.Rows)
+	if len(r.Violations) == 0 {
+		sb.WriteString("  invariants: exactly-once OK, no torn state, recovery equivalent\n")
+	} else {
+		fmt.Fprintf(&sb, "  INVARIANT VIOLATIONS (%d):\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&sb, "    - %s\n", v)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestChaosInvariants runs a scaled-down seeded chaos schedule — enough
+// ops to cross a kill+recover cycle and dozens of injected faults — and
+// requires every invariant to hold. This is the test the CI chaos-smoke
+// job runs under -race.
+func TestChaosInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos schedule takes seconds")
+	}
+	cfg := DefaultChaos()
+	cfg.Ops = 120
+	cfg.Clients = 3
+	cfg.Readers = 2
+	cfg.Restarts = 1
+	res, err := RunChaos(cfg, func(s string) { t.Log(s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+	for _, v := range res.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if res.Acked == 0 {
+		t.Error("no batch was ever acknowledged")
+	}
+	if res.Restarts != cfg.Restarts {
+		t.Errorf("completed %d restarts, want %d", res.Restarts, cfg.Restarts)
+	}
+	if res.Reads == 0 {
+		t.Error("no read succeeded during the storm")
+	}
+	// The schedule must actually have injected faults, or the run proves
+	// nothing.
+	if res.Faults == 0 {
+		t.Error("fault injector never fired")
+	}
+}

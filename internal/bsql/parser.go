@@ -1,29 +1,54 @@
 package bsql
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"beliefdb/internal/sqlparser"
 )
 
+// ErrParse classifies every syntax failure of the BeliefSQL front end:
+// errors.Is(err, ErrParse) holds for any error Parse or ParseAll returns.
+// The network server maps it to the wire protocol's parse error code, so
+// clients can distinguish "this statement can never succeed" from
+// transient server-side failures without matching error text.
+var ErrParse = errors.New("bsql: parse error")
+
+// parseError wraps a syntax failure so it matches ErrParse while keeping
+// the original message verbatim.
+type parseError struct{ err error }
+
+func (e parseError) Error() string { return e.err.Error() }
+
+func (e parseError) Is(target error) bool { return target == ErrParse }
+
+func (e parseError) Unwrap() error { return e.err }
+
+func asParseErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return parseError{err}
+}
+
 // Parse parses one BeliefSQL statement (Fig. 1 grammar).
 func Parse(src string) (Statement, error) {
 	p, err := sqlparser.NewParser(src)
 	if err != nil {
-		return nil, err
+		return nil, asParseErr(err)
 	}
 	stmt, err := parseStatement(p)
 	if err != nil {
-		return nil, err
+		return nil, asParseErr(err)
 	}
 	if p.IsSymbol(";") {
 		if err := p.Advance(); err != nil {
-			return nil, err
+			return nil, asParseErr(err)
 		}
 	}
 	if !p.AtEOF() {
-		return nil, p.Errorf("unexpected trailing input %q", p.Tok().Text)
+		return nil, asParseErr(p.Errorf("unexpected trailing input %q", p.Tok().Text))
 	}
 	return stmt, nil
 }
@@ -33,12 +58,12 @@ func ParseAll(src string) ([]Statement, error) {
 	var out []Statement
 	p, err := sqlparser.NewParser(src)
 	if err != nil {
-		return nil, err
+		return nil, asParseErr(err)
 	}
 	for {
 		for p.IsSymbol(";") {
 			if err := p.Advance(); err != nil {
-				return nil, err
+				return nil, asParseErr(err)
 			}
 		}
 		if p.AtEOF() {
@@ -46,11 +71,11 @@ func ParseAll(src string) ([]Statement, error) {
 		}
 		stmt, err := parseStatement(p)
 		if err != nil {
-			return nil, err
+			return nil, asParseErr(err)
 		}
 		out = append(out, stmt)
 		if !p.AtEOF() && !p.IsSymbol(";") {
-			return nil, p.Errorf("expected ';', got %q", p.Tok().Text)
+			return nil, asParseErr(p.Errorf("expected ';', got %q", p.Tok().Text))
 		}
 	}
 }

@@ -1,0 +1,237 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"beliefdb/internal/wal"
+)
+
+func TestTriggerCounters(t *testing.T) {
+	after := AfterN(2)
+	want := []bool{false, false, true, true, true}
+	for i, w := range want {
+		if got := after.Fire(); got != w {
+			t.Errorf("AfterN(2) call %d = %v, want %v", i+1, got, w)
+		}
+	}
+	once := OnceAt(3)
+	want = []bool{false, false, true, false, false}
+	for i, w := range want {
+		if got := once.Fire(); got != w {
+			t.Errorf("OnceAt(3) call %d = %v, want %v", i+1, got, w)
+		}
+	}
+	every := EveryN(2)
+	want = []bool{false, true, false, true, false}
+	for i, w := range want {
+		if got := every.Fire(); got != w {
+			t.Errorf("EveryN(2) call %d = %v, want %v", i+1, got, w)
+		}
+	}
+	if EveryN(0).Fire() || Never().Fire() {
+		t.Error("EveryN(0)/Never fired")
+	}
+}
+
+func TestProbSeedIsDeterministic(t *testing.T) {
+	a, b := Prob(42, 0.3), Prob(42, 0.3)
+	fired := false
+	for i := 0; i < 200; i++ {
+		x, y := a.Fire(), b.Fire()
+		if x != y {
+			t.Fatalf("call %d: same seed diverged", i)
+		}
+		fired = fired || x
+	}
+	if !fired {
+		t.Error("p=0.3 never fired in 200 calls")
+	}
+	if Prob(1, 0).Fire() {
+		t.Error("p=0 fired")
+	}
+}
+
+func TestSinkInjectsAndRecovers(t *testing.T) {
+	mem := &wal.MemSink{}
+	s := &Sink{W: mem, SyncFail: OnceAt(2), WriteFail: OnceAt(2)}
+	if _, err := s.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if _, err := s.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: err = %v, want ErrInjected", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: err = %v, want ErrInjected", err)
+	}
+	// The fault was transient; the wrapper recovers and nothing from the
+	// failed write leaked into the sink.
+	if _, err := s.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if string(mem.Buf) != "ac" {
+		t.Errorf("sink holds %q, want %q", mem.Buf, "ac")
+	}
+}
+
+func TestSnapshotHookFailsOnlyItsStage(t *testing.T) {
+	h := SnapshotHook("sync", AfterN(0))
+	if err := h("write"); err != nil {
+		t.Errorf("write stage: %v", err)
+	}
+	if err := h("sync"); !errors.Is(err, ErrInjected) {
+		t.Errorf("sync stage: err = %v, want ErrInjected", err)
+	}
+}
+
+// pipePair returns the two ends of a live loopback TCP connection.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestFlakyConnDropAndPartial(t *testing.T) {
+	c1, s1 := pipePair(t)
+	fc := &Conn{Conn: c1, F: ConnFaults{Drop: OnceAt(1)}}
+	if _, err := fc.Write([]byte("hello")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped write: err = %v, want ErrInjected", err)
+	}
+	if _, err := fc.Write([]byte("hello")); err == nil {
+		t.Fatal("write after drop succeeded on a closed conn")
+	}
+	_ = s1
+
+	c2, s2 := pipePair(t)
+	fc2 := &Conn{Conn: c2, F: ConnFaults{Partial: OnceAt(1)}}
+	msg := []byte("0123456789")
+	n, err := fc2.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write: err = %v, want ErrInjected", err)
+	}
+	if n == 0 || n >= len(msg) {
+		t.Fatalf("partial write sent %d of %d bytes, want a strict prefix", n, len(msg))
+	}
+	// The peer sees exactly the prefix, then EOF.
+	got := make([]byte, len(msg))
+	r, _ := s2.Read(got)
+	if r != n {
+		t.Fatalf("peer read %d bytes, want %d", r, n)
+	}
+}
+
+func TestProxyRelayBlackholeAndRetarget(t *testing.T) {
+	// Backend 1: an echo server.
+	echo := func(ln net.Listener, tag byte) {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					out := append([]byte{tag}, buf[:n]...)
+					if _, err := c.Write(out); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	go echo(ln1, '1')
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go echo(ln2, '2')
+
+	p, err := NewProxy(ln1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	roundTrip := func(c net.Conn) (string, error) {
+		if _, err := c.Write([]byte("x")); err != nil {
+			return "", err
+		}
+		buf := make([]byte, 8)
+		n, err := c.Read(buf)
+		return string(buf[:n]), err
+	}
+
+	c := dial()
+	if got, err := roundTrip(c); err != nil || got != "1x" {
+		t.Fatalf("relay: got %q, %v; want \"1x\"", got, err)
+	}
+
+	// Blackhole: the request reaches the backend, the response vanishes,
+	// and DropActive surfaces the loss as a dead connection.
+	p.Blackhole(true)
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatalf("write into blackhole: %v", err)
+	}
+	p.DropActive()
+	buf := make([]byte, 8)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read after DropActive succeeded")
+	}
+	c.Close()
+	p.Blackhole(false)
+
+	// Retarget: new connections reach backend 2.
+	p.SetBackend(ln2.Addr().String())
+	c2 := dial()
+	defer c2.Close()
+	if got, err := roundTrip(c2); err != nil || got != "2x" {
+		t.Fatalf("after retarget: got %q, %v; want \"2x\"", got, err)
+	}
+}

@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// ConnFaults configures a flaky connection. Each trigger is consulted on
+// every Read and Write; nil triggers never fire.
+type ConnFaults struct {
+	Drop     Trigger       // close the connection instead of doing the I/O
+	Stall    Trigger       // sleep StallFor before the I/O
+	Partial  Trigger       // Write only: send a prefix, then close
+	Reset    Trigger       // close abruptly after completing the I/O
+	StallFor time.Duration // injected stall; default 2ms
+}
+
+// Conn wraps a net.Conn with fault injection. The faulted operations
+// return errors matching ErrInjected (drop, partial) or surface as the
+// peer seeing an unexpected close (reset) — the client-visible shapes of
+// a flaky network the retry layer must absorb.
+type Conn struct {
+	net.Conn
+	F ConnFaults
+}
+
+func (c *Conn) stall() {
+	if !fire(c.F.Stall) {
+		return
+	}
+	d := c.F.StallFor
+	if d <= 0 {
+		d = 2 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// Read injects drops and stalls around the wrapped Read.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.stall()
+	if fire(c.F.Drop) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped on read", ErrInjected)
+	}
+	n, err := c.Conn.Read(p)
+	if err == nil && fire(c.F.Reset) {
+		c.Conn.Close()
+	}
+	return n, err
+}
+
+// Write injects drops, stalls, and partial writes around the wrapped
+// Write. A partial write sends a strict prefix and then closes, leaving
+// the peer a torn frame — the wire reader must fail its checksum or
+// length check, never deliver a half message.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.stall()
+	if fire(c.F.Drop) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped on write", ErrInjected)
+	}
+	if len(p) > 1 && fire(c.F.Partial) {
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: partial write (%d of %d bytes)", ErrInjected, n, len(p))
+	}
+	n, err := c.Conn.Write(p)
+	if err == nil && fire(c.F.Reset) {
+		c.Conn.Close()
+	}
+	return n, err
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// same fault configuration — the server-side half of a flaky network.
+type Listener struct {
+	net.Listener
+	F ConnFaults
+}
+
+// Accept wraps the accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{Conn: c, F: l.F}, nil
+}

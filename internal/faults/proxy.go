@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"net"
+	"sync"
+)
+
+// Proxy is a fault-injecting TCP relay with a retargetable backend. It
+// gives resilience tests a stable client-facing address while the real
+// server restarts on a new port (SetBackend), and two deterministic fault
+// controls: Blackhole discards the server→client direction — the client's
+// request reaches the server and is applied, but the acknowledgement never
+// arrives, the exact window the exactly-once retry protocol must cover —
+// and DropActive severs every live connection at once.
+type Proxy struct {
+	ln net.Listener
+
+	mu        sync.Mutex
+	backend   string
+	blackhole bool
+	conns     map[net.Conn]struct{} // both sides of every active relay
+	closed    bool
+}
+
+// NewProxy starts a proxy on a loopback port relaying to backend.
+func NewProxy(backend string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's client-facing address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBackend retargets future connections to addr (existing relays keep
+// their original backend until dropped).
+func (p *Proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	p.mu.Unlock()
+}
+
+// Blackhole toggles discarding of the server→client direction: the server
+// still receives and processes requests, but responses vanish in transit.
+func (p *Proxy) Blackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// DropActive severs every active relayed connection (both sides).
+func (p *Proxy) DropActive() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// Close stops accepting and severs everything.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.DropActive()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		backend := p.backend
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			client.Close()
+			return
+		}
+		server, err := net.Dial("tcp", backend)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.track(client)
+		p.track(server)
+		go p.pump(server, client, false) // client → server: always relayed
+		go p.pump(client, server, true)  // server → client: blackhole-able
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// pump copies src → dst until either side dies, honoring the blackhole
+// switch per chunk on the server→client direction. When the copy ends it
+// closes both sides: a half-dead relay looks to each peer like a dropped
+// connection, which is the failure mode under test.
+func (p *Proxy) pump(dst, src net.Conn, blackholeable bool) {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			discard := blackholeable && p.blackhole
+			p.mu.Unlock()
+			if !discard {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	src.Close()
+	dst.Close()
+	p.untrack(src)
+	p.untrack(dst)
+}

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"beliefdb/internal/wal"
+)
+
+// Sink wraps a wal.Sink, injecting write/fsync failures and latency per
+// trigger. It generalizes wal.LimitSink (which models one torn write at a
+// fixed byte budget) to arbitrary schedules: a failed Write or Sync returns
+// an error matching ErrInjected, which the store treats like any genuine
+// I/O failure — the sticky read-only degradation the resilience tests
+// exercise. Reset and Close pass through when the wrapped sink supports
+// them, so checkpoints and shutdown still work while no fault fires.
+//
+// A nil trigger field never fires.
+type Sink struct {
+	W wal.Sink
+
+	WriteFail Trigger       // fail a Write (nothing reaches W)
+	SyncFail  Trigger       // fail a Sync
+	Delay     Trigger       // sleep Sleep before a Write or Sync
+	Sleep     time.Duration // the injected latency; default 1ms
+}
+
+// Write forwards to the wrapped sink unless the write trigger fires.
+func (s *Sink) Write(p []byte) (int, error) {
+	s.nap()
+	if fire(s.WriteFail) {
+		return 0, fmt.Errorf("%w: wal write", ErrInjected)
+	}
+	return s.W.Write(p)
+}
+
+// Sync forwards to the wrapped sink unless the sync trigger fires.
+func (s *Sink) Sync() error {
+	s.nap()
+	if fire(s.SyncFail) {
+		return fmt.Errorf("%w: wal fsync", ErrInjected)
+	}
+	return s.W.Sync()
+}
+
+// Reset forwards when the wrapped sink is resettable (checkpoint support).
+func (s *Sink) Reset() error {
+	if r, ok := s.W.(interface{ Reset() error }); ok {
+		return r.Reset()
+	}
+	return fmt.Errorf("faults: wrapped sink %T does not support reset", s.W)
+}
+
+// Close forwards when the wrapped sink is closable.
+func (s *Sink) Close() error {
+	if c, ok := s.W.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+func (s *Sink) nap() {
+	if !fire(s.Delay) {
+		return
+	}
+	d := s.Sleep
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// SnapshotHook returns a snapshot.WriteHook failing the named stage
+// ("create", "write", "sync", or "rename") whenever the trigger fires —
+// the snapshot-FS half of the injector set. Install it with
+// snapshot.WriteHook = faults.SnapshotHook("sync", faults.OnceAt(1)) and
+// remove it by resetting snapshot.WriteHook to nil.
+func SnapshotHook(stage string, t Trigger) func(string) error {
+	return func(s string) error {
+		if s == stage && fire(t) {
+			return fmt.Errorf("%w: snapshot %s", ErrInjected, s)
+		}
+		return nil
+	}
+}
+
+// compile-time conformance
+var _ wal.Sink = (*Sink)(nil)

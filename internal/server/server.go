@@ -28,6 +28,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -58,15 +59,26 @@ const DefaultCommitWindow = 200 * time.Microsecond
 // A Server serves the wire protocol over one belief database. Create with
 // New, start with Serve, stop with Shutdown.
 type Server struct {
-	db       *beliefdb.DB
-	maxFrame int
-	info     string
-	window   time.Duration
+	db         *beliefdb.DB
+	maxFrame   int
+	info       string
+	window     time.Duration
+	reqTimeout time.Duration
+	logf       func(format string, args ...interface{})
+
+	// Accept gate (WithMaxConns): a slot is taken before Accept, so past
+	// the bound the server simply stops accepting and excess clients queue
+	// in the OS listen backlog — backpressure instead of unbounded handler
+	// goroutines. nil means unbounded.
+	sem  chan struct{}
+	stop chan struct{} // closed by Shutdown; unblocks a gated accept loop
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	shutdown bool
+
+	degradedOnce sync.Once // one structured log line per degraded transition
 
 	handlers sync.WaitGroup
 }
@@ -85,6 +97,37 @@ func WithInfo(info string) Option { return func(s *Server) { s.info = info } }
 // window entirely).
 func WithCommitWindow(d time.Duration) Option { return func(s *Server) { s.window = d } }
 
+// WithMaxConns bounds concurrently served connections (0 = unbounded).
+// At the bound the server stops accepting; excess dials queue in the OS
+// listen backlog until a slot frees, so overload degrades into latency
+// instead of goroutine growth.
+func WithMaxConns(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithRequestTimeout bounds each request: the response write carries a
+// deadline and batch commits are abandoned (from the waiting side; an
+// accepted batch still commits — see DB.SubmitBatch) when it expires.
+// 0 = no per-request deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.reqTimeout = d
+		}
+	}
+}
+
+// WithLogger installs a Printf-style logger for the server's structured
+// one-line events (currently the degraded-mode transition). nil disables
+// logging.
+func WithLogger(logf func(format string, args ...interface{})) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
 // New returns a server over db and arms db's group-commit window so
 // concurrent clients' batches share WAL fsyncs.
 func New(db *beliefdb.DB, opts ...Option) *Server {
@@ -94,6 +137,7 @@ func New(db *beliefdb.DB, opts ...Option) *Server {
 		info:     "beliefdb",
 		window:   DefaultCommitWindow,
 		conns:    make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -122,8 +166,18 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Unlock()
 
 	for {
+		// The accept gate is taken before Accept: at the connection bound
+		// the loop parks here and excess dials wait in the listen backlog.
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+			case <-s.stop:
+				return nil
+			}
+		}
 		conn, err := ln.Accept()
 		if err != nil {
+			s.releaseSlot()
 			if s.shuttingDown() {
 				return nil
 			}
@@ -131,13 +185,22 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		if !s.track(conn) {
 			conn.Close() // raced Shutdown; refuse quietly
+			s.releaseSlot()
 			continue
 		}
 		go func() {
+			defer s.releaseSlot()
 			defer s.handlers.Done()
 			defer s.untrack(conn)
 			s.handle(conn)
 		}()
+	}
+}
+
+// releaseSlot returns an accept-gate slot (no-op when unbounded).
+func (s *Server) releaseSlot() {
+	if s.sem != nil {
+		<-s.sem
 	}
 }
 
@@ -178,6 +241,9 @@ func (s *Server) shuttingDown() bool {
 // caller's next step, after Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	if !s.shutdown {
+		close(s.stop)
+	}
 	s.shutdown = true
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
@@ -255,16 +321,24 @@ func (s *Server) handle(conn net.Conn) {
 			s.abort(w, bw, err)
 			return
 		}
+		// The per-request deadline covers the whole response write: a
+		// client that stops draining cannot pin the handler forever.
+		if s.reqTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.reqTimeout))
+		}
 		if err := s.serveRequest(w, req); err != nil {
 			// The stream is done for — but any Error frame explaining why
-			// (an unexpected opcode) is still sitting in the buffer, and
-			// the promise is to describe the drop when the stream is
-			// writable.
+			// (an unexpected opcode, a recovered panic) is still sitting in
+			// the buffer, and the promise is to describe the drop when the
+			// stream is writable.
 			bw.Flush()
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
+		}
+		if s.reqTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
 		}
 		if s.shuttingDown() {
 			return // drained the request that was already in flight
@@ -287,28 +361,99 @@ func (s *Server) abort(w *wire.Writer, bw *bufio.Writer, err error) {
 	bw.Flush()
 }
 
+// classify maps a request-level failure to its stable wire error code, so
+// clients dispatch on the code (errors.Is against their sentinels) instead
+// of matching server error text.
+func classify(err error) wire.ErrCode {
+	switch {
+	case errors.Is(err, beliefdb.ErrDegraded):
+		return wire.CodeDegraded
+	case errors.Is(err, beliefdb.ErrClosed):
+		return wire.CodeReadOnly
+	case errors.Is(err, beliefdb.ErrParse):
+		return wire.CodeParse
+	default:
+		return wire.CodeInternal
+	}
+}
+
+// errFrame renders a request-level failure as a coded Error frame, logging
+// the degraded-mode transition the first time it is observed.
+func (s *Server) errFrame(err error) wire.Msg {
+	code := classify(err)
+	if code == wire.CodeDegraded {
+		s.noteDegraded(err)
+	}
+	return wire.ErrorMsg(code, err.Error())
+}
+
+// noteDegraded emits one structured one-line event when the database first
+// surfaces its sticky read-only state — the signal operators alert on.
+func (s *Server) noteDegraded(cause error) {
+	s.degradedOnce.Do(func() {
+		if s.logf == nil {
+			return
+		}
+		line, _ := json.Marshal(map[string]string{
+			"event": "degraded",
+			"mode":  "read-only",
+			"cause": cause.Error(),
+		})
+		s.logf("%s", line)
+	})
+}
+
 // serveRequest answers one request. The returned error reports a failure
 // to write the response (fatal for the connection); request-level failures
-// are answered with an Error frame and return nil.
-func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) error {
+// are answered with a coded Error frame and return nil. A panicking
+// handler is converted into an internal-error response and that
+// connection's demise — the process, and every other connection, keeps
+// serving.
+// panicHook, when non-nil, runs before each request is dispatched. It is
+// the seam the panic-isolation tests use to make a handler blow up on
+// cue; production never sets it.
+var panicHook func(req wire.Msg)
+
+func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			w.Write(wire.ErrorMsg(wire.CodeInternal, fmt.Sprintf("server: internal error serving %s: %v", req.Kind, p)))
+			err = fmt.Errorf("server: panic serving %s: %v", req.Kind, p)
+			if s.logf != nil {
+				s.logf("server: recovered panic serving %s: %v", req.Kind, p)
+			}
+		}
+	}()
+	if panicHook != nil {
+		panicHook(req)
+	}
 	switch req.Kind {
 	case wire.KindQuery, wire.KindExec:
 		res, err := s.db.ExecScript(req.Text)
 		if err != nil {
-			return w.Write(wire.Errorf("%v", err))
+			return w.Write(s.errFrame(err))
 		}
 		return s.writeResult(w, res)
 
 	case wire.KindExecBatch:
 		// Compile outside any lock, then commit through the coalescer:
-		// batches from concurrent connections share one WAL fsync.
+		// batches from concurrent connections share one WAL fsync. The
+		// client's idempotency token rides along, so a retried batch
+		// (dropped ack, reconnect) applies exactly once.
 		b, err := s.db.ParseBatch(req.Text)
 		if err != nil {
-			return w.Write(wire.Errorf("%v", err))
+			return w.Write(s.errFrame(err))
 		}
-		res, err := s.db.SubmitBatch(context.Background(), b)
+		b.SetToken(req.Token)
+		ctx := context.Background()
+		if s.reqTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+			defer cancel()
+		}
+		res, err := s.db.SubmitBatch(ctx, b)
 		if err != nil {
-			return w.Write(wire.Errorf("%v", err))
+			return w.Write(s.errFrame(err))
 		}
 		return w.Write(wire.Msg{
 			Kind:    wire.KindBatchDone,
@@ -319,13 +464,13 @@ func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) error {
 	case wire.KindAddUser:
 		uid, err := s.db.AddUser(req.Text)
 		if err != nil {
-			return w.Write(wire.Errorf("%v", err))
+			return w.Write(s.errFrame(err))
 		}
 		return w.Write(wire.Msg{Kind: wire.KindUserAdded, UID: int64(uid)})
 
 	case wire.KindCheckpoint:
 		if err := s.db.Checkpoint(); err != nil {
-			return w.Write(wire.Errorf("%v", err))
+			return w.Write(s.errFrame(err))
 		}
 		return w.Write(wire.Msg{Kind: wire.KindOK})
 

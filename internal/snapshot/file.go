@@ -6,6 +6,21 @@ import (
 	"path/filepath"
 )
 
+// WriteHook, when non-nil, is consulted before each filesystem stage of
+// WriteFile — "create", "write", "sync", "rename" — and a non-nil return
+// aborts the write with that error (the temp file is removed; the previous
+// snapshot stays in place). It is the snapshot-side fault-injection seam:
+// crash and degradation tests install failing hooks through internal/faults.
+// Production leaves it nil. Not safe to change while a WriteFile is running.
+var WriteHook func(stage string) error
+
+func hookErr(stage string) error {
+	if WriteHook == nil {
+		return nil
+	}
+	return WriteHook(stage)
+}
+
 // WriteFile atomically replaces the snapshot at path: the image is written
 // to a temporary sibling, fsynced, renamed over path, and the directory is
 // fsynced so the rename itself is durable. A crash at any point leaves
@@ -13,6 +28,9 @@ import (
 func WriteFile(path string, m *Model) error {
 	data := m.Encode()
 	dir := filepath.Dir(path)
+	if err := hookErr("create"); err != nil {
+		return fmt.Errorf("snapshot: creating temp file: %w", err)
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("snapshot: creating temp file: %w", err)
@@ -22,9 +40,17 @@ func WriteFile(path string, m *Model) error {
 		tmp.Close()
 		os.Remove(tmpName)
 	}
+	if err := hookErr("write"); err != nil {
+		cleanup()
+		return fmt.Errorf("snapshot: writing %s: %w", tmpName, err)
+	}
 	if _, err := tmp.Write(data); err != nil {
 		cleanup()
 		return fmt.Errorf("snapshot: writing %s: %w", tmpName, err)
+	}
+	if err := hookErr("sync"); err != nil {
+		cleanup()
+		return fmt.Errorf("snapshot: syncing %s: %w", tmpName, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
@@ -33,6 +59,10 @@ func WriteFile(path string, m *Model) error {
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("snapshot: closing %s: %w", tmpName, err)
+	}
+	if err := hookErr("rename"); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot: renaming into place: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)

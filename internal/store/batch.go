@@ -49,10 +49,27 @@ type BatchResult struct {
 // journaled, so crash-replay re-runs the same batch, reaches the same
 // failure, and rolls back identically.
 func (st *Store) ApplyBatch(ops []BatchOp) (BatchResult, error) {
+	return st.ApplyBatchToken(ops, "")
+}
+
+// ApplyBatchToken is ApplyBatch carrying a client idempotency token (""
+// for none). A token already in the applied-token table short-circuits:
+// the batch is not journaled or re-applied and the original result is
+// returned, so a client retry after a lost acknowledgement — even one
+// spanning a server restart, since recovery rebuilds the table from the
+// journaled markers — applies the batch exactly once. Only successful
+// batches are recorded; a failed batch is deterministic, so a retry
+// re-derives the same failure.
+func (st *Store) ApplyBatchToken(ops []BatchOp, token string) (BatchResult, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(ops) == 0 {
 		return BatchResult{}, nil
+	}
+	if token != "" {
+		if res, ok := st.appliedTokens[token]; ok {
+			return res, nil
+		}
 	}
 	if err := st.validateBatchLocked(ops); err != nil {
 		return BatchResult{}, err
@@ -63,11 +80,40 @@ func (st *Store) ApplyBatch(ops []BatchOp) (BatchResult, error) {
 	if err != nil {
 		return BatchResult{}, err
 	}
-	if err := st.logBatch(ops); err != nil {
+	if err := st.logBatch(ops, token); err != nil {
 		txn.Rollback()
 		return BatchResult{}, err
 	}
-	return st.applyBatchLocked(txn, ops)
+	res, err := st.applyBatchLocked(txn, ops)
+	if err == nil && token != "" {
+		st.recordTokenLocked(token, res)
+	}
+	return res, err
+}
+
+// maxAppliedTokens bounds the exactly-once dedup table. FIFO eviction
+// caps the retry horizon: a retry older than the last maxAppliedTokens
+// successful batches can no longer be deduplicated, which is far beyond
+// any client's backoff schedule. Checkpoint truncation bounds it too —
+// tokens are journaled in the WAL, not the snapshot, so only batches
+// since the last checkpoint survive a restart.
+const maxAppliedTokens = 4096
+
+// recordTokenLocked enters a successfully applied batch's token into the
+// dedup table, evicting the oldest entries past the bound.
+func (st *Store) recordTokenLocked(token string, res BatchResult) {
+	if _, ok := st.appliedTokens[token]; ok {
+		return
+	}
+	if st.appliedTokens == nil {
+		st.appliedTokens = make(map[string]BatchResult)
+	}
+	st.appliedTokens[token] = res
+	st.tokenOrder = append(st.tokenOrder, token)
+	for len(st.tokenOrder) > maxAppliedTokens {
+		delete(st.appliedTokens, st.tokenOrder[0])
+		st.tokenOrder = st.tokenOrder[1:]
+	}
 }
 
 // validateBatchLocked checks a batch before anything is journaled or any
@@ -162,9 +208,32 @@ type BatchOutcome struct {
 // indistinguishable from consecutive ApplyBatch calls, so crash replay
 // re-runs each group with identical (deterministic) per-group outcomes.
 func (st *Store) ApplyBatchGroup(groups [][]BatchOp) []BatchOutcome {
+	return st.ApplyBatchGroupTokens(groups, nil)
+}
+
+// ApplyBatchGroupTokens is ApplyBatchGroup with per-group idempotency
+// tokens (nil, or one per group, "" = none). A group whose token is
+// already in the applied-token table reports its original result without
+// being journaled or re-applied; the rest are journaled with their tokens
+// in the BatchBegin markers and recorded on success, exactly like
+// ApplyBatchToken.
+func (st *Store) ApplyBatchGroupTokens(groups [][]BatchOp, tokens []string) []BatchOutcome {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := make([]BatchOutcome, len(groups))
+	if tokens != nil && len(tokens) != len(groups) {
+		err := fmt.Errorf("store: %d token(s) for %d batch group(s)", len(tokens), len(groups))
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	token := func(i int) string {
+		if tokens == nil {
+			return ""
+		}
+		return tokens[i]
+	}
 
 	// An open raw-SQL transaction would make every Begin below fail after
 	// the groups were already journaled; refuse the round up front instead,
@@ -178,26 +247,53 @@ func (st *Store) ApplyBatchGroup(groups [][]BatchOp) []BatchOutcome {
 	}
 
 	valid := make([]int, 0, len(groups))
+	// A retry can land in the same round as its original (the first
+	// attempt still queued when the resend arrives): journaling both would
+	// put the token in the WAL twice and replay would apply it twice.
+	// Aliases ride along un-journaled and copy the original's outcome.
+	inRound := make(map[string]int)
+	aliases := make(map[int]int)
 	for i, ops := range groups {
 		if len(ops) == 0 {
 			continue // vacuous success: nothing to journal or apply
+		}
+		if t := token(i); t != "" {
+			if res, ok := st.appliedTokens[t]; ok {
+				out[i].Res = res // exactly-once: retry of an applied batch
+				continue
+			}
+			if first, ok := inRound[t]; ok {
+				aliases[i] = first
+				continue
+			}
 		}
 		if err := st.validateBatchLocked(ops); err != nil {
 			out[i].Err = err
 			continue
 		}
+		if t := token(i); t != "" {
+			inRound[t] = i
+		}
 		valid = append(valid, i)
 	}
 	if len(valid) == 0 {
+		for i, first := range aliases {
+			out[i] = out[first]
+		}
 		return out
 	}
 	journal := make([][]BatchOp, len(valid))
+	jtokens := make([]string, len(valid))
 	for k, i := range valid {
 		journal[k] = groups[i]
+		jtokens[k] = token(i)
 	}
-	if err := st.logBatchGroups(journal); err != nil {
+	if err := st.logBatchGroups(journal, jtokens); err != nil {
 		for _, i := range valid {
 			out[i].Err = err
+		}
+		for i, first := range aliases {
+			out[i] = out[first]
 		}
 		return out
 	}
@@ -208,14 +304,23 @@ func (st *Store) ApplyBatchGroup(groups [][]BatchOp) []BatchOutcome {
 			continue
 		}
 		out[i].Res, out[i].Err = st.applyBatchLocked(txn, groups[i])
+		if out[i].Err == nil {
+			if t := token(i); t != "" {
+				st.recordTokenLocked(t, out[i].Res)
+			}
+		}
+	}
+	for i, first := range aliases {
+		out[i] = out[first]
 	}
 	return out
 }
 
 // logBatchGroups journals several batches as independent WAL groups under a
-// single fsync. Like logBatch it is a no-op on in-memory stores and sticky
-// on genuine I/O failures.
-func (st *Store) logBatchGroups(groups [][]BatchOp) error {
+// single fsync, each group's idempotency token ("" = none) recorded in its
+// BatchBegin marker. Like logBatch it is a no-op on in-memory stores and
+// sticky on genuine I/O failures.
+func (st *Store) logBatchGroups(groups [][]BatchOp, tokens []string) error {
 	if st.closed {
 		return ErrClosed
 	}
@@ -223,7 +328,7 @@ func (st *Store) logBatchGroups(groups [][]BatchOp) error {
 		return nil
 	}
 	if st.walErr != nil {
-		return fmt.Errorf("store: database is read-only after a WAL failure: %w", st.walErr)
+		return st.readOnlyErrLocked()
 	}
 	wgroups := make([][]wal.Op, len(groups))
 	records := uint64(0)
@@ -239,7 +344,7 @@ func (st *Store) logBatchGroups(groups [][]BatchOp) error {
 		wgroups[k] = wops
 		records += uint64(len(ops)) + 1 // members + marker
 	}
-	if err := st.wal.AppendGroups(wgroups); err != nil {
+	if err := st.wal.AppendGroupsToken(wgroups, tokens); err != nil {
 		// Oversized records are refused before any byte is written; only
 		// genuine I/O failures poison the store (see logOp).
 		if !errors.Is(err, wal.ErrRecordTooLarge) {
@@ -263,9 +368,10 @@ func (st *Store) deleteStmtLocked(ri *relInfo, stmt core.Statement, pend *pendin
 }
 
 // logBatch journals a batch as one WAL group (marker + one record per
-// statement) under a single fsync. Like logOp it is a no-op on in-memory
-// stores and sticky on genuine I/O failures.
-func (st *Store) logBatch(ops []BatchOp) error {
+// statement, the idempotency token in the marker) under a single fsync.
+// Like logOp it is a no-op on in-memory stores and sticky on genuine I/O
+// failures.
+func (st *Store) logBatch(ops []BatchOp, token string) error {
 	if st.closed {
 		return ErrClosed
 	}
@@ -273,7 +379,7 @@ func (st *Store) logBatch(ops []BatchOp) error {
 		return nil
 	}
 	if st.walErr != nil {
-		return fmt.Errorf("store: database is read-only after a WAL failure: %w", st.walErr)
+		return st.readOnlyErrLocked()
 	}
 	wops := make([]wal.Op, len(ops))
 	for i, op := range ops {
@@ -283,7 +389,7 @@ func (st *Store) logBatch(ops []BatchOp) error {
 			wops[i] = wal.Insert(op.Stmt)
 		}
 	}
-	if err := st.wal.AppendBatch(wops); err != nil {
+	if err := st.wal.AppendBatchToken(wops, token); err != nil {
 		// Oversized records are refused before any byte is written; only
 		// genuine I/O failures poison the store (see logOp).
 		if !errors.Is(err, wal.ErrRecordTooLarge) {

@@ -56,9 +56,10 @@ type Coalescer struct {
 
 // coalWait is one queued submission and its rendezvous.
 type coalWait struct {
-	ops  []BatchOp
-	done chan struct{}
-	out  BatchOutcome
+	ops   []BatchOp
+	token string
+	done  chan struct{}
+	out   BatchOutcome
 }
 
 // NewCoalescer returns a Coalescer committing through st, with no
@@ -89,7 +90,14 @@ func (c *Coalescer) SetWindow(d time.Duration) {
 // atomicity and error semantics). Submissions made while another round is
 // on disk are coalesced into the next round.
 func (c *Coalescer) Submit(ops []BatchOp) (BatchResult, error) {
-	w := &coalWait{ops: ops, done: make(chan struct{})}
+	return c.SubmitToken(ops, "")
+}
+
+// SubmitToken is Submit carrying a client idempotency token ("" for none);
+// the round commits it through ApplyBatchGroupTokens, so a token already
+// applied returns its original result instead of re-applying the batch.
+func (c *Coalescer) SubmitToken(ops []BatchOp, token string) (BatchResult, error) {
+	w := &coalWait{ops: ops, token: token, done: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -129,10 +137,12 @@ func (c *Coalescer) lead() {
 		c.mu.Unlock()
 
 		groups := make([][]BatchOp, len(round))
+		tokens := make([]string, len(round))
 		for i, w := range round {
 			groups[i] = w.ops
+			tokens[i] = w.token
 		}
-		outs := c.st.ApplyBatchGroup(groups)
+		outs := c.st.ApplyBatchGroupTokens(groups, tokens)
 		for i, w := range round {
 			w.out = outs[i]
 			close(w.done)

@@ -25,10 +25,48 @@ const (
 // ErrClosed is returned by mutating methods after Close.
 var ErrClosed = errors.New("store: database is closed")
 
-// wrapWALSink is the crash-injection seam: tests replace it to wrap the
-// WAL's file sink (e.g. with wal.LimitSink, which fails after N bytes).
+// ErrDegraded classifies the sticky read-only condition: after a WAL append
+// or fsync failure the store refuses further mutations (acknowledging them
+// would silently drop bytes unreachable to recovery) while reads keep being
+// served from the intact in-memory state. errors.Is(err, ErrDegraded) holds
+// for every mutation rejected in this state; the network server maps it to
+// the wire protocol's degraded error code.
+var ErrDegraded = errors.New("store: degraded (read-only after a WAL failure)")
+
+// degradedError wraps the sticky WAL failure so mutation errors match
+// ErrDegraded while keeping the long-standing message text.
+type degradedError struct{ cause error }
+
+func (e degradedError) Error() string {
+	return "store: database is read-only after a WAL failure: " + e.cause.Error()
+}
+
+func (e degradedError) Is(target error) bool { return target == ErrDegraded }
+
+func (e degradedError) Unwrap() error { return e.cause }
+
+// readOnlyErrLocked renders the sticky failure as an ErrDegraded-matching
+// error; callers hold mu and have checked st.walErr != nil.
+func (st *Store) readOnlyErrLocked() error { return degradedError{cause: st.walErr} }
+
+// Degraded reports whether the store is in the sticky read-only state.
+func (st *Store) Degraded() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.walErr != nil
+}
+
+// wrapWALSink is the fault-injection seam: tests and the chaos harness
+// replace it to wrap the WAL's file sink (e.g. with wal.LimitSink, which
+// fails after N bytes, or a faults.Sink running a seeded error schedule).
 // Production leaves it nil.
 var wrapWALSink func(wal.Sink) wal.Sink
+
+// SetWALSinkWrapper installs (or, with nil, removes) the WAL-sink wrapper
+// applied by subsequent OpenAt calls. It exists for fault injection — crash
+// and degraded-mode tests wrap the production file sink with failing ones —
+// and must not be called concurrently with OpenAt.
+func SetWALSinkWrapper(wrap func(wal.Sink) wal.Sink) { wrapWALSink = wrap }
 
 // OpenAt opens (creating it if needed) a durable eager-representation store
 // rooted at directory dir. Recovery loads the latest snapshot, replays the
@@ -152,8 +190,11 @@ func openAt(dir string, rels []Relation, lazy bool) (st *Store, err error) {
 				}
 			}
 			// Batch-level outcomes (a conflict rolling the group back) are
-			// deterministic and deliberately ignored, like applyOp's.
-			_, _ = st.ApplyBatch(batch)
+			// deterministic and deliberately ignored, like applyOp's. The
+			// tokened path re-enters the marker's token into the dedup
+			// table — and skips a batch whose token already replayed — so a
+			// client retrying across the restart stays exactly-once.
+			st.ApplyBatchToken(batch, op.Token)
 			k += n
 		default:
 			if err := st.applyOp(op); err != nil {
@@ -283,7 +324,7 @@ func (st *Store) logOp(op wal.Op) error {
 		return nil
 	}
 	if st.walErr != nil {
-		return fmt.Errorf("store: database is read-only after a WAL failure: %w", st.walErr)
+		return st.readOnlyErrLocked()
 	}
 	if err := st.wal.Append(op); err != nil {
 		// A too-large record is refused before any byte is written: the
@@ -317,7 +358,7 @@ func (st *Store) Checkpoint() error {
 		return ErrClosed
 	}
 	if st.walErr != nil {
-		return fmt.Errorf("store: database is read-only after a WAL failure: %w", st.walErr)
+		return st.readOnlyErrLocked()
 	}
 	// A snapshot taken inside an open raw-SQL transaction would capture
 	// its uncommitted (eagerly applied, undo-logged) rows as covered state

@@ -102,6 +102,13 @@ type Store struct {
 	durable  bool
 	closed   bool
 
+	// Exactly-once retry dedup (see batch.go): idempotency tokens of
+	// successfully applied batches mapped to their results, evicted FIFO
+	// past maxAppliedTokens. Rebuilt from the WAL's BatchBegin markers on
+	// recovery; guarded by mu like everything they index.
+	appliedTokens map[string]BatchResult
+	tokenOrder    []string
+
 	// lazy selects the alternative representation sketched in the paper's
 	// future work (Sect. 6.3): the V relations hold only explicit
 	// statements and the message-board default rule is applied at read

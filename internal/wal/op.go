@@ -87,6 +87,7 @@ type Op struct {
 	NewVals []val.Value    // Replace: the replacement tuple's values
 	Def     *SchemaDef     // Schema: the log's schema identity
 	Count   uint64         // BatchBegin: number of member records that follow
+	Token   string         // BatchBegin: idempotency token ("" = none)
 }
 
 // AddUser returns an AddUser op.
@@ -119,6 +120,12 @@ func Schema(def SchemaDef) Op { return Op{Kind: KindSchema, Def: &def} }
 // one atomic batch (written together by AppendBatch, replayed all-or-nothing).
 func BatchBegin(n uint64) Op { return Op{Kind: KindBatchBegin, Count: n} }
 
+// BatchBeginToken returns a batch-boundary marker carrying the client's
+// idempotency token, so replay can rebuild the applied-token dedup table.
+func BatchBeginToken(n uint64, token string) Op {
+	return Op{Kind: KindBatchBegin, Count: n, Token: token}
+}
+
 // String renders the op for diagnostics.
 func (op Op) String() string {
 	switch op.Kind {
@@ -133,6 +140,9 @@ func (op Op) String() string {
 	case KindSchema:
 		return fmt.Sprintf("Schema(%+v)", *op.Def)
 	case KindBatchBegin:
+		if op.Token != "" {
+			return fmt.Sprintf("BatchBegin(%d, token=%q)", op.Count, op.Token)
+		}
 		return fmt.Sprintf("BatchBegin(%d)", op.Count)
 	default:
 		return op.Kind.String()
@@ -237,6 +247,12 @@ func (op Op) Encode(dst []byte) []byte {
 		dst = AppendString(dst, op.SQL)
 	case KindBatchBegin:
 		dst = binary.AppendUvarint(dst, op.Count)
+		// The token is appended only when present, so tokenless markers —
+		// including every record of a pre-token log — keep their original
+		// byte encoding (the golden-format test pins this).
+		if op.Token != "" {
+			dst = AppendString(dst, op.Token)
+		}
 	case KindSchema:
 		if op.Def.Lazy {
 			dst = append(dst, 1)
@@ -465,6 +481,11 @@ func DecodeOp(payload []byte) (Op, error) {
 		op.SQL = r.Str()
 	case KindBatchBegin:
 		op.Count = r.Uvarint()
+		// Tokenless markers end after the count; a token, when journaled,
+		// is the only thing that can follow.
+		if r.Err() == nil && r.Len() > 0 {
+			op.Token = r.Str()
+		}
 	case KindSchema:
 		def := &SchemaDef{Lazy: r.Byte() != 0}
 		nr := r.Uvarint()

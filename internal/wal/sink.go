@@ -207,6 +207,15 @@ func (l *Log) AppendBatch(ops []Op) error {
 	return l.AppendGroups([][]Op{ops})
 }
 
+// AppendBatchToken is AppendBatch with a client idempotency token journaled
+// in the group's BatchBegin marker (see AppendGroupsToken).
+func (l *Log) AppendBatchToken(ops []Op, token string) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	return l.AppendGroupsToken([][]Op{ops}, []string{token})
+}
+
 // AppendGroups journals several independent batch groups under one commit
 // boundary: each group keeps its own BatchBegin marker and all-or-nothing
 // replay semantics, but the whole sequence reaches the sink as a single
@@ -220,16 +229,36 @@ func (l *Log) AppendBatch(ops []Op) error {
 // or any group is empty (an empty group would journal a marker promising
 // zero members — bytes no caller asked to commit).
 func (l *Log) AppendGroups(groups [][]Op) error {
+	return l.AppendGroupsToken(groups, nil)
+}
+
+// AppendGroupsToken is AppendGroups with per-group idempotency tokens:
+// tokens[i] ("" = none) is recorded in group i's BatchBegin marker, so a
+// replay after a crash can rebuild the store's applied-token dedup table
+// and a retried batch stays exactly-once across the restart. A nil tokens
+// slice means no group carries a token; otherwise len(tokens) must equal
+// len(groups).
+func (l *Log) AppendGroupsToken(groups [][]Op, tokens []string) error {
 	if len(groups) == 0 {
 		return nil
 	}
+	if tokens != nil && len(tokens) != len(groups) {
+		return fmt.Errorf("wal: %d token(s) for %d batch group(s)", len(tokens), len(groups))
+	}
 	total := 0
 	l.scratch = l.scratch[:0]
-	for _, ops := range groups {
+	for gi, ops := range groups {
 		if len(ops) == 0 {
 			return fmt.Errorf("wal: empty batch group")
 		}
-		l.payload = BatchBegin(uint64(len(ops))).Encode(l.payload[:0])
+		marker := BatchBegin(uint64(len(ops)))
+		if tokens != nil {
+			marker.Token = tokens[gi]
+		}
+		l.payload = marker.Encode(l.payload[:0])
+		if len(l.payload) > maxRecordLen {
+			return fmt.Errorf("%w: batch marker payload is %d bytes (max %d)", ErrRecordTooLarge, len(l.payload), maxRecordLen)
+		}
 		l.scratch = AppendRecord(l.scratch, l.payload)
 		for _, op := range ops {
 			if op.Kind == KindBatchBegin {

@@ -19,7 +19,9 @@ func FuzzWireFrame(f *testing.F) {
 		ServerHello("beliefdb"),
 		Query("select S.species from BELIEF 'Bob' Sightings S"),
 		Exec("insert into Sightings values ('s1','Carol','bald eagle','6-14-08','Lake Forest')"),
-		ExecBatch("insert into R values ('a'); delete from R where k = 'a';"),
+		ExecBatch("insert into R values ('a'); delete from R where k = 'a';", "tok-fe01"),
+		ExecBatch("insert into R values ('b');", ""),
+		ErrorMsg(CodeDegraded, "store is read-only after a WAL failure"),
 		AddUser("Alice"),
 		{Kind: KindCheckpoint},
 		{Kind: KindPing},

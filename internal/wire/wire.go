@@ -49,8 +49,9 @@ import (
 
 // ProtoVersion is the protocol revision spoken by this build. A server
 // refuses a Hello carrying a different version: the framing may survive
-// revisions but field layouts need not.
-const ProtoVersion = 1
+// revisions but field layouts need not. Revision 2 added the machine-
+// readable code on Error and the idempotency token on ExecBatch.
+const ProtoVersion = 2
 
 // DefaultMaxFrame bounds a frame's payload unless the caller chooses
 // otherwise: large enough for generous batches and row chunks, far below
@@ -125,6 +126,46 @@ func (k Kind) String() string {
 	}
 }
 
+// ErrCode is the stable machine-readable class of an Error response.
+// Clients branch on codes (errors.Is against their sentinels), never on
+// error text: server messages are free to change wording, codes are part
+// of the protocol and must never be reused or renumbered.
+type ErrCode uint8
+
+// The error codes.
+const (
+	// CodeInternal is the catch-all: a request-level failure with no more
+	// specific class (a conflict, an unknown user, a handler panic) or a
+	// protocol-level failure.
+	CodeInternal ErrCode = 0
+	// CodeParse marks a request the server could not parse as BeliefSQL;
+	// retrying it verbatim can never succeed.
+	CodeParse ErrCode = 1
+	// CodeDegraded marks a write refused because the store is in degraded
+	// (sticky read-only) mode after a WAL append/fsync failure. Reads keep
+	// being served.
+	CodeDegraded ErrCode = 2
+	// CodeReadOnly marks a write refused because the database handle is
+	// closed or otherwise permanently read-only (distinct from the fault-
+	// induced CodeDegraded).
+	CodeReadOnly ErrCode = 3
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeParse:
+		return "parse"
+	case CodeDegraded:
+		return "degraded"
+	case CodeReadOnly:
+		return "read-only"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
 // Msg is one protocol message. Which fields are meaningful depends on Kind;
 // the zero value of every other field is ignored by Encode and produced by
 // Decode.
@@ -133,6 +174,8 @@ type Msg struct {
 	Version  uint32        // Hello, ServerHello
 	Info     string        // ServerHello: human-readable server identity
 	Text     string        // Query/Exec/ExecBatch: BeliefSQL; AddUser: name; Error: message
+	Code     ErrCode       // Error: stable machine-readable class
+	Token    string        // ExecBatch: client-generated idempotency token ("" = none)
 	Cols     []string      // RowHeader
 	Rows     [][]val.Value // RowChunk
 	Affected uint64        // ResultEnd
@@ -157,15 +200,25 @@ func Query(text string) Msg { return Msg{Kind: KindQuery, Text: text} }
 // Exec returns a script-execution request.
 func Exec(text string) Msg { return Msg{Kind: KindExec, Text: text} }
 
-// ExecBatch returns an atomic-batch request.
-func ExecBatch(script string) Msg { return Msg{Kind: KindExecBatch, Text: script} }
+// ExecBatch returns an atomic-batch request. A non-empty token makes the
+// request idempotent: the server journals the token with the batch and
+// answers a retry carrying the same token with the original outcome
+// instead of applying the batch again.
+func ExecBatch(script, token string) Msg {
+	return Msg{Kind: KindExecBatch, Text: script, Token: token}
+}
 
 // AddUser returns a user-registration request.
 func AddUser(name string) Msg { return Msg{Kind: KindAddUser, Text: name} }
 
-// Errorf returns an error response.
+// Errorf returns an error response with the catch-all internal code.
 func Errorf(format string, args ...interface{}) Msg {
 	return Msg{Kind: KindError, Text: fmt.Sprintf(format, args...)}
+}
+
+// ErrorMsg returns an error response carrying a specific code.
+func ErrorMsg(code ErrCode, text string) Msg {
+	return Msg{Kind: KindError, Code: code, Text: text}
 }
 
 // Encode appends the message's payload (opcode byte + fields) to dst.
@@ -177,7 +230,13 @@ func (m Msg) Encode(dst []byte) []byte {
 	case KindServerHello:
 		dst = binary.AppendUvarint(dst, uint64(m.Version))
 		dst = wal.AppendString(dst, m.Info)
-	case KindQuery, KindExec, KindExecBatch, KindAddUser, KindError:
+	case KindQuery, KindExec, KindAddUser:
+		dst = wal.AppendString(dst, m.Text)
+	case KindExecBatch:
+		dst = wal.AppendString(dst, m.Text)
+		dst = wal.AppendString(dst, m.Token)
+	case KindError:
+		dst = append(dst, byte(m.Code))
 		dst = wal.AppendString(dst, m.Text)
 	case KindRowHeader:
 		dst = binary.AppendUvarint(dst, uint64(len(m.Cols)))
@@ -218,7 +277,13 @@ func Decode(payload []byte) (Msg, error) {
 	case KindServerHello:
 		m.Version = uint32(r.Uvarint())
 		m.Info = r.Str()
-	case KindQuery, KindExec, KindExecBatch, KindAddUser, KindError:
+	case KindQuery, KindExec, KindAddUser:
+		m.Text = r.Str()
+	case KindExecBatch:
+		m.Text = r.Str()
+		m.Token = r.Str()
+	case KindError:
+		m.Code = ErrCode(r.Byte())
 		m.Text = r.Str()
 	case KindRowHeader:
 		n := r.Count(1)

@@ -18,11 +18,14 @@ func sampleMsgs() []Msg {
 		ServerHello("beliefdb test"),
 		Query("select S.species from Sightings S"),
 		Exec("insert into Sightings values ('s9','Bob','owl','d','l')"),
-		ExecBatch("insert into R values ('a'); delete from R where k = 'b';"),
+		ExecBatch("insert into R values ('a'); delete from R where k = 'b';", "tok-01ab"),
+		ExecBatch("insert into R values ('c');", ""),
 		AddUser("Dave"),
 		{Kind: KindCheckpoint},
 		{Kind: KindPing},
 		Errorf("boom: %d", 7),
+		ErrorMsg(CodeDegraded, "store is read-only after a WAL failure"),
+		ErrorMsg(CodeParse, "bad statement"),
 		{Kind: KindRowHeader, Cols: []string{"species", "count"}},
 		{Kind: KindRowChunk, Rows: [][]val.Value{
 			{val.Str("bald eagle"), val.Int(3)},
@@ -39,6 +42,7 @@ func sampleMsgs() []Msg {
 
 func msgsEqual(a, b Msg) bool {
 	if a.Kind != b.Kind || a.Version != b.Version || a.Info != b.Info || a.Text != b.Text ||
+		a.Code != b.Code || a.Token != b.Token ||
 		a.Affected != b.Affected || a.Applied != b.Applied || a.Changed != b.Changed || a.UID != b.UID {
 		return false
 	}

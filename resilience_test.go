@@ -1,0 +1,283 @@
+package beliefdb_test
+
+// End-to-end resilience tests over the public surfaces: the exactly-once
+// retry contract across dropped acknowledgements and server restarts
+// (driven through a faults.Proxy between a real client and a real
+// server), and the store's sticky read-only degradation under injected
+// WAL failures.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beliefdb"
+	"beliefdb/client"
+	"beliefdb/internal/faults"
+	"beliefdb/internal/server"
+	"beliefdb/internal/store"
+	"beliefdb/internal/wal"
+)
+
+func kvSchema() beliefdb.Schema {
+	return beliefdb.Schema{Relations: []beliefdb.Relation{
+		{Name: "R", Columns: []beliefdb.Column{
+			{Name: "k", Type: beliefdb.KindString},
+			{Name: "v", Type: beliefdb.KindString},
+		}},
+	}}
+}
+
+// liveServer owns a served durable database the test can kill and
+// recover in place.
+type liveServer struct {
+	t        *testing.T
+	dir      string
+	db       *beliefdb.DB
+	srv      *server.Server
+	ln       net.Listener
+	serveErr chan error
+}
+
+func startLiveServer(t *testing.T, dir string) *liveServer {
+	t.Helper()
+	ls := &liveServer{t: t, dir: dir}
+	db, err := beliefdb.OpenAt(dir, kvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	ls.db, ls.srv, ls.ln, ls.serveErr = db, srv, ln, serveErr
+	return ls
+}
+
+func (ls *liveServer) stop() {
+	ls.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ls.srv.Shutdown(ctx); err != nil {
+		ls.t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-ls.serveErr; err != nil {
+		ls.t.Fatalf("serve: %v", err)
+	}
+	if err := ls.db.Close(); err != nil {
+		ls.t.Fatalf("close: %v", err)
+	}
+}
+
+func countRows(t *testing.T, db *beliefdb.DB, key string) int {
+	t.Helper()
+	res, err := db.Query("select R.k from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, row := range res.Rows {
+		if row[0].AsString() == key {
+			n++
+		}
+	}
+	return n
+}
+
+// TestExactlyOnceAcrossDroppedAck forces the nastiest retry case: the
+// server receives and commits an ExecBatch, but the client never hears
+// the acknowledgement. The automatic retry resends the same idempotency
+// token and must observe the original result — one application, not two.
+func TestExactlyOnceAcrossDroppedAck(t *testing.T) {
+	ls := startLiveServer(t, t.TempDir())
+	defer ls.stop()
+	proxy, err := faults.NewProxy(ls.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cli, err := client.Dial(proxy.Addr(), client.Options{
+		MaxRetries: 5, RetryBackoff: 20 * time.Millisecond, RetryMaxBackoff: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	if _, err := cli.ExecBatch(ctx, "insert into R values ('warm','1');"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swallow the next acknowledgement, then sever the relays so the
+	// client sees a dead connection while its request was in fact
+	// committed.
+	proxy.Blackhole(true)
+	restore := make(chan struct{})
+	go func() {
+		defer close(restore)
+		time.Sleep(100 * time.Millisecond)
+		proxy.DropActive()
+		proxy.Blackhole(false)
+	}()
+	res, err := cli.ExecBatch(ctx, "insert into R values ('once','2');")
+	<-restore
+	if err != nil {
+		t.Fatalf("retried batch failed: %v", err)
+	}
+	if res.Applied != 1 || res.Changed != 1 {
+		t.Errorf("retried batch result %+v, want Applied=1 Changed=1", res)
+	}
+	if n := countRows(t, ls.db, "once"); n != 1 {
+		t.Errorf("batch applied %d times, want exactly 1", n)
+	}
+}
+
+// TestExactlyOnceAcrossServerKillAndRecover drops the ack AND kills the
+// server before the retry lands: the recovered server must rebuild the
+// applied-token table from the WAL and still deduplicate the resend.
+func TestExactlyOnceAcrossServerKillAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	ls := startLiveServer(t, dir)
+	proxy, err := faults.NewProxy(ls.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cli, err := client.Dial(proxy.Addr(), client.Options{
+		MaxRetries: 8, RetryBackoff: 25 * time.Millisecond, RetryMaxBackoff: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	if _, err := cli.ExecBatch(ctx, "insert into R values ('warm','1');"); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.Blackhole(true)
+	var ls2 *liveServer
+	restarted := make(chan struct{})
+	go func() {
+		defer close(restarted)
+		// Give the in-flight request time to commit, then restart the
+		// world behind the proxy: same directory, fresh process state.
+		time.Sleep(150 * time.Millisecond)
+		ls.stop()
+		proxy.Blackhole(false)
+		ls2 = startLiveServer(t, dir)
+		proxy.SetBackend(ls2.ln.Addr().String())
+		proxy.DropActive()
+	}()
+	res, err := cli.ExecBatch(ctx, "insert into R values ('revive','2');")
+	<-restarted
+	defer ls2.stop()
+	if err != nil {
+		t.Fatalf("batch across kill+recover failed: %v", err)
+	}
+	if res.Applied != 1 || res.Changed != 1 {
+		t.Errorf("batch result %+v, want Applied=1 Changed=1", res)
+	}
+	if n := countRows(t, ls2.db, "revive"); n != 1 {
+		t.Errorf("batch applied %d times after recovery, want exactly 1", n)
+	}
+	if n := countRows(t, ls2.db, "warm"); n != 1 {
+		t.Errorf("pre-kill row applied %d times after recovery, want 1", n)
+	}
+}
+
+// gate is a faults.Trigger the test arms at an exact moment.
+type gate struct{ on atomic.Bool }
+
+func (g *gate) Fire() bool { return g.on.Load() }
+
+// TestStoreStickyReadOnlyEndToEnd drives the degradation ladder through
+// the public embedded API: a WAL append failure mid-batch rolls the batch
+// back and flips the store read-only; reads keep working; every further
+// write reports ErrDegraded; a clean reopen recovers full service with
+// no trace of the failed batch.
+func TestStoreStickyReadOnlyEndToEnd(t *testing.T) {
+	g := &gate{}
+	store.SetWALSinkWrapper(func(s wal.Sink) wal.Sink {
+		return &faults.Sink{W: s, WriteFail: g}
+	})
+	defer store.SetWALSinkWrapper(nil)
+
+	dir := t.TempDir()
+	db, err := beliefdb.OpenAt(dir, kvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.ExecBatch("insert into R values ('pre','1');"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the fault: the next WAL write fails, the batch rolls back, and
+	// the store goes sticky read-only.
+	g.on.Store(true)
+	_, err = db.ExecBatch("insert into R values ('doomed','2'); insert into R values ('doomed2','3');")
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("injected WAL failure surfaced as %v, want ErrInjected in the chain", err)
+	}
+	g.on.Store(false) // the store must stay read-only even though the fault cleared
+
+	if !db.Degraded() {
+		t.Fatal("store not degraded after WAL failure")
+	}
+	if n := countRows(t, db, "doomed"); n != 0 {
+		t.Errorf("failed batch left %d rows behind", n)
+	}
+	if n := countRows(t, db, "pre"); n != 1 {
+		t.Errorf("reads degraded: pre row count %d, want 1", n)
+	}
+	_, err = db.ExecBatch("insert into R values ('refused','4');")
+	if !errors.Is(err, beliefdb.ErrDegraded) {
+		t.Fatalf("write on degraded store: err = %v, want ErrDegraded", err)
+	}
+	if _, err := db.Exec("insert into R values ('refused2','5')"); !errors.Is(err, beliefdb.ErrDegraded) {
+		t.Fatalf("exec on degraded store: err = %v, want ErrDegraded", err)
+	}
+	// The message still names the cause for humans.
+	if err == nil || !errors.Is(err, beliefdb.ErrDegraded) {
+		t.Fatal("expected a degraded error to inspect")
+	}
+
+	// A clean reopen recovers: the failed batch never hit the journal, so
+	// replay sees only the committed prefix, and writes work again.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := beliefdb.OpenAt(dir, kvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Degraded() {
+		t.Fatal("reopened store still degraded")
+	}
+	if n := countRows(t, re, "pre"); n != 1 {
+		t.Errorf("reopen lost the pre row (count %d)", n)
+	}
+	if n := countRows(t, re, "doomed"); n != 0 {
+		t.Errorf("reopen resurrected the failed batch (%d rows)", n)
+	}
+	if _, err := re.ExecBatch("insert into R values ('after','6');"); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	if n := countRows(t, re, "after"); n != 1 {
+		t.Errorf("post-recovery write count %d, want 1", n)
+	}
+}
