@@ -18,15 +18,17 @@
 //
 // # Concurrency
 //
-// A DB is safe for concurrent use under a single-writer / multi-reader
-// model, matching the paper's read-dominated community-database workload:
-// read methods (Query on SELECTs, Believes, Disbelieves, World, Stats,
-// Statements, user lookups) run under a shared lock and overlap freely,
-// while mutating methods (InsertBelief, DeleteBelief, Exec on DML, AddUser,
-// Rebuild, Vacuum) hold an exclusive lock for their whole multi-table
-// update. Readers therefore only ever observe fully-applied belief
-// statements, never a torn intermediate state. See the Concurrency section
-// of DESIGN.md for the locking architecture.
+// A DB is safe for concurrent use under a single-writer / snapshot-reader
+// (MVCC) model, matching the paper's read-dominated community-database
+// workload: read methods (Query on SELECTs, Believes, Disbelieves, World,
+// Stats, Statements, user lookups) pin the most recently published
+// immutable snapshot and run lock-free against it, while mutating methods
+// (InsertBelief, DeleteBelief, Exec on DML, AddUser, Rebuild, Vacuum)
+// serialize under an exclusive lock and publish a new snapshot on
+// completion. Readers only ever observe fully-applied belief statements,
+// never a torn intermediate state, and a long-running read never delays a
+// commit. See the Concurrency section of DESIGN.md for the snapshot
+// architecture.
 //
 // # Durability
 //

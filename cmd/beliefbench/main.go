@@ -5,11 +5,13 @@
 // write/load), the group-commit ingest benchmark (fsyncs per statement at
 // several batch sizes), and the client/server ingest benchmark (fsyncs
 // per statement at several concurrent-client counts through a live
-// beliefserver), which have no counterpart in the paper.
+// beliefserver), and the mixed read-under-write benchmark (parallel
+// content queries racing a streaming batch writer, tracking reader latency
+// under ingest), which have no counterpart in the paper.
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-mixed] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
 //
 // -chaos runs the seeded fault-injection schedule from internal/bench
 // against a live loopback server and exits non-zero on any invariant
@@ -71,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		durab   = fs.Bool("durability", false, "run the WAL/snapshot durability benchmark")
 		batchN  = fs.Int("batch", 0, "run the group-commit ingest benchmark comparing batch size N against size 1 (with -all alone: sizes 1, 16, 256)")
 		serveN  = fs.Int("serve", 0, "run the client/server ingest benchmark comparing N concurrent clients against 1 (with -all alone: 1, 4, 16)")
+		mixed   = fs.Bool("mixed", false, "run the mixed read-under-write benchmark (parallel content queries vs. a streaming batch writer)")
 		chaos   = fs.Bool("chaos", false, "run the seeded chaos schedule against a live server and report invariant violations (not part of -all)")
 		seed    = fs.Int64("seed", 0, "override the chaos fault-schedule seed")
 		all     = fs.Bool("all", false, "run everything except -chaos")
@@ -84,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *chaos || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *mixed || *chaos || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -297,6 +300,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 			})
 		}
 		emit(bench.RenderServerBench(rows, ns, ms), recs)
+	}
+
+	if *all || *mixed {
+		nm, mm := 1000, 10
+		if *full {
+			nm = 5000
+		}
+		if *n > 0 {
+			nm = *n
+		}
+		rows, err := bench.RunMixedReadUnderWrite(nm, mm, 17, []int{1, 4}, progress)
+		if err != nil {
+			return err
+		}
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs,
+				benchRecord{
+					Name:    fmt.Sprintf("mixed/readers%d/read", r.Readers),
+					NsPerOp: r.ReadNs,
+					Value:   float64(r.Reads),
+					Unit:    "queries",
+				},
+				benchRecord{
+					Name:    fmt.Sprintf("mixed/readers%d/write", r.Readers),
+					NsPerOp: r.WriteNs,
+					Value:   float64(r.WriterStmts),
+					Unit:    "stmts",
+				})
+		}
+		emit(bench.RenderMixed(rows, nm, mm), recs)
 	}
 
 	// Chaos is deliberately outside -all: it measures robustness, not

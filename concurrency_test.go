@@ -1,11 +1,12 @@
 package beliefdb_test
 
-// End-to-end stress test of the public API's single-writer / multi-reader
-// contract: reader goroutines issue BeliefSQL SELECTs, typed entailment
-// probes, world reads, and Stats while one writer inserts and deletes
-// belief statements. The SELECT path is the important one — it runs through
-// the BeliefSQL translator into the embedded SQL engine, so it proves the
-// store and the SQL facade share one lock domain. Run with -race.
+// End-to-end stress test of the public API's single-writer /
+// snapshot-reader contract: reader goroutines issue BeliefSQL SELECTs,
+// typed entailment probes, world reads, and Stats while one writer inserts
+// and deletes belief statements. The SELECT path is the important one — it
+// runs through the BeliefSQL translator into the embedded SQL engine, so
+// it proves the store and the SQL facade publish and pin the same
+// snapshots. Run with -race.
 
 import (
 	"fmt"

@@ -305,7 +305,7 @@ func TestLazyDurableRoundTrip(t *testing.T) {
 }
 
 // TestDurableConcurrentWriters exercises the WAL under the single-writer /
-// multi-reader lock: concurrent mutators and readers on a durable DB, then
+// snapshot-reader model: concurrent mutators and readers on a durable DB, then
 // reopen and verify nothing was lost or duplicated. Run with -race.
 func TestDurableConcurrentWriters(t *testing.T) {
 	dir := t.TempDir()

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"beliefdb"
 )
@@ -76,10 +77,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nDisputed samples (sample, believer, disputer):")
+	// SELECT DISTINCT fixes the result set, not its order; sort before
+	// printing so the report does not depend on storage order.
+	report := make([]string, 0, len(res.Rows))
 	for _, row := range res.Rows {
-		fmt.Printf("  %-4s believed by %-4s disputed by %s\n",
-			row[0].String(), row[1].String(), row[2].String())
+		report = append(report, fmt.Sprintf("  %-4s believed by %-4s disputed by %s",
+			row[0].String(), row[1].String(), row[2].String()))
+	}
+	sort.Strings(report)
+	fmt.Println("\nDisputed samples (sample, believer, disputer):")
+	for _, line := range report {
+		fmt.Println(line)
 	}
 
 	// Narrow the dispute report to a single sample with a typed check.

@@ -13,21 +13,21 @@ func Example_main() {
 	//   SELECT DISTINCT R1.sample, U1.name, U2.name FROM Users U1, Users U2, _e _e1, R_v _v1, R_star R1, _e _e2, R_v _v2, R_star R2 WHERE _e1.wid1 = 0 AND _e1.uid = U1.uid AND _v1.wid = _e1.wid2 AND _v1.tid = R1.tid AND _v1.s = '+' AND _e2.wid1 = 0 AND _e2.uid = U2.uid AND _v2.wid = _e2.wid2 AND _v2.tid = R2.tid AND R2.sample = R1.sample AND ((_v2.s = '-' AND R2.category = R1.category AND R2.origin = R1.origin) OR (_v2.s = '+' AND (R2.category <> R1.category OR R2.origin <> R1.origin)))
 	//
 	// Disputed samples (sample, believer, disputer):
-	//   m03  believed by ana  disputed by dee
-	//   m02  believed by ana  disputed by cho
 	//   m01  believed by ana  disputed by ben
 	//   m01  believed by ana  disputed by cho
 	//   m01  believed by ana  disputed by dee
 	//   m01  believed by ben  disputed by ana
-	//   m02  believed by ben  disputed by cho
-	//   m03  believed by ben  disputed by dee
 	//   m01  believed by cho  disputed by ana
-	//   m03  believed by cho  disputed by dee
+	//   m01  believed by dee  disputed by ana
+	//   m02  believed by ana  disputed by cho
+	//   m02  believed by ben  disputed by cho
 	//   m02  believed by cho  disputed by ana
 	//   m02  believed by cho  disputed by ben
 	//   m02  believed by cho  disputed by dee
-	//   m01  believed by dee  disputed by ana
 	//   m02  believed by dee  disputed by cho
+	//   m03  believed by ana  disputed by dee
+	//   m03  believed by ben  disputed by dee
+	//   m03  believed by cho  disputed by dee
 	//   m03  believed by dee  disputed by ana
 	//   m03  believed by dee  disputed by ben
 	//   m03  believed by dee  disputed by cho

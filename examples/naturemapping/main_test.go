@@ -10,13 +10,13 @@ func Example_main() {
 	// curation pass: 66 reviews, 14 disputes, 2 higher-order explanations
 	//
 	// == Open disputes (expert vs. submitted record) ==
-	//   s31: DrMoss thinks "fisher", record says "marten"
 	//   s10: DrMoss thinks "gray fox", record says "coyote"
 	//   s12: DrMoss thinks "fisher", record says "marten"
 	//   s13: DrMoss thinks "lynx", record says "bobcat"
 	//   s16: DrMoss thinks "gray fox", record says "red fox"
 	//   s20: DrMoss thinks "bobcat", record says "lynx"
 	//   s30: DrMoss thinks "gray fox", record says "coyote"
+	//   s31: DrMoss thinks "fisher", record says "marten"
 	//   s39: DrMoss thinks "lynx", record says "bobcat"
 	//   s08: DrReed thinks "marten", record says "fisher"
 	//   s31: DrReed thinks "fisher", record says "marten"
@@ -28,21 +28,21 @@ func Example_main() {
 	//
 	// == Expert disagreements ==
 	//   DrMoss vs DrReed on s08: "fisher" vs "marten"
-	//   DrMoss vs DrStone on s31: "fisher" vs "marten"
+	//   DrMoss vs DrStone on s14: "bobcat" vs "lynx"
+	//   DrMoss vs DrStone on s28: "lynx" vs "bobcat"
+	//   DrMoss vs DrReed on s37: "bobcat" vs "lynx"
 	//   DrMoss vs DrReed on s10: "gray fox" vs "coyote"
 	//   DrMoss vs DrStone on s10: "gray fox" vs "coyote"
 	//   DrMoss vs DrReed on s12: "fisher" vs "marten"
 	//   DrMoss vs DrStone on s12: "fisher" vs "marten"
-	//   DrMoss vs DrStone on s14: "bobcat" vs "lynx"
 	//   DrMoss vs DrReed on s13: "lynx" vs "bobcat"
 	//   DrMoss vs DrStone on s13: "lynx" vs "bobcat"
 	//   DrMoss vs DrReed on s16: "gray fox" vs "red fox"
 	//   DrMoss vs DrStone on s16: "gray fox" vs "red fox"
-	//   DrMoss vs DrStone on s28: "lynx" vs "bobcat"
 	//   DrMoss vs DrReed on s20: "bobcat" vs "lynx"
 	//   DrMoss vs DrStone on s20: "bobcat" vs "lynx"
 	//   DrMoss vs DrReed on s30: "gray fox" vs "coyote"
-	//   DrMoss vs DrReed on s37: "bobcat" vs "lynx"
+	//   DrMoss vs DrStone on s31: "fisher" vs "marten"
 	//   DrMoss vs DrReed on s39: "lynx" vs "bobcat"
 	//   DrMoss vs DrStone on s39: "lynx" vs "bobcat"
 	//   DrReed vs DrStone on s14: "bobcat" vs "lynx"

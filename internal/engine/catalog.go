@@ -21,6 +21,9 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	txn    *Txn
+
+	dirty  bool     // any table mutated or DDL since the last Freeze
+	frozen *Catalog // cached snapshot, valid while !dirty
 }
 
 // NewCatalog returns an empty catalog.
@@ -44,6 +47,7 @@ func (c *Catalog) CreateTable(name string, schema Schema, pkCol int) (*Table, er
 	}
 	t.cat = c
 	c.tables[name] = t
+	c.dirty = true
 	return t, nil
 }
 
@@ -59,7 +63,29 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("engine: no table %q", name)
 	}
 	delete(c.tables, name)
+	c.dirty = true
 	return nil
+}
+
+// Freeze returns an immutable snapshot of the whole catalog: every table is
+// frozen (sharing storage with its live counterpart via copy-on-write) and
+// the result carries no transaction state. Freeze must run under the owning
+// facade's writer lock, with no transaction active. The snapshot is cached
+// and reused until the next mutation, so freezing a quiescent catalog is
+// O(1) and freezing after a commit round is O(tables touched).
+func (c *Catalog) Freeze() *Catalog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frozen != nil && !c.dirty {
+		return c.frozen
+	}
+	f := &Catalog{tables: make(map[string]*Table, len(c.tables))}
+	for n, t := range c.tables {
+		f.tables[n] = t.freeze()
+	}
+	c.frozen = f
+	c.dirty = false
+	return f
 }
 
 // Table returns the named table, or nil.

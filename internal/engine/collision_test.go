@@ -58,8 +58,8 @@ func TestIndexSeparatesCollidingKeys(t *testing.T) {
 		}
 		// All three rows share one hash bucket, yet Len still counts the
 		// two distinct keys grouped inside it.
-		if len(idx.m) != 1 {
-			t.Fatalf("degenerate hash should produce one hash bucket, got %d", len(idx.m))
+		if idx.m.len() != 1 {
+			t.Fatalf("degenerate hash should produce one hash bucket, got %d", idx.m.len())
 		}
 		if idx.Len() != 2 {
 			t.Fatalf("Len() = %d, want 2 distinct keys", idx.Len())

@@ -47,13 +47,17 @@ func hashVals(vs []val.Value) uint64 {
 	return h
 }
 
-// removeID swap-removes one id from a bucket, returning the shrunk bucket.
-func removeID(ids []RowID, id RowID) []RowID {
+// removeIDCopy returns a fresh slice with one occurrence of id removed. It
+// never mutates the input: the original array may be shared with a published
+// snapshot that is still reading it.
+func removeIDCopy(ids []RowID, id RowID) []RowID {
 	for i, x := range ids {
-		if x == id {
-			ids[i] = ids[len(ids)-1]
-			return ids[:len(ids)-1]
+		if x != id {
+			continue
 		}
+		out := make([]RowID, 0, len(ids)-1)
+		out = append(out, ids[:i]...)
+		return append(out, ids[i+1:]...)
 	}
 	return ids
 }

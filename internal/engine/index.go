@@ -3,27 +3,41 @@ package engine
 import "beliefdb/internal/val"
 
 // idxBucket holds all row ids sharing one distinct key. Grouping per key
-// inside a hash bucket means a probe verifies value equality once per
-// distinct key, not once per row, and Lookup can hand out the id slice
-// without copying.
+// inside a hash slot means a probe verifies value equality once per distinct
+// key, not once per row, and Lookup can hand out the id slice without
+// copying. priv records the epoch in which the ids *array* became private to
+// the writer (fresh allocation or removal copy); while priv is current the
+// writer may reorder and shrink it in place, since no published snapshot can
+// reach it.
 type idxBucket struct {
-	key []val.Value
-	ids []RowID
+	priv uint64
+	key  []val.Value
+	ids  []RowID
 }
 
-// Index is a secondary hash index over one or more columns. Hash buckets
-// are keyed by the composite 64-bit hash of the indexed column values and
-// group their entries per distinct key, so colliding distinct keys never
-// merge. Unlike the primary key, it permits duplicates.
+// idxLeaf is the value stored in the index trie for one hash: the buckets of
+// all distinct keys colliding there. The epoch marks when the buckets slice
+// became privately owned by the writer; mutating a leaf from an older epoch
+// clones it first, since a published snapshot may still be reading it.
+type idxLeaf struct {
+	epoch   uint64
+	buckets []idxBucket
+}
+
+// Index is a secondary hash index over one or more columns. Buckets are
+// keyed by the composite 64-bit hash of the indexed column values and group
+// their entries per distinct key, so colliding distinct keys never merge.
+// Unlike the primary key, it permits duplicates. Storage is a persistent
+// trie so frozen snapshots share structure with the live index.
 type Index struct {
 	name string
 	cols []int
-	m    map[uint64][]idxBucket
+	m    pmap[*idxLeaf]
 	keys int // number of distinct keys across all buckets
 }
 
 func newIndex(name string, cols []int) *Index {
-	return &Index{name: name, cols: cols, m: make(map[uint64][]idxBucket)}
+	return &Index{name: name, cols: cols}
 }
 
 // Name returns the index name.
@@ -42,12 +56,57 @@ func (ix *Index) rowMatchesKey(row, key []val.Value) bool {
 	return true
 }
 
-func (ix *Index) insert(row []val.Value, id RowID) {
+// colsEqual reports whether two rows agree on every indexed column.
+func (ix *Index) colsEqual(a, b []val.Value) bool {
+	for _, c := range ix.cols {
+		if !val.Equal(a[c], b[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// own returns the leaf if it was created in the current epoch, else a clone
+// with a fresh buckets slice the writer may mutate in place.
+func (l *idxLeaf) own(epoch uint64) *idxLeaf {
+	if l.epoch == epoch {
+		return l
+	}
+	buckets := make([]idxBucket, len(l.buckets))
+	copy(buckets, l.buckets)
+	return &idxLeaf{epoch: epoch, buckets: buckets}
+}
+
+func (ix *Index) insert(epoch uint64, row []val.Value, id RowID) {
 	h := hashCols(row, ix.cols)
-	bs := ix.m[h]
-	for i := range bs {
-		if ix.rowMatchesKey(row, bs[i].key) {
-			bs[i].ids = append(bs[i].ids, id)
+	l, ok := ix.m.get(h)
+	if !ok {
+		key := make([]val.Value, len(ix.cols))
+		for i, c := range ix.cols {
+			key[i] = row[c]
+		}
+		ix.m.set(epoch, h, &idxLeaf{
+			epoch:   epoch,
+			buckets: []idxBucket{{key: key, ids: []RowID{id}}},
+		})
+		ix.keys++
+		return
+	}
+	owned := l.epoch == epoch
+	l = l.own(epoch)
+	for i := range l.buckets {
+		if ix.rowMatchesKey(row, l.buckets[i].key) {
+			// Appending is safe even when the id array is shared with a
+			// snapshot: the write lands beyond every published length. An
+			// already-owned leaf is mutated in place and needs no path copy.
+			b := &l.buckets[i]
+			if grew := len(b.ids) == cap(b.ids); grew {
+				b.priv = epoch // append reallocates: the array becomes private
+			}
+			b.ids = append(b.ids, id)
+			if !owned {
+				ix.m.set(epoch, h, l)
+			}
 			return
 		}
 	}
@@ -55,27 +114,57 @@ func (ix *Index) insert(row []val.Value, id RowID) {
 	for i, c := range ix.cols {
 		key[i] = row[c]
 	}
-	ix.m[h] = append(bs, idxBucket{key: key, ids: []RowID{id}})
+	l.buckets = append(l.buckets, idxBucket{priv: epoch, key: key, ids: []RowID{id}})
 	ix.keys++
+	if !owned {
+		ix.m.set(epoch, h, l)
+	}
 }
 
-func (ix *Index) remove(row []val.Value, id RowID) {
+func (ix *Index) remove(epoch uint64, row []val.Value, id RowID) {
 	h := hashCols(row, ix.cols)
-	bs := ix.m[h]
-	for i := range bs {
-		if !ix.rowMatchesKey(row, bs[i].key) {
+	l, ok := ix.m.get(h)
+	if !ok {
+		return
+	}
+	for i := range l.buckets {
+		if !ix.rowMatchesKey(row, l.buckets[i].key) {
 			continue
 		}
-		bs[i].ids = removeID(bs[i].ids, id)
-		if len(bs[i].ids) == 0 {
-			bs[i] = bs[len(bs)-1]
-			bs = bs[:len(bs)-1]
-			ix.keys--
-			if len(bs) == 0 {
-				delete(ix.m, h)
-			} else {
-				ix.m[h] = bs
+		owned := l.epoch == epoch
+		l = l.own(epoch)
+		b := &l.buckets[i]
+		if b.priv == epoch {
+			// The array is writer-private this epoch: swap-remove in place
+			// instead of copying the whole bucket per removal.
+			for j := range b.ids {
+				if b.ids[j] == id {
+					b.ids[j] = b.ids[len(b.ids)-1]
+					b.ids = b.ids[:len(b.ids)-1]
+					break
+				}
 			}
+		} else {
+			// First removal since the bucket was published: copy the slice —
+			// a swap-remove would rewrite entries a snapshot is reading.
+			b.ids = removeIDCopy(b.ids, id)
+			b.priv = epoch
+		}
+		if len(b.ids) > 0 {
+			if !owned {
+				ix.m.set(epoch, h, l)
+			}
+			return
+		}
+		ix.keys--
+		if len(l.buckets) == 1 {
+			ix.m.del(epoch, h)
+			return
+		}
+		l.buckets[i] = l.buckets[len(l.buckets)-1]
+		l.buckets = l.buckets[:len(l.buckets)-1]
+		if !owned {
+			ix.m.set(epoch, h, l)
 		}
 		return
 	}
@@ -84,9 +173,11 @@ func (ix *Index) remove(row []val.Value, id RowID) {
 // Lookup returns the ids of all rows whose indexed columns equal vs.
 // The returned slice is owned by the index and must not be mutated.
 func (ix *Index) Lookup(vs []val.Value) []RowID {
-	for _, b := range ix.m[hashVals(vs)] {
-		if val.RowsEqual(b.key, vs) {
-			return b.ids
+	if l, ok := ix.m.get(hashVals(vs)); ok {
+		for _, b := range l.buckets {
+			if val.RowsEqual(b.key, vs) {
+				return b.ids
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,190 @@
+package engine
+
+import "math/bits"
+
+// Persistent hash-array-mapped trie keyed by uint64, used for the primary-key
+// map and secondary-index buckets. The trie supports O(1) structural sharing:
+// a snapshot is taken by copying the root pointer, after which the writer and
+// the snapshot diverge via path copying.
+//
+// Epoch-based transients keep writes cheap: every node records the epoch in
+// which it was created. A node whose epoch matches the writer's current epoch
+// is provably unreachable from any published snapshot (snapshots are taken at
+// epoch boundaries), so the writer may mutate it in place. Nodes from older
+// epochs are cloned before mutation. A commit round therefore pays O(delta ·
+// depth) node copies, not O(table).
+
+const (
+	pmBits  = 6 // branching factor 64
+	pmMask  = (1 << pmBits) - 1
+	pmShift = pmBits
+)
+
+// pmItem is one occupied slot of a node: either a leaf (child == nil) holding
+// key/val, or a pointer to a deeper node.
+type pmItem[V any] struct {
+	key   uint64
+	val   V
+	child *pmNode[V]
+}
+
+type pmNode[V any] struct {
+	epoch  uint64
+	bitmap uint64
+	items  []pmItem[V]
+}
+
+// pmap is a persistent uint64-keyed map. The zero value is an empty map.
+// Copying the struct value snapshots the map.
+type pmap[V any] struct {
+	root *pmNode[V]
+	n    int
+}
+
+func (m *pmap[V]) len() int { return m.n }
+
+// get returns the value stored under key.
+func (m *pmap[V]) get(key uint64) (V, bool) {
+	nd := m.root
+	shift := uint(0)
+	for nd != nil {
+		bit := uint64(1) << ((key >> shift) & pmMask)
+		if nd.bitmap&bit == 0 {
+			break
+		}
+		it := &nd.items[bits.OnesCount64(nd.bitmap&(bit-1))]
+		if it.child == nil {
+			if it.key == key {
+				return it.val, true
+			}
+			break
+		}
+		nd = it.child
+		shift += pmShift
+	}
+	var zero V
+	return zero, false
+}
+
+// set stores key -> v, cloning any node not owned by epoch.
+func (m *pmap[V]) set(epoch, key uint64, v V) {
+	m.root = pmSet(m.root, epoch, 0, key, v, &m.n)
+}
+
+// del removes key, cloning any node not owned by epoch.
+func (m *pmap[V]) del(epoch, key uint64) {
+	m.root, _ = pmDel(m.root, epoch, 0, key, &m.n)
+}
+
+// each invokes fn for every key/value pair, stopping early on false.
+func (m *pmap[V]) each(fn func(key uint64, v V) bool) {
+	pmEach(m.root, fn)
+}
+
+func pmEach[V any](nd *pmNode[V], fn func(key uint64, v V) bool) bool {
+	if nd == nil {
+		return true
+	}
+	for i := range nd.items {
+		it := &nd.items[i]
+		if it.child != nil {
+			if !pmEach(it.child, fn) {
+				return false
+			}
+		} else if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// pmOwn returns nd if it was created in the current epoch, else a clone the
+// writer is free to mutate. Cloned nodes get a fresh items array, so in-place
+// element writes never touch memory reachable from a published snapshot.
+func pmOwn[V any](nd *pmNode[V], epoch uint64) *pmNode[V] {
+	if nd.epoch == epoch {
+		return nd
+	}
+	items := make([]pmItem[V], len(nd.items))
+	copy(items, nd.items)
+	return &pmNode[V]{epoch: epoch, bitmap: nd.bitmap, items: items}
+}
+
+func pmSet[V any](nd *pmNode[V], epoch uint64, shift uint, key uint64, v V, n *int) *pmNode[V] {
+	if nd == nil {
+		*n++
+		return &pmNode[V]{
+			epoch:  epoch,
+			bitmap: 1 << ((key >> shift) & pmMask),
+			items:  []pmItem[V]{{key: key, val: v}},
+		}
+	}
+	nd = pmOwn(nd, epoch)
+	bit := uint64(1) << ((key >> shift) & pmMask)
+	i := bits.OnesCount64(nd.bitmap & (bit - 1))
+	if nd.bitmap&bit == 0 {
+		nd.items = append(nd.items, pmItem[V]{})
+		copy(nd.items[i+1:], nd.items[i:])
+		nd.items[i] = pmItem[V]{key: key, val: v}
+		nd.bitmap |= bit
+		*n++
+		return nd
+	}
+	it := &nd.items[i]
+	if it.child != nil {
+		it.child = pmSet(it.child, epoch, shift+pmShift, key, v, n)
+		return nd
+	}
+	if it.key == key {
+		it.val = v
+		return nd
+	}
+	// Two distinct keys land in the same slot: push the existing leaf down
+	// one level, then insert the new key into the fresh child.
+	child := &pmNode[V]{
+		epoch:  epoch,
+		bitmap: 1 << ((it.key >> (shift + pmShift)) & pmMask),
+		items:  []pmItem[V]{{key: it.key, val: it.val}},
+	}
+	child = pmSet(child, epoch, shift+pmShift, key, v, n)
+	var zero V
+	it.key, it.val, it.child = 0, zero, child
+	return nd
+}
+
+func pmDel[V any](nd *pmNode[V], epoch uint64, shift uint, key uint64, n *int) (*pmNode[V], bool) {
+	if nd == nil {
+		return nil, false
+	}
+	bit := uint64(1) << ((key >> shift) & pmMask)
+	if nd.bitmap&bit == 0 {
+		return nd, false
+	}
+	i := bits.OnesCount64(nd.bitmap & (bit - 1))
+	it := &nd.items[i]
+	if it.child != nil {
+		nc, removed := pmDel(it.child, epoch, shift+pmShift, key, n)
+		if !removed {
+			return nd, false
+		}
+		nd = pmOwn(nd, epoch)
+		if nc == nil {
+			nd.items = append(nd.items[:i], nd.items[i+1:]...)
+			nd.bitmap &^= bit
+		} else {
+			nd.items[i].child = nc
+		}
+		return nd, true
+	}
+	if it.key != key {
+		return nd, false
+	}
+	*n--
+	if len(nd.items) == 1 {
+		return nil, true
+	}
+	nd = pmOwn(nd, epoch)
+	nd.items = append(nd.items[:i], nd.items[i+1:]...)
+	nd.bitmap &^= bit
+	return nd, true
+}

@@ -10,18 +10,54 @@ import (
 // the row but may be reused after deletion.
 type RowID int
 
-// Table is an in-memory heap of rows plus its indexes. All mutations go
-// through the owning Catalog's lock; Table methods themselves do not lock.
+const (
+	pageBits = 5 // rows per page; small enough that a page clone is cheap
+	pageRows = 1 << pageBits
+	pageMask = pageRows - 1
+)
+
+// tablePage holds a fixed-size block of row slots. Pages are copy-on-write:
+// a page whose epoch predates the table's current epoch may be shared with a
+// published snapshot and is cloned before the first write of the new epoch.
+type tablePage struct {
+	epoch uint64
+	rows  [pageRows][]val.Value
+}
+
+// pkLeaf is the value stored in the primary-key trie for one hash: all row
+// ids whose pk value hashes there (collisions verified on probe). The epoch
+// marks when this leaf became privately owned by the writer; priv marks when
+// the ids *array* became private (fresh allocation or removal copy), which
+// permits in-place shrinking.
+type pkLeaf struct {
+	epoch uint64
+	priv  uint64
+	ids   []RowID
+}
+
+// Table is an in-memory heap of row pages plus its indexes. All mutations go
+// through the owning facade's writer lock; Table methods themselves do not
+// lock. Snapshots produced by freeze share pages, tries, and row slices with
+// the live table; epoch tracking guarantees the writer never mutates shared
+// memory in place (see DESIGN.md, "Snapshot reads").
 type Table struct {
-	name    string
-	schema  Schema
-	pkCol   int // primary key column index, or -1
-	rows    [][]val.Value
+	name   string
+	schema Schema
+	pkCol  int // primary key column index, or -1
+
+	pages      []*tablePage
+	pagesEpoch uint64 // epoch in which the pages slice was last cloned
+	nrows      int    // high-water mark: valid ids are [0, nrows)
+
 	live    int
-	free    []RowID
-	pk      map[uint64][]RowID // pk-value hash -> ids; buckets verified on probe
+	free    []RowID       // writer-private free list; never shared
+	pk      pmap[*pkLeaf] // pk-value hash -> leaf; empty when pkCol < 0
 	indexes map[string]*Index
-	cat     *Catalog // for undo logging; nil for detached tables
+	cat     *Catalog // for undo logging + dirty tracking; nil for detached/frozen tables
+
+	epoch  uint64 // current write epoch; bumped by freeze
+	dirty  bool   // mutated since the last freeze
+	frozen *Table // cached snapshot, valid while !dirty
 }
 
 // NewTable creates a detached table (not registered in any catalog).
@@ -30,16 +66,12 @@ func NewTable(name string, schema Schema, pkCol int) (*Table, error) {
 	if pkCol >= schema.Arity() {
 		return nil, fmt.Errorf("engine: pk column %d out of range for %s", pkCol, name)
 	}
-	t := &Table{
+	return &Table{
 		name:    name,
 		schema:  schema,
 		pkCol:   pkCol,
 		indexes: make(map[string]*Index),
-	}
-	if pkCol >= 0 {
-		t.pk = make(map[uint64][]RowID)
-	}
-	return t, nil
+	}, nil
 }
 
 // Name returns the table name.
@@ -57,10 +89,95 @@ func (t *Table) Len() int { return t.live }
 // Get returns the row stored under id, or nil if the slot is dead.
 // The returned slice must not be mutated by the caller.
 func (t *Table) Get(id RowID) []val.Value {
-	if int(id) < 0 || int(id) >= len(t.rows) {
+	if int(id) < 0 || int(id) >= t.nrows {
 		return nil
 	}
-	return t.rows[id]
+	p := t.pages[int(id)>>pageBits]
+	if p == nil {
+		return nil
+	}
+	return p.rows[int(id)&pageMask]
+}
+
+// setRow stores row (or nil) under id, cloning the containing page and the
+// page-pointer slice if they may be shared with a published snapshot.
+func (t *Table) setRow(id RowID, row []val.Value) {
+	pi, pj := int(id)>>pageBits, int(id)&pageMask
+	p := t.pages[pi]
+	switch {
+	case p == nil:
+		p = &tablePage{epoch: t.epoch}
+		t.storePage(pi, p)
+	case p.epoch != t.epoch:
+		np := *p
+		np.epoch = t.epoch
+		p = &np
+		t.storePage(pi, p)
+	}
+	p.rows[pj] = row
+}
+
+// storePage writes a page pointer at an existing slot. The pages slice itself
+// is cloned once per epoch before any in-place pointer write; appends of new
+// slots (growRows) never need this because they only write beyond every
+// published snapshot's length.
+func (t *Table) storePage(pi int, p *tablePage) {
+	if t.pagesEpoch != t.epoch {
+		t.pages = append([]*tablePage(nil), t.pages...)
+		t.pagesEpoch = t.epoch
+	}
+	t.pages[pi] = p
+}
+
+// growRows allocates a fresh row id at the high-water mark.
+func (t *Table) growRows() RowID {
+	id := RowID(t.nrows)
+	t.nrows++
+	if t.nrows > len(t.pages)*pageRows {
+		t.pages = append(t.pages, nil)
+	}
+	return id
+}
+
+// markDirty records that the table (and hence its catalog) diverged from the
+// last frozen snapshot.
+func (t *Table) markDirty() {
+	if !t.dirty {
+		t.dirty = true
+		t.frozen = nil
+		if t.cat != nil {
+			t.cat.dirty = true
+		}
+	}
+}
+
+// freeze returns an immutable snapshot of the table sharing all row and index
+// storage with the live table, then opens a new write epoch so subsequent
+// mutations copy before touching anything the snapshot can reach. Callers
+// hold the facade's writer lock. The result is reused until the table is
+// mutated again.
+func (t *Table) freeze() *Table {
+	if !t.dirty && t.frozen != nil {
+		return t.frozen
+	}
+	f := &Table{
+		name:   t.name,
+		schema: t.schema,
+		pkCol:  t.pkCol,
+		pages:  t.pages,
+		nrows:  t.nrows,
+		live:   t.live,
+		pk:     t.pk,
+		epoch:  t.epoch,
+	}
+	f.indexes = make(map[string]*Index, len(t.indexes))
+	for n, ix := range t.indexes {
+		f.indexes[n] = &Index{name: ix.name, cols: ix.cols, m: ix.m, keys: ix.keys}
+	}
+	t.epoch++
+	t.dirty = false
+	t.frozen = f
+	return f
 }
 
 // ErrDuplicateKey is returned when an insert or update violates the
@@ -87,21 +204,21 @@ func (t *Table) Insert(row []val.Value) (RowID, error) {
 			return -1, &ErrDuplicateKey{Table: t.name, Key: row[t.pkCol]}
 		}
 	}
+	t.markDirty()
 	var id RowID
 	if n := len(t.free); n > 0 {
 		id = t.free[n-1]
 		t.free = t.free[:n-1]
-		t.rows[id] = row
 	} else {
-		id = RowID(len(t.rows))
-		t.rows = append(t.rows, row)
+		id = t.growRows()
 	}
+	t.setRow(id, row)
 	t.live++
 	if t.pkCol >= 0 {
-		t.pk[pkHash] = append(t.pk[pkHash], id)
+		t.pkAdd(pkHash, id)
 	}
 	for _, idx := range t.indexes {
-		idx.insert(row, id)
+		idx.insert(t.epoch, row, id)
 	}
 	t.logUndo(undoRec{op: undoInsert, table: t, id: id})
 	return id, nil
@@ -114,8 +231,9 @@ func (t *Table) Delete(id RowID) error {
 		return fmt.Errorf("engine: delete of missing row %d in %s", id, t.name)
 	}
 	t.logUndo(undoRec{op: undoDelete, table: t, id: id, before: row})
+	t.markDirty()
 	t.unindex(row, id)
-	t.rows[id] = nil
+	t.setRow(id, nil)
 	t.free = append(t.free, id)
 	t.live--
 	return nil
@@ -137,34 +255,96 @@ func (t *Table) Update(id RowID, row []val.Value) error {
 		}
 	}
 	t.logUndo(undoRec{op: undoUpdate, table: t, id: id, before: old})
-	t.unindex(old, id)
-	t.rows[id] = row
-	t.reindex(row, id)
+	t.markDirty()
+	// Only re-key structures whose columns actually changed: updates that
+	// flip a non-indexed column (the dominant case — belief propagation
+	// rewriting a sign) then cost one page write instead of a remove/insert
+	// cycle through every index, which under copy-on-write would clone each
+	// touched bucket.
+	if t.pkCol >= 0 && !val.Equal(old[t.pkCol], row[t.pkCol]) {
+		t.pkRemove(hashVal(old[t.pkCol]), id)
+		t.pkAdd(hashVal(row[t.pkCol]), id)
+	}
+	for _, idx := range t.indexes {
+		if !idx.colsEqual(old, row) {
+			idx.remove(t.epoch, old, id)
+			idx.insert(t.epoch, row, id)
+		}
+	}
+	t.setRow(id, row)
 	return nil
+}
+
+// pkAdd records id under the given pk hash. Appending to a leaf owned by an
+// older epoch clones the leaf header first; the id slice itself may be shared
+// because appends only write beyond every published snapshot's length.
+func (t *Table) pkAdd(h uint64, id RowID) {
+	l, ok := t.pk.get(h)
+	if !ok {
+		t.pk.set(t.epoch, h, &pkLeaf{epoch: t.epoch, priv: t.epoch, ids: []RowID{id}})
+		return
+	}
+	owned := l.epoch == t.epoch
+	if !owned {
+		l = &pkLeaf{epoch: t.epoch, priv: l.priv, ids: l.ids}
+	}
+	if len(l.ids) == cap(l.ids) {
+		l.priv = t.epoch // append reallocates: the array becomes private
+	}
+	l.ids = append(l.ids, id)
+	if !owned {
+		t.pk.set(t.epoch, h, l)
+	}
+	// An owned leaf is already stored in the trie; the append mutated it in
+	// place, so no path copy is needed.
+}
+
+// pkRemove drops id from the given pk hash. A writer-private array shrinks
+// in place; a shared one is copied first — a swap-remove there would rewrite
+// entries a snapshot is still reading.
+func (t *Table) pkRemove(h uint64, id RowID) {
+	l, ok := t.pk.get(h)
+	if !ok {
+		return
+	}
+	owned := l.epoch == t.epoch
+	if !owned {
+		l = &pkLeaf{epoch: t.epoch, priv: l.priv, ids: l.ids}
+	}
+	if l.priv == t.epoch {
+		for j := range l.ids {
+			if l.ids[j] == id {
+				l.ids[j] = l.ids[len(l.ids)-1]
+				l.ids = l.ids[:len(l.ids)-1]
+				break
+			}
+		}
+	} else {
+		l.ids = removeIDCopy(l.ids, id)
+		l.priv = t.epoch
+	}
+	if len(l.ids) == 0 {
+		t.pk.del(t.epoch, h)
+	} else if !owned {
+		t.pk.set(t.epoch, h, l)
+	}
 }
 
 func (t *Table) unindex(row []val.Value, id RowID) {
 	if t.pkCol >= 0 {
-		h := hashVal(row[t.pkCol])
-		ids := removeID(t.pk[h], id)
-		if len(ids) == 0 {
-			delete(t.pk, h)
-		} else {
-			t.pk[h] = ids
-		}
+		t.pkRemove(hashVal(row[t.pkCol]), id)
 	}
 	for _, idx := range t.indexes {
-		idx.remove(row, id)
+		idx.remove(t.epoch, row, id)
 	}
 }
 
 func (t *Table) reindex(row []val.Value, id RowID) {
 	if t.pkCol >= 0 {
-		h := hashVal(row[t.pkCol])
-		t.pk[h] = append(t.pk[h], id)
+		t.pkAdd(hashVal(row[t.pkCol]), id)
 	}
 	for _, idx := range t.indexes {
-		idx.insert(row, id)
+		idx.insert(t.epoch, row, id)
 	}
 }
 
@@ -173,9 +353,11 @@ func (t *Table) reindex(row []val.Value, id RowID) {
 // also returns the key's hash so callers can reuse it.
 func (t *Table) findPKHash(v val.Value) (RowID, uint64, bool) {
 	h := hashVal(v)
-	for _, id := range t.pk[h] {
-		if row := t.Get(id); row != nil && val.Equal(row[t.pkCol], v) {
-			return id, h, true
+	if l, ok := t.pk.get(h); ok {
+		for _, id := range l.ids {
+			if row := t.Get(id); row != nil && val.Equal(row[t.pkCol], v) {
+				return id, h, true
+			}
 		}
 	}
 	return -1, h, false
@@ -196,12 +378,23 @@ func (t *Table) LookupPK(v val.Value) (RowID, bool) {
 
 // Scan invokes fn for every live row, stopping early if fn returns false.
 func (t *Table) Scan(fn func(id RowID, row []val.Value) bool) {
-	for i, row := range t.rows {
-		if row == nil {
+	for pi, p := range t.pages {
+		if p == nil {
 			continue
 		}
-		if !fn(RowID(i), row) {
-			return
+		base := pi << pageBits
+		limit := pageRows
+		if rest := t.nrows - base; rest < limit {
+			limit = rest
+		}
+		for pj := 0; pj < limit; pj++ {
+			row := p.rows[pj]
+			if row == nil {
+				continue
+			}
+			if !fn(RowID(base+pj), row) {
+				return
+			}
 		}
 	}
 }
@@ -219,9 +412,10 @@ func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
 		}
 		pos[i] = p
 	}
+	t.markDirty()
 	idx := newIndex(name, pos)
 	t.Scan(func(id RowID, row []val.Value) bool {
-		idx.insert(row, id)
+		idx.insert(t.epoch, row, id)
 		return true
 	})
 	t.indexes[name] = idx

@@ -65,11 +65,12 @@ func (t *Txn) Rollback() error {
 	for i := len(t.log) - 1; i >= 0; i-- {
 		rec := t.log[i]
 		tb := rec.table
+		tb.markDirty()
 		switch rec.op {
 		case undoInsert:
 			row := tb.Get(rec.id)
 			tb.unindex(row, rec.id)
-			tb.rows[rec.id] = nil
+			tb.setRow(rec.id, nil)
 			tb.free = append(tb.free, rec.id)
 			tb.live--
 		case undoDelete:
@@ -81,13 +82,13 @@ func (t *Txn) Rollback() error {
 					break
 				}
 			}
-			tb.rows[rec.id] = rec.before
+			tb.setRow(rec.id, rec.before)
 			tb.live++
 			tb.reindex(rec.before, rec.id)
 		case undoUpdate:
 			cur := tb.Get(rec.id)
 			tb.unindex(cur, rec.id)
-			tb.rows[rec.id] = rec.before
+			tb.setRow(rec.id, rec.before)
 			tb.reindex(rec.before, rec.id)
 		}
 	}

@@ -2,11 +2,11 @@ package sqldb
 
 import (
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"beliefdb/internal/engine"
+	"beliefdb/internal/val"
 )
 
 // TestReadersOverlap is the deterministic proof that two readers hold the
@@ -48,24 +48,29 @@ func TestReadersOverlap(t *testing.T) {
 }
 
 // TestWriterExcludesReaders checks the other half of the contract: a View
-// that starts while Atomically holds the writer lock must not observe the
-// transaction's intermediate state.
+// that runs while Atomically is mid-transaction must not observe the
+// transaction's intermediate state. Under snapshot reads the View is allowed
+// to proceed concurrently with the writer — the isolation guarantee is that
+// it resolves against the last published snapshot, never the uncommitted
+// catalog.
 func TestWriterExcludesReaders(t *testing.T) {
 	db := New()
 	if _, err := db.Exec("CREATE TABLE t (k INT)"); err != nil {
 		t.Fatal(err)
 	}
-	var writing atomic.Bool
 	writerIn := make(chan struct{})
+	viewDone := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
 		err := db.Atomically(func(cat *engine.Catalog) error {
-			writing.Store(true)
+			tb := cat.Table("t")
+			if _, err := tb.Insert([]val.Value{val.Int(1)}); err != nil {
+				return err
+			}
 			close(writerIn)
-			time.Sleep(50 * time.Millisecond) // give the reader time to contend
-			writing.Store(false)
+			<-viewDone // hold the transaction open while the View runs
 			return nil
 		})
 		if err != nil {
@@ -74,10 +79,11 @@ func TestWriterExcludesReaders(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
+		defer close(viewDone)
 		<-writerIn
 		err := db.View(func(cat *engine.Catalog) error {
-			if writing.Load() {
-				t.Error("View entered while a writer held the exclusive lock")
+			if n := cat.Table("t").Len(); n != 0 {
+				t.Errorf("View observed %d uncommitted rows mid-transaction", n)
 			}
 			return nil
 		})
@@ -86,6 +92,13 @@ func TestWriterExcludesReaders(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+	// After the commit a fresh View must see the committed row.
+	db.View(func(cat *engine.Catalog) error {
+		if n := cat.Table("t").Len(); n != 1 {
+			t.Errorf("post-commit View sees %d rows, want 1", n)
+		}
+		return nil
+	})
 }
 
 // TestSelectsRunUnderReadLock pins the statement routing: a SELECT issued

@@ -1,16 +1,20 @@
 // Package sqldb is the embedded database facade: it owns an engine catalog
 // and executes SQL text through the parser and query planner. Concurrency
-// follows a single-writer / multi-reader model: statements classified as
-// read-only by internal/query (SELECTs, including every query produced by
-// the BeliefSQL translation) run under a shared reader lock and may overlap
-// freely, while mutating statements and transactions hold the exclusive
-// writer lock. The belief-database layers share this same lock (see Locker),
-// so one DB plus its store form a single consistency domain.
+// follows a single-writer / snapshot-reader model: mutating statements and
+// transactions hold the exclusive writer lock and, on completion, publish an
+// immutable snapshot of the catalog via an atomic pointer swap. Statements
+// classified as read-only by internal/query (SELECTs, including every query
+// produced by the BeliefSQL translation) run lock-free against the most
+// recently published snapshot, so long analytical reads never block writers
+// and vice versa. The belief-database layers share the writer lock and the
+// publication discipline (see Locker and PublishLocked), so one DB plus its
+// store form a single consistency domain.
 package sqldb
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"beliefdb/internal/engine"
 	"beliefdb/internal/query"
@@ -18,10 +22,27 @@ import (
 )
 
 // DB is an embedded SQL database instance. It is safe for concurrent use:
-// reads (SELECT, View) proceed in parallel, writes are exclusive.
+// reads (SELECT, View) run against immutable snapshots and proceed in
+// parallel with each other and with the single writer; writes are exclusive.
 type DB struct {
 	mu  sync.RWMutex
 	cat *engine.Catalog
+
+	// snap is the most recently published immutable snapshot of the catalog.
+	// Readers load it with one atomic pointer read and never lock.
+	snap atomic.Pointer[engine.Catalog]
+
+	// txnOpen mirrors cat.InTxn() for lock-free readers: while an explicit
+	// SQL transaction spans statement boundaries, snapshots are stale by
+	// definition (the writer's uncommitted state must stay invisible to
+	// other goroutines, but the transaction's own session expects to read
+	// its writes), so readers fall back to the shared lock over live state.
+	txnOpen atomic.Bool
+
+	// publishHook, when set, is invoked under the writer lock with each
+	// freshly published snapshot. The belief store registers its view
+	// builder here so raw-SQL writes also refresh the store-level snapshot.
+	publishHook func(*engine.Catalog)
 
 	// mutationHook, when set, is invoked under the exclusive writer lock
 	// with the original SQL text and its parsed statements just before a
@@ -35,18 +56,52 @@ type DB struct {
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{cat: engine.NewCatalog()}
+	db := &DB{cat: engine.NewCatalog()}
+	db.snap.Store(db.cat.Freeze())
+	return db
+}
+
+// PublishLocked freezes the current catalog into an immutable snapshot and
+// installs it as the target of lock-free reads, notifying the publish hook.
+// The caller must hold the exclusive writer lock. While an explicit
+// transaction is open the catalog holds uncommitted state, so publication is
+// skipped and nil is returned; the pre-transaction snapshot stays current.
+func (db *DB) PublishLocked() *engine.Catalog {
+	if db.cat.InTxn() {
+		return nil
+	}
+	f := db.cat.Freeze()
+	db.snap.Store(f)
+	if db.publishHook != nil {
+		db.publishHook(f)
+	}
+	return f
+}
+
+// SetPublishHook registers fn to run — under the writer lock — with every
+// snapshot published after a mutation. Pass nil to remove the hook.
+func (db *DB) SetPublishHook(fn func(*engine.Catalog)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.publishHook = fn
+}
+
+// Snapshot returns the most recently published immutable catalog snapshot.
+// The result must be treated as read-only; it stays internally consistent
+// forever, but does not observe later commits.
+func (db *DB) Snapshot() *engine.Catalog {
+	return db.snap.Load()
 }
 
 // Exec parses and runs a semicolon-separated batch of statements, returning
 // the result of the last one. A batch consisting solely of read-only
-// statements runs under the shared reader lock; any mutating statement makes
-// the whole batch exclusive. Statements inside an explicit BEGIN..COMMIT
-// are atomic, and a multi-statement batch of plain DML is atomic as a whole
-// (one transaction, one commit — group commit; a failing statement rolls
-// back the entire batch). Mixed batches (DDL or explicit transaction
-// control) fall back to per-statement atomicity, guaranteed by the engine's
-// implicit transactions for multi-row inserts.
+// statements runs lock-free against the current snapshot; any mutating
+// statement makes the whole batch exclusive. Statements inside an explicit
+// BEGIN..COMMIT are atomic, and a multi-statement batch of plain DML is
+// atomic as a whole (one transaction, one commit — group commit; a failing
+// statement rolls back the entire batch). Mixed batches (DDL or explicit
+// transaction control) fall back to per-statement atomicity, guaranteed by
+// the engine's implicit transactions for multi-row inserts.
 func (db *DB) Exec(sql string) (*query.Result, error) {
 	stmts, err := sqlparser.ParseAll(sql)
 	if err != nil {
@@ -58,10 +113,11 @@ func (db *DB) Exec(sql string) (*query.Result, error) {
 	return db.runText(sql, stmts)
 }
 
-// runText executes a parsed text batch: it picks the reader or writer lock
-// by classification, fires the mutation hook (under the writer lock, before
-// execution) for mutating batches, and runs the statements. Exec and Query
-// share it so hook semantics cannot diverge between the two text paths.
+// runText executes a parsed text batch: read-only batches resolve against
+// the published snapshot without locking, mutating batches take the writer
+// lock, fire the mutation hook before execution, and publish a fresh
+// snapshot afterwards. Exec and Query share it so hook and publication
+// semantics cannot diverge between the two text paths.
 //
 // A multi-statement batch of plain DML runs inside one engine transaction —
 // a single lock acquisition and a single commit for the whole script, with
@@ -71,24 +127,48 @@ func (db *DB) Exec(sql string) (*query.Result, error) {
 // the engine's implicit per-statement transactions).
 func (db *DB) runText(sql string, stmts []sqlparser.Statement) (*query.Result, error) {
 	if query.AllReadOnly(stmts) {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-	} else {
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		if db.mutationHook != nil {
-			if err := db.mutationHook(sql, stmts); err != nil {
-				return nil, err
-			}
+		return db.runRead(stmts)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer func() {
+		db.txnOpen.Store(db.cat.InTxn())
+		db.PublishLocked()
+	}()
+	if db.mutationHook != nil {
+		if err := db.mutationHook(sql, stmts); err != nil {
+			return nil, err
 		}
-		if len(stmts) > 1 && query.AllDML(stmts) && !db.cat.InTxn() {
-			return db.runAtomicLocked(stmts)
-		}
+	}
+	if len(stmts) > 1 && query.AllDML(stmts) && !db.cat.InTxn() {
+		return db.runAtomicLocked(stmts)
 	}
 	var res *query.Result
 	var err error
 	for _, s := range stmts {
 		res, err = query.Run(db.cat, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runRead executes read-only statements against the published snapshot with
+// no locking. While an explicit SQL transaction is open, reads fall back to
+// the shared lock over live state so a single-session BEGIN; INSERT; SELECT
+// sequence still reads its own uncommitted writes.
+func (db *DB) runRead(stmts []sqlparser.Statement) (*query.Result, error) {
+	cat := db.snap.Load()
+	if db.txnOpen.Load() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		cat = db.cat
+	}
+	var res *query.Result
+	var err error
+	for _, s := range stmts {
+		res, err = query.Run(cat, s)
 		if err != nil {
 			return nil, err
 		}
@@ -118,9 +198,9 @@ func (db *DB) runAtomicLocked(stmts []sqlparser.Statement) (*query.Result, error
 }
 
 // Query is Exec restricted to a single statement; the name signals intent at
-// call sites that expect rows back. SELECTs take only the reader lock; a
-// mutating statement takes the writer lock and runs the mutation hook like
-// Exec does.
+// call sites that expect rows back. SELECTs run lock-free against the
+// current snapshot; a mutating statement takes the writer lock and runs the
+// mutation hook like Exec does.
 func (db *DB) Query(sql string) (*query.Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -142,22 +222,25 @@ func (db *DB) SetMutationHook(fn func(sql string, stmts []sqlparser.Statement) e
 }
 
 // RunStmt executes an already-parsed statement — the AST path for layers
-// that build statements directly — choosing the reader or writer lock by
-// statement classification. On a database with a mutation hook installed
-// (a durable belief store) mutating statements are refused: they carry no
-// SQL text to journal, and applying them unjournaled would make recovery
-// silently diverge from the acknowledged state.
+// that build statements directly. Read-only statements resolve against the
+// published snapshot; mutating statements take the writer lock and publish.
+// On a database with a mutation hook installed (a durable belief store)
+// mutating statements are refused: they carry no SQL text to journal, and
+// applying them unjournaled would make recovery silently diverge from the
+// acknowledged state.
 func (db *DB) RunStmt(stmt sqlparser.Statement) (*query.Result, error) {
 	if query.ReadOnly(stmt) {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-	} else {
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		if db.mutationHook != nil {
-			return nil, fmt.Errorf("sqldb: mutating RunStmt is not supported on a journaled database; submit the statement as text via Exec or Query")
-		}
+		return db.runRead([]sqlparser.Statement{stmt})
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.mutationHook != nil {
+		return nil, fmt.Errorf("sqldb: mutating RunStmt is not supported on a journaled database; submit the statement as text via Exec or Query")
+	}
+	defer func() {
+		db.txnOpen.Store(db.cat.InTxn())
+		db.PublishLocked()
+	}()
 	return query.Run(db.cat, stmt)
 }
 
@@ -168,18 +251,20 @@ func (db *DB) RunStmt(stmt sqlparser.Statement) (*query.Result, error) {
 // calls on the same tables under any other lock is not supported.
 func (db *DB) Catalog() *engine.Catalog { return db.cat }
 
-// Locker exposes the DB's single-writer / multi-reader lock so that layers
-// maintaining internal tables directly (the belief store) can join the same
-// consistency domain: their writes take Lock, their reads RLock. Holding the
-// lock while calling Exec/Query/RunStmt/Atomically/View deadlocks — the
-// lock is not reentrant.
+// Locker exposes the DB's writer lock so that layers maintaining internal
+// tables directly (the belief store) can join the same consistency domain:
+// their writes take Lock and call PublishLocked before unlocking. Holding
+// the lock while calling Exec/Query/RunStmt/Atomically deadlocks — the lock
+// is not reentrant.
 func (db *DB) Locker() *sync.RWMutex { return &db.mu }
 
 // Atomically runs fn inside an engine transaction under the exclusive
-// writer lock, rolling back on error.
+// writer lock, rolling back on error. Either way a fresh snapshot is
+// published on return (after a rollback it matches the pre-call state).
 func (db *DB) Atomically(fn func(cat *engine.Catalog) error) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.PublishLocked()
 	txn, err := db.cat.Begin()
 	if err != nil {
 		return err
@@ -191,11 +276,11 @@ func (db *DB) Atomically(fn func(cat *engine.Catalog) error) error {
 	return txn.Commit()
 }
 
-// View runs fn under the shared reader lock: the read-path counterpart of
-// Atomically. fn must not mutate the catalog or its tables; any number of
-// View calls (and read-only statements) may execute concurrently.
+// View runs fn against the most recently published snapshot: the read-path
+// counterpart of Atomically. fn must not mutate the catalog or its tables.
+// View never blocks and never observes uncommitted or in-progress writer
+// state; any number of View calls (and read-only statements) may execute
+// concurrently with each other and with a writer.
 func (db *DB) View(fn func(cat *engine.Catalog) error) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return fn(db.cat)
+	return fn(db.snap.Load())
 }

@@ -63,6 +63,7 @@ func (st *Store) ApplyBatch(ops []BatchOp) (BatchResult, error) {
 func (st *Store) ApplyBatchToken(ops []BatchOp, token string) (BatchResult, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
 	if len(ops) == 0 {
 		return BatchResult{}, nil
 	}
@@ -220,6 +221,7 @@ func (st *Store) ApplyBatchGroup(groups [][]BatchOp) []BatchOutcome {
 func (st *Store) ApplyBatchGroupTokens(groups [][]BatchOp, tokens []string) []BatchOutcome {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
 	out := make([]BatchOutcome, len(groups))
 	if tokens != nil && len(tokens) != len(groups) {
 		err := fmt.Errorf("store: %d token(s) for %d batch group(s)", len(tokens), len(groups))
@@ -418,6 +420,9 @@ func (st *Store) markLogical() logicalMark {
 // rewindLogical drops every world registered since the mark (idWorld only
 // ever adds worlds, with ascending ids) and restores the counters.
 func (st *Store) rewindLogical(m logicalMark) {
+	if m.nextWid != st.nextWid {
+		st.worldsGen++
+	}
 	for wid := m.nextWid; wid < st.nextWid; wid++ {
 		if p, ok := st.pathByWid[wid]; ok {
 			delete(st.widByPath, p.Key())

@@ -122,7 +122,11 @@ func (c *Coalescer) SubmitToken(ops []BatchOp, token string) (BatchResult, error
 func (c *Coalescer) lead() {
 	for {
 		c.mu.Lock()
-		if d := c.window; d > 0 && len(c.queue) > 0 && len(c.queue) < windowFillTarget {
+		// Skip the linger once the coalescer is closed: no new submission
+		// can join the round, so sleeping the window per round would only
+		// stall Close behind a pointless commit delay for every round left
+		// in the backlog.
+		if d := c.window; d > 0 && !c.closed && len(c.queue) > 0 && len(c.queue) < windowFillTarget {
 			c.mu.Unlock()
 			time.Sleep(d)
 			c.mu.Lock()

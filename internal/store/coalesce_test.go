@@ -234,6 +234,55 @@ func TestCoalescerClose(t *testing.T) {
 	}
 }
 
+// TestCoalescerCloseSkipsWindow: a closed coalescer must not linger the
+// gathering window for the rounds that drain its backlog — nothing new can
+// join a round after Close, so the sleep would be a pure stall. Regression
+// test for Close taking (rounds remaining × window) to return: with a
+// multi-round backlog and a 50ms window, Close must come back in well
+// under one window, not three.
+func TestCoalescerCloseSkipsWindow(t *testing.T) {
+	st := groupFixture(t, "")
+	c := NewCoalescer(st)
+	const window = 50 * time.Millisecond
+	c.SetWindow(window)
+
+	// Stall the leader's first round inside ApplyBatchGroupTokens by
+	// holding the writer lock, and pile up a backlog deep enough to need
+	// several more rounds after it.
+	const backlog = 3*maxCoalescedBatches + 1
+	st.mu.Lock()
+	var wg sync.WaitGroup
+	wg.Add(backlog)
+	for i := 0; i < backlog; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// A straggler may be rejected by the racing Close; both
+			// outcomes are fine, the test only measures Close latency.
+			c.Submit([]BatchOp{bIns(nil, core.Pos, "S", fmt.Sprintf("w%d", i), "x")})
+		}(i)
+	}
+	// Wait until every submission is queued AND the leader has carved off
+	// its first round (it is now blocked on the writer lock, past any
+	// pre-Close linger) before releasing it and timing Close.
+	for {
+		c.mu.Lock()
+		queued := len(c.queue)
+		c.mu.Unlock()
+		if queued == backlog-maxCoalescedBatches {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	st.mu.Unlock()
+
+	start := time.Now()
+	c.Close()
+	if elapsed := time.Since(start); elapsed >= window {
+		t.Fatalf("Close took %v draining the backlog; a closed coalescer must skip the %v gathering window", elapsed, window)
+	}
+	wg.Wait()
+}
+
 // TestCoalescerCloseDrainsAcceptedBatches: Close blocks until accepted
 // batches commit, so racing Close against submitters yields exactly two
 // outcomes — committed, or rejected with ErrCoalescerClosed — never a

@@ -1,6 +1,6 @@
 package store_test
 
-// Race-hardened stress test for the single-writer / multi-reader model:
+// Race-hardened stress test for the single-writer / snapshot-reader model:
 // reader goroutines hammer the read path (WorldContent, Entails, Stats,
 // ExplicitStatements, WidOf) while one writer runs the paper's update
 // algorithms. Run with -race. The readers assert structural invariants that

@@ -21,6 +21,7 @@ import (
 func (st *Store) Delete(stmt core.Statement) (bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
 	ri, ok := st.rels[stmt.Tuple.Rel]
 	if !ok {
 		return false, fmt.Errorf("store: unknown relation %q", stmt.Tuple.Rel)
@@ -103,6 +104,7 @@ func (st *Store) deleteLocked(ri *relInfo, y int64, key val.Value, target vRow, 
 func (st *Store) Replace(old core.Statement, newTuple core.Tuple) (bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
 	ri, ok := st.rels[old.Tuple.Rel]
 	if !ok {
 		return false, fmt.Errorf("store: unknown relation %q", old.Tuple.Rel)
@@ -172,6 +174,7 @@ func (st *Store) starFind(ri *relInfo, t core.Tuple) (int64, bool) {
 func (st *Store) Vacuum() (removed int, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
 	if err := st.logOp(wal.Vacuum()); err != nil {
 		return 0, err
 	}

@@ -28,6 +28,15 @@ func (e *ErrConflict) Error() string {
 func (st *Store) Insert(stmt core.Statement) (changed bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
+	return st.insertOne(stmt)
+}
+
+// insertOne applies one statement under the already-held writer lock: it
+// validates, journals, applies and commits (or rolls back) the statement,
+// leaving publication to the caller. Both the public Insert and BulkLoad
+// funnel through here.
+func (st *Store) insertOne(stmt core.Statement) (changed bool, err error) {
 	if !stmt.Path.Valid() {
 		return false, fmt.Errorf("store: invalid belief path %s", stmt.Path)
 	}

@@ -101,6 +101,11 @@ func openAt(dir string, rels []Relation, lazy bool) (st *Store, err error) {
 	st.lockFile = lock
 	st.snapPath = filepath.Join(dir, SnapshotFileName)
 
+	// Recovery mutates through the regular update paths; suppress the
+	// per-operation snapshot publication they would otherwise perform and
+	// publish a single consistent view once replay completes.
+	st.replaying = true
+
 	var (
 		haveSnap    bool
 		snapEpoch   uint64
@@ -220,6 +225,10 @@ func openAt(dir string, rels []Relation, lazy bool) (st *Store, err error) {
 		}
 		return st.logOp(wal.SQL(sql))
 	})
+	st.replaying = false
+	st.mu.Lock()
+	st.db.PublishLocked()
+	st.mu.Unlock()
 	return st, nil
 }
 
@@ -366,7 +375,9 @@ func (st *Store) Checkpoint() error {
 	if st.cat.InTxn() {
 		return fmt.Errorf("store: cannot checkpoint inside an open transaction")
 	}
-	m := st.snapshotModelLocked()
+	// The writer lock quiesces the live view, so rendering it here is one
+	// consistent epoch by construction.
+	m := st.view.snapshotModel()
 	m.WalEpoch = st.wal.Epoch()
 	m.WalApplied = st.walCount
 	if err := snapshot.WriteFile(st.snapPath, m); err != nil {
@@ -398,38 +409,39 @@ func (st *Store) Close() error {
 	return err
 }
 
-// snapshotModelLocked renders the store as a snapshot model, in the
-// canonical order the format prescribes (see internal/snapshot). Callers
-// hold at least the read lock.
-func (st *Store) snapshotModelLocked() *snapshot.Model {
+// snapshotModel renders one view epoch as a snapshot model, in the
+// canonical order the format prescribes (see internal/snapshot). On a
+// pinned view it needs no locking; on the live view callers hold the
+// writer lock.
+func (v *view) snapshotModel() *snapshot.Model {
 	m := &snapshot.Model{
-		Lazy:    st.lazy,
-		NextUID: st.nextUID,
-		NextWid: st.nextWid,
-		NextTid: st.nextTid,
-		N:       int64(st.n),
+		Lazy:    v.lazy,
+		NextUID: v.nextUID,
+		NextWid: v.nextWid,
+		NextTid: v.nextTid,
+		N:       int64(v.n),
 	}
-	st.usersTable.Scan(func(_ engine.RowID, row []val.Value) bool {
+	v.usersTable.Scan(func(_ engine.RowID, row []val.Value) bool {
 		m.UserRows = append(m.UserRows, snapshot.User{UID: row[0].AsInt(), Name: row[1].AsString()})
 		return true
 	})
 	slices.SortFunc(m.UserRows, func(a, b snapshot.User) int { return int(a.UID - b.UID) })
-	st.d.Scan(func(_ engine.RowID, row []val.Value) bool {
+	v.d.Scan(func(_ engine.RowID, row []val.Value) bool {
 		m.DRows = append(m.DRows, snapshot.DRow{Wid: row[0].AsInt(), Depth: row[1].AsInt()})
 		return true
 	})
 	slices.SortFunc(m.DRows, func(a, b snapshot.DRow) int { return int(a.Wid - b.Wid) })
-	st.s.Scan(func(_ engine.RowID, row []val.Value) bool {
+	v.s.Scan(func(_ engine.RowID, row []val.Value) bool {
 		m.SRows = append(m.SRows, snapshot.SRow{Wid1: row[0].AsInt(), Wid2: row[1].AsInt()})
 		return true
 	})
 	slices.SortFunc(m.SRows, func(a, b snapshot.SRow) int { return int(a.Wid1 - b.Wid1) })
 
-	for uid, name := range st.usersByID {
+	for uid, name := range v.usersByID {
 		m.Users = append(m.Users, snapshot.User{UID: int64(uid), Name: name})
 	}
 	slices.SortFunc(m.Users, func(a, b snapshot.User) int { return int(a.UID - b.UID) })
-	for wid, p := range st.pathByWid {
+	for wid, p := range v.pathByWid {
 		pe := snapshot.PathEntry{Wid: wid}
 		for _, u := range p {
 			pe.Path = append(pe.Path, int64(u))
@@ -438,7 +450,7 @@ func (st *Store) snapshotModelLocked() *snapshot.Model {
 	}
 	slices.SortFunc(m.Paths, func(a, b snapshot.PathEntry) int { return int(a.Wid - b.Wid) })
 
-	st.e.Scan(func(_ engine.RowID, row []val.Value) bool {
+	v.e.Scan(func(_ engine.RowID, row []val.Value) bool {
 		m.Edges = append(m.Edges, snapshot.Edge{
 			Wid1: row[0].AsInt(), UID: row[1].AsInt(), Wid2: row[2].AsInt(),
 		})
@@ -454,8 +466,8 @@ func (st *Store) snapshotModelLocked() *snapshot.Model {
 		return int(a.Wid2 - b.Wid2) // total order even for raw-SQL duplicate edges
 	})
 
-	for _, name := range st.relOrder {
-		ri := st.rels[name]
+	for _, name := range v.relOrder {
+		ri := v.rels[name]
 		rd := snapshot.RelData{Def: snapshot.Relation{Name: ri.def.Name}}
 		for _, c := range ri.def.Columns {
 			rd.Def.Columns = append(rd.Def.Columns, snapshot.Column{Name: c.Name, Kind: c.Type})
@@ -499,12 +511,11 @@ func (st *Store) snapshotModelLocked() *snapshot.Model {
 	return m
 }
 
-// SnapshotModel renders the store's current state as a snapshot model
-// (under the shared read lock); used by the benchmarks and format tests.
+// SnapshotModel renders the current published snapshot as a snapshot
+// model; used by the benchmarks and format tests. Pinning one view for the
+// whole render keeps it a single consistent epoch with no locking.
 func (st *Store) SnapshotModel() *snapshot.Model {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.snapshotModelLocked()
+	return st.pin().snapshotModel()
 }
 
 // loadSnapshot populates a freshly opened (empty) store from a model,
@@ -558,6 +569,8 @@ func (st *Store) loadSnapshot(m *snapshot.Model) error {
 	// Logical catalogs.
 	st.widByPath = make(map[string]int64, len(m.Paths))
 	st.pathByWid = make(map[int64]core.Path, len(m.Paths))
+	st.worldsGen++
+	st.usersGen++
 	for _, u := range m.Users {
 		st.usersByID[core.UserID(u.UID)] = u.Name
 		st.usersByName[u.Name] = core.UserID(u.UID)

@@ -21,27 +21,26 @@ func allVRows(ri *relInfo) []vRow {
 // WorldContent materializes the entailed belief world D̄_w for any path
 // w ∈ Û* from the relational representation: the path resolves to its
 // deepest suffix state (whose world equals D̄_w, Theorem 17) and the V rows
-// of that state are decoded back into tuples.
+// of that state are decoded back into tuples. The traversal runs lock-free
+// against the current published snapshot.
 func (st *Store) WorldContent(p core.Path) (*core.World, error) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.worldContentLocked(p)
+	return st.pin().worldContent(p)
 }
 
-func (st *Store) worldContentLocked(p core.Path) (*core.World, error) {
+func (v *view) worldContent(p core.Path) (*core.World, error) {
 	// A path that is not itself a state carries no explicit statements
 	// (D_w = ∅): its content equals its deepest suffix state's world, but
 	// every entry is implicit from w's point of view.
-	_, isState := st.widOf(p)
-	wid := st.dssWid(p)
-	if st.lazy {
-		return st.lazyWorldContent(wid, isState)
+	_, isState := v.widOf(p)
+	wid := v.dssWid(p)
+	if v.lazy {
+		return v.lazyWorldContent(wid, isState)
 	}
 	w := core.NewWorld()
-	for _, name := range st.relOrder {
-		ri := st.rels[name]
-		for _, r := range st.vRowsByWid(ri, wid) {
-			t, err := st.starGet(ri, r.tid)
+	for _, name := range v.relOrder {
+		ri := v.rels[name]
+		for _, r := range v.vRowsByWid(ri, wid) {
+			t, err := v.starGet(ri, r.tid)
 			if err != nil {
 				return nil, err
 			}
@@ -61,9 +60,9 @@ func (st *Store) worldContentLocked(p core.Path) (*core.World, error) {
 // walks the suffix-link chain (S relation) from the root up to the state
 // and takes overriding unions of the explicit statements stored at each
 // chain world — the query-time evaluation sketched in Sect. 6.3.
-func (st *Store) lazyWorldContent(wid int64, isState bool) (*core.World, error) {
+func (v *view) lazyWorldContent(wid int64, isState bool) (*core.World, error) {
 	var chain []int64
-	for w := wid; w >= 0; w = st.suffixLinkOf(w) {
+	for w := wid; w >= 0; w = v.suffixLinkOf(w) {
 		chain = append(chain, w)
 		if w == 0 {
 			break
@@ -73,10 +72,10 @@ func (st *Store) lazyWorldContent(wid int64, isState bool) (*core.World, error) 
 	for i := len(chain) - 1; i >= 0; i-- {
 		w := chain[i]
 		next := core.NewWorld()
-		for _, name := range st.relOrder {
-			ri := st.rels[name]
-			for _, r := range st.vRowsByWid(ri, w) {
-				t, err := st.starGet(ri, r.tid)
+		for _, name := range v.relOrder {
+			ri := v.rels[name]
+			for _, r := range v.vRowsByWid(ri, w) {
+				t, err := v.starGet(ri, r.tid)
 				if err != nil {
 					return nil, err
 				}
@@ -111,26 +110,21 @@ func (st *Store) Entails(p core.Path, t core.Tuple, s core.Sign) (bool, error) {
 
 // ExplicitStatements reads back all explicit belief statements (V rows with
 // e = 'y'), in deterministic order. Together with the user set this is the
-// full logical content of the belief database.
+// full logical content of the belief database. It runs lock-free against
+// the current published snapshot.
 func (st *Store) ExplicitStatements() ([]core.Statement, error) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.explicitStatementsLocked()
+	return st.pin().explicitStatements()
 }
 
-func (st *Store) explicitStatementsLocked() ([]core.Statement, error) {
+func (v *view) explicitStatements() ([]core.Statement, error) {
 	var out []core.Statement
-	for _, name := range st.relOrder {
-		ri := st.rels[name]
+	for _, name := range v.relOrder {
+		ri := v.rels[name]
 		for _, r := range allVRows(ri) {
 			if r.expl != ExplicitYes {
 				continue
 			}
-			wid := int64(-1)
-			// wid is column 0 of the row; re-read it via the table.
-			row := ri.v.Get(r.rowID)
-			wid = row[0].AsInt()
-			t, err := st.starGet(ri, r.tid)
+			t, err := v.starGet(ri, r.tid)
 			if err != nil {
 				return nil, err
 			}
@@ -138,7 +132,7 @@ func (st *Store) explicitStatementsLocked() ([]core.Statement, error) {
 			if r.sign == SignNeg {
 				sign = core.Neg
 			}
-			out = append(out, core.Statement{Path: st.pathByWid[wid].Clone(), Sign: sign, Tuple: t})
+			out = append(out, core.Statement{Path: v.pathByWid[r.wid].Clone(), Sign: sign, Tuple: t})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -157,12 +151,12 @@ func (st *Store) explicitStatementsLocked() ([]core.Statement, error) {
 }
 
 // States returns the world ids and paths of all states, sorted by id —
-// the D relation enriched with paths.
+// the D relation enriched with paths — as of the current published
+// snapshot.
 func (st *Store) States() map[int64]core.Path {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make(map[int64]core.Path, len(st.pathByWid))
-	for wid, p := range st.pathByWid {
+	v := st.pin()
+	out := make(map[int64]core.Path, len(v.pathByWid))
+	for wid, p := range v.pathByWid {
 		out[wid] = p.Clone()
 	}
 	return out
@@ -170,7 +164,5 @@ func (st *Store) States() map[int64]core.Path {
 
 // WidOf exposes path-to-world-id resolution for tests and tools.
 func (st *Store) WidOf(p core.Path) (int64, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.widOf(p)
+	return st.pin().widOf(p)
 }

@@ -20,11 +20,12 @@ import (
 func (st *Store) Rebuild() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
 	if err := st.logOp(wal.Rebuild()); err != nil {
 		return err
 	}
 
-	stmts, err := st.explicitStatementsLocked()
+	stmts, err := st.view.explicitStatements()
 	if err != nil {
 		return err
 	}
@@ -72,6 +73,7 @@ func (st *Store) Rebuild() error {
 	// directly (the root is 0 in both).
 	st.widByPath = make(map[string]int64)
 	st.pathByWid = make(map[int64]core.Path)
+	st.worldsGen++
 	st.nextTid = 1
 	maxWid := int64(0)
 	for _, s := range k.States() {

@@ -47,26 +47,28 @@ func (s Stats) String() string {
 	return sb.String()
 }
 
-// Stats computes the current size statistics.
+// Stats computes the size statistics of the current published snapshot.
+// Pinning one view for the whole traversal keeps the counts internally
+// consistent (TotalRows always equals the sum of TableRows) even while a
+// writer is committing.
 func (st *Store) Stats() Stats {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	v := st.pin()
 	out := Stats{
 		TableRows:   make(map[string]int),
-		Annotations: st.n,
-		States:      len(st.pathByWid),
-		Users:       len(st.usersByID),
+		Annotations: v.n,
+		States:      len(v.pathByWid),
+		Users:       len(v.usersByID),
 	}
 	add := func(name string, n int) {
 		out.TableRows[name] = n
 		out.TotalRows += n
 	}
-	add("Users", st.usersTable.Len())
-	add("_e", st.e.Len())
-	add("_d", st.d.Len())
-	add("_s", st.s.Len())
-	for _, name := range st.relOrder {
-		ri := st.rels[name]
+	add("Users", v.usersTable.Len())
+	add("_e", v.e.Len())
+	add("_d", v.d.Len())
+	add("_s", v.s.Len())
+	for _, name := range v.relOrder {
+		ri := v.rels[name]
 		add(name+"_star", ri.star.Len())
 		add(name+"_v", ri.v.Len())
 	}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"beliefdb/internal/core"
 	"beliefdb/internal/engine"
@@ -61,35 +62,38 @@ type relInfo struct {
 
 // Store is a belief database persisted in the relational internal schema.
 //
-// A Store is safe for concurrent use under the single-writer / multi-reader
-// model: it shares its embedded database's RWMutex (sqldb.DB.Locker), so
-// the update algorithms (Insert/Delete/Replace, AddUser, Rebuild, Vacuum)
-// hold the exclusive writer lock while read methods (WorldContent, Entails,
+// A Store is safe for concurrent use under the single-writer /
+// snapshot-reader (MVCC) model: the update algorithms (Insert/Delete/
+// Replace, AddUser, Rebuild, Vacuum, the batch paths) hold the exclusive
+// writer lock shared with the embedded database (sqldb.DB.Locker) and, on
+// completion, publish an immutable view of the whole representation through
+// an atomic pointer swap. Read methods (WorldContent, Entails,
 // ExplicitStatements, Stats, user lookups) and translated BeliefSQL SELECTs
-// — which run through the same DB — overlap freely under the shared lock.
-// Every writer holds the lock for its whole multi-table update, so readers
-// only ever observe fully-applied statements across R_star/R_v/_e/_d/_s.
+// — which run through the same DB — pin the published view and run entirely
+// lock-free against it, so a long analytical read never delays a commit
+// round and a heavy commit never stalls readers. A pinned view is one
+// consistent epoch: readers only ever observe fully-applied statements
+// across R_star/R_v/_e/_d/_s, regardless of what the writer is doing.
 type Store struct {
+	// view is the live, writer-owned epoch: the engine tables plus the
+	// logical catalogs and counters. Its fields and read helpers are
+	// promoted onto Store for the writer paths; readers use pin() instead.
+	view
+
 	mu  *sync.RWMutex // shared with db: the stack-wide single-writer lock
 	db  *sqldb.DB
 	cat *engine.Catalog
 
-	rels     map[string]*relInfo
-	relOrder []string
+	// snap is the most recently published immutable view (see view.go).
+	snap atomic.Pointer[view]
 
-	usersTable *engine.Table // Users(uid, name)
-	e, d, s    *engine.Table
+	// replaying suppresses per-operation publication during WAL replay;
+	// openAt publishes once when recovery completes.
+	replaying bool
 
-	usersByID   map[core.UserID]string
-	usersByName map[string]core.UserID
-	nextUID     int64
-
-	widByPath map[string]int64
-	pathByWid map[int64]core.Path
-	nextWid   int64
-	nextTid   int64
-
-	n int // number of explicit belief statements
+	// bulk suppresses per-statement publication during BulkLoad, which
+	// publishes once when the load completes (see bulk.go).
+	bulk bool
 
 	// Durability (see persist.go). All nil/zero for in-memory stores: a
 	// nil wal makes logOp a no-op. The fields are guarded by mu like the
@@ -108,14 +112,6 @@ type Store struct {
 	// recovery; guarded by mu like everything they index.
 	appliedTokens map[string]BatchResult
 	tokenOrder    []string
-
-	// lazy selects the alternative representation sketched in the paper's
-	// future work (Sect. 6.3): the V relations hold only explicit
-	// statements and the message-board default rule is applied at read
-	// time by walking the suffix-link chain, trading query-time work for a
-	// much smaller |R*|. SQL query translation (Algorithm 1) requires the
-	// eager representation and is unavailable in lazy mode.
-	lazy bool
 }
 
 // reserved internal table names that belief relations must avoid.
@@ -137,18 +133,20 @@ func OpenLazy(rels []Relation) (*Store, error) { return open(rels, true) }
 func open(rels []Relation, lazy bool) (*Store, error) {
 	db := sqldb.New()
 	st := &Store{
-		lazy:        lazy,
-		mu:          db.Locker(),
-		db:          db,
-		cat:         db.Catalog(),
-		rels:        make(map[string]*relInfo),
-		usersByID:   make(map[core.UserID]string),
-		usersByName: make(map[string]core.UserID),
-		nextUID:     1,
-		widByPath:   make(map[string]int64),
-		pathByWid:   make(map[int64]core.Path),
-		nextWid:     1,
-		nextTid:     1,
+		view: view{
+			lazy:        lazy,
+			rels:        make(map[string]*relInfo),
+			usersByID:   make(map[core.UserID]string),
+			usersByName: make(map[string]core.UserID),
+			nextUID:     1,
+			widByPath:   make(map[string]int64),
+			pathByWid:   make(map[int64]core.Path),
+			nextWid:     1,
+			nextTid:     1,
+		},
+		mu:  db.Locker(),
+		db:  db,
+		cat: db.Catalog(),
 	}
 
 	mustTable := func(name string, cols []engine.Column, pk int, indexes ...[]string) (*engine.Table, error) {
@@ -206,6 +204,15 @@ func open(rels []Relation, lazy bool) (*Store, error) {
 	}
 	st.widByPath[""] = 0
 	st.pathByWid[0] = core.Path{}
+	st.worldsGen++
+
+	// Route every sqldb snapshot publication through the store's view
+	// builder, then publish the initial (empty) epoch so readers have a
+	// pinned view before the first mutation.
+	st.db.SetPublishHook(st.publishView)
+	st.mu.Lock()
+	st.db.PublishLocked()
+	st.mu.Unlock()
 	return st, nil
 }
 
@@ -298,6 +305,7 @@ func (st *Store) Relation(name string) (Relation, bool) {
 func (st *Store) AddUser(name string) (core.UserID, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer st.publishLocked()
 	if name == "" {
 		return 0, fmt.Errorf("store: empty user name")
 	}
@@ -323,40 +331,38 @@ func (st *Store) AddUser(name string) (core.UserID, error) {
 	}
 	st.usersByID[uid] = name
 	st.usersByName[name] = uid
+	st.usersGen++
 	return uid, nil
 }
 
-// UserID resolves a user name.
+// UserID resolves a user name against the current published snapshot.
 func (st *Store) UserID(name string) (core.UserID, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	uid, ok := st.usersByName[name]
+	v := st.pin()
+	uid, ok := v.usersByName[name]
 	return uid, ok
 }
 
-// UserName resolves a user id.
+// UserName resolves a user id against the current published snapshot.
 func (st *Store) UserName(uid core.UserID) (string, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	n, ok := st.usersByID[uid]
+	v := st.pin()
+	n, ok := v.usersByID[uid]
 	return n, ok
 }
 
-// Users returns all user ids in ascending order.
+// Users returns all user ids in ascending order, as of the current
+// published snapshot.
 func (st *Store) Users() []core.UserID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]core.UserID, 0, len(st.usersByID))
-	for uid := range st.usersByID {
+	v := st.pin()
+	out := make([]core.UserID, 0, len(v.usersByID))
+	for uid := range v.usersByID {
 		out = append(out, uid)
 	}
 	slices.Sort(out)
 	return out
 }
 
-// Len returns the number of explicit belief statements (the paper's n).
+// Len returns the number of explicit belief statements (the paper's n) in
+// the current published snapshot.
 func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.n
+	return st.pin().n
 }

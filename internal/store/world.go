@@ -10,20 +10,26 @@ import (
 )
 
 // eLookup returns wid2 of the edge E(wid1, uid, wid2), if present.
-func (st *Store) eLookup(wid1 int64, uid core.UserID) (int64, bool) {
-	idx := st.e.IndexOn([]int{0, 1})
+func (v *view) eLookup(wid1 int64, uid core.UserID) (int64, bool) {
+	idx := v.e.IndexOn([]int{0, 1})
 	ids := idx.Lookup([]val.Value{val.Int(wid1), val.Int(int64(uid))})
 	if len(ids) == 0 {
 		return 0, false
 	}
-	row := st.e.Get(ids[0])
+	row := v.e.Get(ids[0])
 	return row[2].AsInt(), true
 }
 
-// eSet redirects (or creates) the edge E(wid1, uid, *) to wid2.
+// eSet redirects (or creates) the edge E(wid1, uid, *) to wid2. The common
+// redirect case rewrites the single existing row in place: both _e indexes
+// cover only (wid1, uid) prefixes, which don't change, so Update skips all
+// index maintenance and the redirect costs one page write.
 func (st *Store) eSet(wid1 int64, uid core.UserID, wid2 int64) error {
 	idx := st.e.IndexOn([]int{0, 1})
 	ids := idx.Lookup([]val.Value{val.Int(wid1), val.Int(int64(uid))})
+	if len(ids) == 1 {
+		return st.e.Update(ids[0], []val.Value{val.Int(wid1), val.Int(int64(uid)), val.Int(wid2)})
+	}
 	for _, id := range append([]engine.RowID(nil), ids...) {
 		if err := st.e.Delete(id); err != nil {
 			return err
@@ -36,16 +42,16 @@ func (st *Store) eSet(wid1 int64, uid core.UserID, wid2 int64) error {
 // widOf resolves a belief path to its world id via the path cache. The
 // cache mirrors the E*-walk of Algorithm 2 line 1; TestWidCacheAgreesWithE
 // asserts the equivalence.
-func (st *Store) widOf(p core.Path) (int64, bool) {
-	wid, ok := st.widByPath[p.Key()]
+func (v *view) widOf(p core.Path) (int64, bool) {
+	wid, ok := v.widByPath[p.Key()]
 	return wid, ok
 }
 
 // dssWid implements Algorithm 3: the world id of the deepest suffix state
 // of w. ε is always a state, so the walk terminates at the root.
-func (st *Store) dssWid(w core.Path) int64 {
+func (v *view) dssWid(w core.Path) int64 {
 	for i := 0; i <= len(w); i++ {
-		if wid, ok := st.widOf(w.Suffix(i)); ok {
+		if wid, ok := v.widOf(w.Suffix(i)); ok {
 			return wid
 		}
 	}
@@ -55,15 +61,15 @@ func (st *Store) dssWid(w core.Path) int64 {
 // dependents returns the world ids of all states having w as a proper
 // suffix, in ascending depth order — the propagation set of Algorithm 4
 // (T2) and of deletions.
-func (st *Store) dependents(w core.Path) []int64 {
+func (v *view) dependents(w core.Path) []int64 {
 	var out []int64
-	for wid, p := range st.pathByWid {
+	for wid, p := range v.pathByWid {
 		if len(p) > len(w) && p.HasSuffix(w) {
 			out = append(out, wid)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		pi, pj := st.pathByWid[out[i]], st.pathByWid[out[j]]
+		pi, pj := v.pathByWid[out[i]], v.pathByWid[out[j]]
 		if len(pi) != len(pj) {
 			return len(pi) < len(pj)
 		}
@@ -93,6 +99,7 @@ func (st *Store) idWorld(w core.Path) (int64, error) {
 	}
 	st.widByPath[w.Key()] = x
 	st.pathByWid[x] = w.Clone()
+	st.worldsGen++
 
 	// Redirect the w[d]-edge from the parent (line 5).
 	last := w.Last()
@@ -165,17 +172,21 @@ func (st *Store) idWorld(w core.Path) (int64, error) {
 
 // suffixLinkOf returns S(z): the world z inherits from, or -1 for the root
 // (which has no S row and inherits nothing).
-func (st *Store) suffixLinkOf(z int64) int64 {
-	id, ok := st.s.LookupPK(val.Int(z))
+func (v *view) suffixLinkOf(z int64) int64 {
+	id, ok := v.s.LookupPK(val.Int(z))
 	if !ok {
 		return -1
 	}
-	return st.s.Get(id)[1].AsInt()
+	return v.s.Get(id)[1].AsInt()
 }
 
-// vRow is one V-relation row.
+// vRow is one V-relation row. It carries the full row contents — including
+// the world id — so consumers never have to re-read the table by rowID,
+// which would be unsound across epochs (a rowID pinned from one snapshot
+// may have been freed and reused by a later commit).
 type vRow struct {
 	rowID engine.RowID
+	wid   int64
 	tid   int64
 	key   val.Value
 	sign  string
@@ -183,11 +194,11 @@ type vRow struct {
 }
 
 func vRowFrom(id engine.RowID, row []val.Value) vRow {
-	return vRow{rowID: id, tid: row[1].AsInt(), key: row[2], sign: row[3].AsString(), expl: row[4].AsString()}
+	return vRow{rowID: id, wid: row[0].AsInt(), tid: row[1].AsInt(), key: row[2], sign: row[3].AsString(), expl: row[4].AsString()}
 }
 
 // vRowsByWid returns all valuation rows of a world.
-func (st *Store) vRowsByWid(ri *relInfo, wid int64) []vRow {
+func (v *view) vRowsByWid(ri *relInfo, wid int64) []vRow {
 	idx := ri.v.IndexOn([]int{0})
 	ids := idx.Lookup([]val.Value{val.Int(wid)})
 	out := make([]vRow, 0, len(ids))
@@ -199,7 +210,7 @@ func (st *Store) vRowsByWid(ri *relInfo, wid int64) []vRow {
 
 // vRowsByWidKey returns the valuation rows of a world restricted to one
 // external key (the T1/T3/T4 temporary tables of Algorithm 4).
-func (st *Store) vRowsByWidKey(ri *relInfo, wid int64, key val.Value) []vRow {
+func (v *view) vRowsByWidKey(ri *relInfo, wid int64, key val.Value) []vRow {
 	idx := ri.v.IndexOn([]int{0, 2})
 	ids := idx.Lookup([]val.Value{val.Int(wid), key})
 	out := make([]vRow, 0, len(ids))
@@ -240,7 +251,7 @@ func (st *Store) starFindOrCreate(ri *relInfo, t core.Tuple) (int64, error) {
 }
 
 // starGet reconstructs the ground tuple stored under tid.
-func (st *Store) starGet(ri *relInfo, tid int64) (core.Tuple, error) {
+func (v *view) starGet(ri *relInfo, tid int64) (core.Tuple, error) {
 	id, ok := ri.star.LookupPK(val.Int(tid))
 	if !ok {
 		return core.Tuple{}, fmt.Errorf("store: dangling tid %d in %s", tid, ri.def.Name)
@@ -251,7 +262,7 @@ func (st *Store) starGet(ri *relInfo, tid int64) (core.Tuple, error) {
 
 // tupleToStarRow validates arity/types and renders the tuple as an R_star
 // row with a zero tid placeholder.
-func (st *Store) tupleToStarRow(ri *relInfo, t core.Tuple) ([]val.Value, error) {
+func (v *view) tupleToStarRow(ri *relInfo, t core.Tuple) ([]val.Value, error) {
 	if len(t.Vals) != len(ri.def.Columns) {
 		return nil, fmt.Errorf("store: tuple arity %d does not match relation %s arity %d",
 			len(t.Vals), ri.def.Name, len(ri.def.Columns))
