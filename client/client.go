@@ -67,7 +67,36 @@ var (
 	// code, letting callers separate "the server answered no" (the
 	// connection is fine, retrying is pointless) from transport failures.
 	ErrRemote = errors.New("client: server-reported error")
+	// ErrStaleRead: a replica refused the read because it has not yet
+	// applied up to the request's read-your-writes watermark. The routed
+	// client (DialRouted) handles it by falling back to the primary;
+	// direct callers can retry or relax the watermark. Shared with the
+	// embedded API so either sentinel matches.
+	ErrStaleRead = beliefdb.ErrStaleRead
 )
+
+// Position is a point in the primary's WAL: the watermark write
+// acknowledgements carry and replicas are measured against. Positions are
+// ordered by epoch, then offset.
+type Position struct {
+	Epoch uint64 // WAL epoch (bumped by each checkpoint)
+	Pos   uint64 // records committed under the epoch
+}
+
+// Covers reports whether a state at position p has applied everything up
+// to and including q. Epochs only grow, so a later epoch covers every
+// earlier one regardless of offsets.
+func (p Position) Covers(q Position) bool {
+	return p.Epoch > q.Epoch || (p.Epoch == q.Epoch && p.Pos >= q.Pos)
+}
+
+// ReplicaStatus reports a server's replication role and progress (see
+// Client.ReplicaStatus).
+type ReplicaStatus struct {
+	Role      string   // "primary" or "replica"
+	Position  Position // committed (primary) or applied (replica) WAL position
+	Connected bool     // replica only: whether the follow stream is live
+}
 
 // Options configure a Client; the zero value of each field selects the
 // default.
@@ -352,6 +381,8 @@ func (e errRemote) Is(target error) bool {
 		return e.code == wire.CodeReadOnly
 	case ErrParse:
 		return e.code == wire.CodeParse
+	case ErrStaleRead:
+		return e.code == wire.CodeStaleRead
 	}
 	return false
 }
@@ -420,7 +451,33 @@ func newToken() string {
 // Being a read, it is automatically retried across transient connection
 // failures (see Options.MaxRetries).
 func (cli *Client) Query(ctx context.Context, beliefSQL string) (*Result, error) {
-	return cli.roundTrip(ctx, wire.Query(beliefSQL), true)
+	res, _, err := cli.roundTrip(ctx, wire.Query(beliefSQL), true)
+	return res, err
+}
+
+// queryAt is Query carrying a read-your-writes watermark: a replica
+// answers only once it has applied up to at, refusing with ErrStaleRead
+// otherwise. The zero Position imposes nothing (a plain Query).
+func (cli *Client) queryAt(ctx context.Context, beliefSQL string, at Position) (*Result, error) {
+	res, _, err := cli.roundTrip(ctx, wire.QueryAt(beliefSQL, at.Epoch, at.Pos), true)
+	return res, err
+}
+
+// QueryAt is Query carrying an explicit read watermark: a replica that has
+// not applied up to at refuses with ErrStaleRead instead of answering from
+// older state. A primary (or a caught-up replica) answers normally; the
+// zero Position makes QueryAt equivalent to Query. The Routed client uses
+// this internally for read-your-writes; it is exported for callers that
+// track positions themselves (e.g. pinning several reads to one snapshot
+// of the stream).
+func (cli *Client) QueryAt(ctx context.Context, beliefSQL string, at Position) (*Result, error) {
+	return cli.queryAt(ctx, beliefSQL, at)
+}
+
+// execPos is Exec also reporting the server's WAL position after the
+// script committed — the watermark for read-your-writes routing.
+func (cli *Client) execPos(ctx context.Context, beliefSQL string) (*Result, Position, error) {
+	return cli.roundTrip(ctx, wire.Exec(beliefSQL), false)
 }
 
 // Exec runs a BeliefSQL script for effect; rows, if the script ends in a
@@ -428,18 +485,20 @@ func (cli *Client) Query(ctx context.Context, beliefSQL string) (*Result, error)
 // it is never retried automatically: a retried script could apply twice.
 // Use ExecBatch for retry-safe mutations.
 func (cli *Client) Exec(ctx context.Context, beliefSQL string) (*Result, error) {
-	return cli.roundTrip(ctx, wire.Exec(beliefSQL), false)
+	res, _, err := cli.roundTrip(ctx, wire.Exec(beliefSQL), false)
+	return res, err
 }
 
 // roundTrip sends one result-bearing request and consumes its stream.
-func (cli *Client) roundTrip(ctx context.Context, req wire.Msg, retry bool) (*Result, error) {
+func (cli *Client) roundTrip(ctx context.Context, req wire.Msg, retry bool) (*Result, Position, error) {
 	var res *Result
+	var pos Position
 	fn := func(cn *conn) error {
 		if err := cn.send(req); err != nil {
 			return err
 		}
-		r, err := readResult(cn)
-		res = r
+		r, p, err := readResult(cn)
+		res, pos = r, p
 		return err
 	}
 	var err error
@@ -448,38 +507,39 @@ func (cli *Client) roundTrip(ctx context.Context, req wire.Msg, retry bool) (*Re
 	} else {
 		err = cli.do(ctx, fn)
 	}
-	return res, err
+	return res, pos, err
 }
 
 // readResult consumes one result stream: optional RowHeader + RowChunks,
-// then ResultEnd; or an Error frame.
-func readResult(cn *conn) (*Result, error) {
+// then ResultEnd; or an Error frame. The ResultEnd of a mutation carries
+// the server's WAL position.
+func readResult(cn *conn) (*Result, Position, error) {
 	res := &Result{}
 	sawHeader := false
 	for {
 		m, err := cn.r.Read()
 		if err != nil {
-			return nil, fmt.Errorf("client: mid-result: %w", eofAsUnexpected(err))
+			return nil, Position{}, fmt.Errorf("client: mid-result: %w", eofAsUnexpected(err))
 		}
 		switch m.Kind {
 		case wire.KindError:
-			return nil, errRemote{code: m.Code, msg: m.Text}
+			return nil, Position{}, errRemote{code: m.Code, msg: m.Text}
 		case wire.KindRowHeader:
 			if sawHeader {
-				return nil, fmt.Errorf("client: duplicate row header")
+				return nil, Position{}, fmt.Errorf("client: duplicate row header")
 			}
 			sawHeader = true
 			res.Columns = m.Cols
 		case wire.KindRowChunk:
 			if !sawHeader {
-				return nil, fmt.Errorf("client: row chunk before header")
+				return nil, Position{}, fmt.Errorf("client: row chunk before header")
 			}
 			res.Rows = append(res.Rows, m.Rows...)
 		case wire.KindResultEnd:
 			res.Affected = int(m.Affected)
-			return res, nil
+			return res, Position{Epoch: m.Epoch, Pos: m.Pos}, nil
 		default:
-			return nil, fmt.Errorf("client: unexpected %s in result stream", m.Kind)
+			return nil, Position{}, fmt.Errorf("client: unexpected %s in result stream", m.Kind)
 		}
 	}
 }
@@ -496,7 +556,15 @@ func readResult(cn *conn) (*Result, error) {
 // applying again — exactly once, even across a server restart (the token
 // is journaled in the WAL and recovered with the data).
 func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, error) {
+	out, _, err := cli.execBatchPos(ctx, script)
+	return out, err
+}
+
+// execBatchPos is ExecBatch also reporting the server's WAL position after
+// the batch committed.
+func (cli *Client) execBatchPos(ctx context.Context, script string) (BatchResult, Position, error) {
 	var out BatchResult
+	var pos Position
 	token := newToken()
 	err := cli.doRetry(ctx, func(cn *conn) error {
 		if err := cn.send(wire.ExecBatch(script, token)); err != nil {
@@ -511,12 +579,13 @@ func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, e
 			return errRemote{code: m.Code, msg: m.Text}
 		case wire.KindBatchDone:
 			out = BatchResult{Applied: int(m.Applied), Changed: int(m.Changed)}
+			pos = Position{Epoch: m.Epoch, Pos: m.Pos}
 			return nil
 		default:
 			return fmt.Errorf("client: unexpected %s after ExecBatch", m.Kind)
 		}
 	})
-	return out, err
+	return out, pos, err
 }
 
 // AddUser registers a community member on the server and returns their id.
@@ -524,7 +593,15 @@ func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, e
 // and a duplicate registration is a server-side error the caller should
 // see.
 func (cli *Client) AddUser(ctx context.Context, name string) (UserID, error) {
+	uid, _, err := cli.addUserPos(ctx, name)
+	return uid, err
+}
+
+// addUserPos is AddUser also reporting the server's WAL position after the
+// registration committed.
+func (cli *Client) addUserPos(ctx context.Context, name string) (UserID, Position, error) {
 	var uid UserID
+	var pos Position
 	err := cli.do(ctx, func(cn *conn) error {
 		if err := cn.send(wire.AddUser(name)); err != nil {
 			return err
@@ -538,12 +615,44 @@ func (cli *Client) AddUser(ctx context.Context, name string) (UserID, error) {
 			return errRemote{code: m.Code, msg: m.Text}
 		case wire.KindUserAdded:
 			uid = UserID(m.UID)
+			pos = Position{Epoch: m.Epoch, Pos: m.Pos}
 			return nil
 		default:
 			return fmt.Errorf("client: unexpected %s after AddUser", m.Kind)
 		}
 	})
-	return uid, err
+	return uid, pos, err
+}
+
+// ReplicaStatus reports the server's replication role and progress: a
+// primary answers with its committed WAL position, a replica with the
+// position it has applied through and whether its follow stream is live.
+// Retried like any read.
+func (cli *Client) ReplicaStatus(ctx context.Context) (ReplicaStatus, error) {
+	var st ReplicaStatus
+	err := cli.doRetry(ctx, func(cn *conn) error {
+		if err := cn.send(wire.Msg{Kind: wire.KindReplicaStatus}); err != nil {
+			return err
+		}
+		m, err := cn.r.Read()
+		if err != nil {
+			return eofAsUnexpected(err)
+		}
+		switch m.Kind {
+		case wire.KindError:
+			return errRemote{code: m.Code, msg: m.Text}
+		case wire.KindStatus:
+			st = ReplicaStatus{
+				Role:      m.Info,
+				Position:  Position{Epoch: m.Epoch, Pos: m.Pos},
+				Connected: m.Affected == 1,
+			}
+			return nil
+		default:
+			return fmt.Errorf("client: unexpected %s after ReplicaStatus", m.Kind)
+		}
+	})
+	return st, err
 }
 
 // Checkpoint snapshots a durable server-side database and truncates its

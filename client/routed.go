@@ -1,0 +1,167 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// A Routed client fronts one primary beliefserver and any number of its
+// read replicas with read/write routing: mutations (Exec, ExecBatch,
+// AddUser, Checkpoint) go to the primary, reads (Query) fan out across the
+// replicas round-robin, and every acknowledged write advances a shared
+// read-your-writes watermark that replica reads carry — a replica that has
+// not yet applied that far refuses with the stale-read code and the Routed
+// client transparently retries the read on the primary. A replica that is
+// unreachable falls back the same way, so reads keep serving through any
+// single replica's outage (and, with no replicas configured, Routed
+// degrades to a plain primary client).
+//
+// The watermark makes the read-your-writes guarantee hold across the whole
+// Routed handle: any read issued after a write on the same handle observes
+// that write, wherever it is served. Reads that can tolerate arbitrary
+// replication lag use QueryStale and never fall back on staleness.
+type Routed struct {
+	primary  *Client
+	replicas []*Client
+
+	rr        atomic.Uint64 // round-robin read counter
+	fallbacks atomic.Uint64 // replica reads retried on the primary
+
+	mu        sync.Mutex
+	watermark Position
+}
+
+// DialRouted connects to a primary and its replicas. The same Options
+// apply to every connection pool; failing to reach any server fails the
+// dial, like Dial.
+func DialRouted(primaryAddr string, replicaAddrs []string, opts ...Options) (*Routed, error) {
+	primary, err := Dial(primaryAddr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Routed{primary: primary}
+	for _, addr := range replicaAddrs {
+		rep, err := Dial(addr, opts...)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		rt.replicas = append(rt.replicas, rep)
+	}
+	return rt, nil
+}
+
+// Close releases every underlying connection pool.
+func (rt *Routed) Close() error {
+	err := rt.primary.Close()
+	for _, rep := range rt.replicas {
+		if cerr := rep.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Primary exposes the underlying primary client, for operations the
+// routing layer does not mediate.
+func (rt *Routed) Primary() *Client { return rt.primary }
+
+// Replicas exposes the underlying replica clients, in configuration order.
+func (rt *Routed) Replicas() []*Client { return rt.replicas }
+
+// Fallbacks reports how many replica reads were retried on the primary —
+// for staleness or replica failure — since the client was created.
+func (rt *Routed) Fallbacks() uint64 { return rt.fallbacks.Load() }
+
+// Watermark returns the current read-your-writes watermark: the WAL
+// position of the last acknowledged write through this handle.
+func (rt *Routed) Watermark() Position {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.watermark
+}
+
+// advanceWatermark raises the watermark to p if p is ahead; concurrent
+// writers race benignly (the highest acknowledged position wins).
+func (rt *Routed) advanceWatermark(p Position) {
+	if p == (Position{}) {
+		return
+	}
+	rt.mu.Lock()
+	if !rt.watermark.Covers(p) {
+		rt.watermark = p
+	}
+	rt.mu.Unlock()
+}
+
+// Query runs one read-only BeliefSQL statement (or script) on a replica,
+// carrying the read-your-writes watermark; staleness or replica failure
+// falls back to the primary. With no replicas configured the primary
+// serves directly.
+func (rt *Routed) Query(ctx context.Context, beliefSQL string) (*Result, error) {
+	return rt.query(ctx, beliefSQL, rt.Watermark())
+}
+
+// QueryStale is Query without the watermark: any replica answers from
+// whatever state it has applied, however far behind — the cheapest read,
+// for callers that tolerate replication lag. Replica failure (not
+// staleness, which cannot occur) still falls back to the primary.
+func (rt *Routed) QueryStale(ctx context.Context, beliefSQL string) (*Result, error) {
+	return rt.query(ctx, beliefSQL, Position{})
+}
+
+func (rt *Routed) query(ctx context.Context, beliefSQL string, at Position) (*Result, error) {
+	if len(rt.replicas) == 0 {
+		return rt.primary.Query(ctx, beliefSQL)
+	}
+	rep := rt.replicas[rt.rr.Add(1)%uint64(len(rt.replicas))]
+	res, err := rep.queryAt(ctx, beliefSQL, at)
+	if err == nil {
+		return res, nil
+	}
+	// A parse error is the caller's, answered identically everywhere; any
+	// other failure — staleness, an unreachable or degraded replica — is
+	// the replica's, and the primary can serve the read.
+	if errors.Is(err, ErrParse) || ctx.Err() != nil {
+		return nil, err
+	}
+	rt.fallbacks.Add(1)
+	return rt.primary.Query(ctx, beliefSQL)
+}
+
+// Exec runs a BeliefSQL script on the primary and advances the watermark.
+// Like Client.Exec it is never retried automatically.
+func (rt *Routed) Exec(ctx context.Context, beliefSQL string) (*Result, error) {
+	res, pos, err := rt.primary.execPos(ctx, beliefSQL)
+	if err == nil {
+		rt.advanceWatermark(pos)
+	}
+	return res, err
+}
+
+// ExecBatch runs an atomic batch on the primary (exactly-once under
+// retries, see Client.ExecBatch) and advances the watermark.
+func (rt *Routed) ExecBatch(ctx context.Context, script string) (BatchResult, error) {
+	out, pos, err := rt.primary.execBatchPos(ctx, script)
+	if err == nil {
+		rt.advanceWatermark(pos)
+	}
+	return out, err
+}
+
+// AddUser registers a community member on the primary and advances the
+// watermark.
+func (rt *Routed) AddUser(ctx context.Context, name string) (UserID, error) {
+	uid, pos, err := rt.primary.addUserPos(ctx, name)
+	if err == nil {
+		rt.advanceWatermark(pos)
+	}
+	return uid, err
+}
+
+// Checkpoint checkpoints the primary.
+func (rt *Routed) Checkpoint(ctx context.Context) error {
+	return rt.primary.Checkpoint(ctx)
+}

@@ -11,7 +11,12 @@
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-mixed] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-replicas N] [-mixed] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
+//
+// -replicas measures the WAL-shipping read-replica fleet: ingest through
+// the primary with N followers attached, reporting replica-served read
+// latency, the worst replication lag sampled during ingest, and the
+// post-ingest catchup time.
 //
 // -chaos runs the seeded fault-injection schedule from internal/bench
 // against a live loopback server and exits non-zero on any invariant
@@ -73,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		durab   = fs.Bool("durability", false, "run the WAL/snapshot durability benchmark")
 		batchN  = fs.Int("batch", 0, "run the group-commit ingest benchmark comparing batch size N against size 1 (with -all alone: sizes 1, 16, 256)")
 		serveN  = fs.Int("serve", 0, "run the client/server ingest benchmark comparing N concurrent clients against 1 (with -all alone: 1, 4, 16)")
+		replN   = fs.Int("replicas", 0, "run the read-replica benchmark with N WAL-shipping followers (with -all alone: 1, 2, 4)")
 		mixed   = fs.Bool("mixed", false, "run the mixed read-under-write benchmark (parallel content queries vs. a streaming batch writer)")
 		chaos   = fs.Bool("chaos", false, "run the seeded chaos schedule against a live server and report invariant violations (not part of -all)")
 		seed    = fs.Int64("seed", 0, "override the chaos fault-schedule seed")
@@ -87,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *mixed || *chaos || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *replN > 0 || *mixed || *chaos || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -300,6 +306,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 			})
 		}
 		emit(bench.RenderServerBench(rows, ns, ms), recs)
+	}
+
+	if *all || *replN > 0 {
+		nr, mr := 200, 10
+		if *full {
+			nr = 2000
+		}
+		if *n > 0 {
+			nr = *n
+		}
+		counts := []int{1, 2, 4}
+		switch {
+		case *replN == 1:
+			counts = []int{1}
+		case *replN > 1:
+			counts = []int{1, *replN}
+		}
+		rows, err := bench.RunReplicaBench(nr, mr, 21, counts, progress)
+		if err != nil {
+			return err
+		}
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs,
+				benchRecord{
+					Name:    fmt.Sprintf("replicas/r%d/read", r.Replicas),
+					NsPerOp: r.ReadNsPerOp,
+					Value:   float64(r.MaxLagRecs),
+					Unit:    "max_lag_records",
+				},
+				benchRecord{
+					Name:    fmt.Sprintf("replicas/r%d/catchup", r.Replicas),
+					NsPerOp: r.CatchupNs,
+					Value:   float64(r.ReadFallback),
+					Unit:    "read_fallbacks",
+				})
+		}
+		emit(bench.RenderReplicaBench(rows, nr, mr), recs)
 	}
 
 	if *all || *mixed {

@@ -8,6 +8,13 @@
 //
 //	beliefserver [-addr host:port] [-db dir] [-schema spec] [-demo]
 //	             [-max-conns N] [-request-timeout D] [-drain D]
+//	             [-follow primaryAddr]
+//
+// -follow runs the process as a read replica of the primary beliefserver
+// at the given address: it bootstraps (or resumes) from its own -db
+// directory, tails the primary's WAL over the wire, and serves read-only
+// queries from the replicated state while refusing every mutation. The
+// -schema spec must match the primary's.
 //
 // -max-conns caps concurrent connections; dials beyond the cap queue in
 // the OS listen backlog until a slot frees (backpressure, not refusal).
@@ -61,22 +68,13 @@ func run() error {
 		timeout = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		maxConn = flag.Int("max-conns", 0, "cap concurrent connections; excess dials wait in the listen backlog (0 = unlimited)")
 		reqTime = flag.Duration("request-timeout", 30*time.Second, "per-request deadline for batch commits and response writes (0 = none)")
+		follow  = flag.String("follow", "", "run as a read replica of the primary beliefserver at this address (requires -db)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", flag.Args())
 	}
 
-	db, err := openDB(*demo, *schema, *dbdir)
-	if err != nil {
-		return err
-	}
-	defer db.Close()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	opts := []server.Option{
 		server.WithInfo("beliefserver"),
 		// Structured operational events (degraded transitions, recovered
@@ -92,8 +90,46 @@ func run() error {
 	if *reqTime > 0 {
 		opts = append(opts, server.WithRequestTimeout(*reqTime))
 	}
-	srv := server.New(db, opts...)
-	fmt.Fprintf(os.Stderr, "beliefserver: serving on %s (pid %d)\n", ln.Addr(), os.Getpid())
+
+	var srv *server.Server
+	if *follow != "" {
+		// Replica mode: a durable directory of our own, the primary's
+		// schema, and the follower keeping them in sync. Mutations are
+		// refused; reads serve the replicated state.
+		if *dbdir == "" {
+			return fmt.Errorf("-follow requires -db (the replica persists its own copy)")
+		}
+		if *demo {
+			return fmt.Errorf("-follow and -demo are mutually exclusive (the primary owns the data)")
+		}
+		sch, err := beliefdb.ParseSchemaSpec(*schema)
+		if err != nil {
+			return err
+		}
+		srv, err = server.NewReplica(*follow, *dbdir, sch, opts...)
+		if err != nil {
+			return err
+		}
+	} else {
+		db, err := openDB(*demo, *schema, *dbdir)
+		if err != nil {
+			return err
+		}
+		srv = server.New(db, opts...)
+	}
+	// On a replica the handle is swapped across resyncs; always close
+	// whichever is current when we exit.
+	defer func() { srv.DB().Close() }()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	role := "serving"
+	if *follow != "" {
+		role = fmt.Sprintf("replicating %s", *follow)
+	}
+	fmt.Fprintf(os.Stderr, "beliefserver: %s on %s (pid %d)\n", role, ln.Addr(), os.Getpid())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -117,7 +153,7 @@ func run() error {
 	if err := <-serveErr; err != nil {
 		return err
 	}
-	if err := db.Close(); err != nil {
+	if err := srv.DB().Close(); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "beliefserver: shut down cleanly")

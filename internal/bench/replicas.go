@@ -1,0 +1,182 @@
+// Read-replica benchmark: the generated durability workload ingested
+// through a primary beliefserver while 1, 2, or 4 WAL-shipping replicas
+// follow, measuring what replication buys and costs — replica-served read
+// latency through the routed client, the worst replication lag observed
+// during ingest, and how long the fleet takes to converge once ingest
+// stops.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"beliefdb"
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/replication"
+)
+
+// ReplicaBenchResult is one measured replica-count configuration.
+type ReplicaBenchResult struct {
+	Replicas     int     // followers behind the one primary
+	Stmts        int     // statements ingested
+	IngestNsPer  float64 // wall time per ingested statement
+	ReadNsPerOp  float64 // per-query wall time, reads fanned across replicas
+	Reads        int     // queries timed
+	MaxLagRecs   uint64  // worst replica lag sampled during ingest (WAL records)
+	CatchupNs    float64 // ingest-end to full convergence
+	ReadFallback uint64  // replica reads the routed client retried on the primary
+}
+
+// RunReplicaBench ingests the n-statement generated workload through a
+// primary once per replica count, sampling replication lag throughout,
+// then times belief-world reads served round-robin by the replicas. Reads
+// run after convergence so the measured figure is steady-state replica
+// latency, not stale-read fallback churn (fallbacks, if any, are
+// reported).
+func RunReplicaBench(n, m int, seed int64, replicaCounts []int, progress func(string)) ([]ReplicaBenchResult, error) {
+	cfg := durabilityConfig(m, seed, n)
+	_, stmts, err := gen.Statements(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	var out []ReplicaBenchResult
+	for _, replicas := range replicaCounts {
+		if replicas < 1 {
+			return nil, fmt.Errorf("bench: replica count %d", replicas)
+		}
+		res, err := replicaIngestOnce(cfg, stmts, replicas)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(fmt.Sprintf("replicas=%-2d %10.1f µs/stmt ingest %10.1f µs/read  max lag %4d recs  catchup %6.1f ms",
+				res.Replicas, res.IngestNsPer/1e3, res.ReadNsPerOp/1e3, res.MaxLagRecs, res.CatchupNs/1e6))
+		}
+	}
+	return out, nil
+}
+
+func replicaIngestOnce(cfg gen.Config, stmts []core.Statement, replicas int) (ReplicaBenchResult, error) {
+	root, err := os.MkdirTemp("", "beliefdb-replicas-*")
+	if err != nil {
+		return ReplicaBenchResult{}, err
+	}
+	defer os.RemoveAll(root)
+
+	cl, err := replication.Start(root, replication.Config{
+		Schema:   beliefdb.Schema{Relations: []beliefdb.Relation{GenRelation()}},
+		Replicas: replicas,
+	})
+	if err != nil {
+		return ReplicaBenchResult{}, err
+	}
+	defer cl.Close()
+	rt, err := cl.Routed(cl.PrimaryAddr())
+	if err != nil {
+		return ReplicaBenchResult{}, err
+	}
+	defer rt.Close()
+	ctx := context.Background()
+
+	userNames := make(map[core.UserID]string, cfg.Users)
+	for i := 1; i <= cfg.Users; i++ {
+		name := fmt.Sprintf("u%d", i)
+		uid, err := rt.AddUser(ctx, name)
+		if err != nil {
+			return ReplicaBenchResult{}, err
+		}
+		userNames[uid] = name
+	}
+	scripts := make([]string, len(stmts))
+	for i, s := range stmts {
+		if scripts[i], err = renderInsert(s, userNames); err != nil {
+			return ReplicaBenchResult{}, err
+		}
+	}
+
+	// Sample every replica's lag throughout ingest; the maximum is how far
+	// the stream ever fell behind the committed WAL.
+	var maxLag atomic.Uint64
+	sampleStop := make(chan struct{})
+	sampleDone := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			for i := 0; i < replicas; i++ {
+				lag, err := cl.Lag(i)
+				if err != nil {
+					return
+				}
+				for {
+					cur := maxLag.Load()
+					if lag <= cur || maxLag.CompareAndSwap(cur, lag) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	for _, script := range scripts {
+		if _, err := rt.ExecBatch(ctx, script); err != nil {
+			return ReplicaBenchResult{}, err
+		}
+	}
+	ingest := time.Since(start)
+	catchStart := time.Now()
+	if err := cl.WaitConverged(60 * time.Second); err != nil {
+		return ReplicaBenchResult{}, err
+	}
+	catchup := time.Since(catchStart)
+	close(sampleStop)
+	<-sampleDone
+
+	// Steady-state replica reads: one user's belief world, fanned
+	// round-robin, watermark attached (so any fallback would show up in
+	// the fallback counter rather than silently skewing the figure).
+	fallbacks0 := rt.Fallbacks()
+	readQ := fmt.Sprintf("select * from BELIEF 'u1' %s;", gen.DefaultRel)
+	const reads = 200
+	rstart := time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := rt.Query(ctx, readQ); err != nil {
+			return ReplicaBenchResult{}, err
+		}
+	}
+	readNs := float64(time.Since(rstart)) / reads
+
+	return ReplicaBenchResult{
+		Replicas:     replicas,
+		Stmts:        len(stmts),
+		IngestNsPer:  float64(ingest) / float64(len(stmts)),
+		ReadNsPerOp:  readNs,
+		Reads:        reads,
+		MaxLagRecs:   maxLag.Load(),
+		CatchupNs:    float64(catchup),
+		ReadFallback: rt.Fallbacks() - fallbacks0,
+	}, nil
+}
+
+// RenderReplicaBench prints the replica-count comparison.
+func RenderReplicaBench(rows []ReplicaBenchResult, n, m int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Read replicas: durable ingest of n=%d single-statement batches (m=%d users) with WAL-shipping followers\n\n", n, m)
+	fmt.Fprintf(&sb, "  %10s %14s %14s %14s %14s %12s\n", "replicas", "µs/stmt", "µs/read", "max lag", "catchup ms", "fallbacks")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %10d %14.1f %14.1f %14d %14.1f %12d\n",
+			r.Replicas, r.IngestNsPer/1e3, r.ReadNsPerOp/1e3, r.MaxLagRecs, r.CatchupNs/1e6, r.ReadFallback)
+	}
+	return sb.String()
+}

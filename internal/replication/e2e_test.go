@@ -1,0 +1,217 @@
+package replication
+
+// Process-level end-to-end failover: real beliefserver binaries — one
+// primary, two followers — a routed client, a SIGKILL'd primary restarted
+// on the same address and directory, and exactly-once + convergence
+// asserted from the outside through the public wire surface only.
+//
+// Gated on BELIEFDB_REPL_BIN (path to a built beliefserver binary) so
+// plain `go test ./...` stays hermetic; the replication-e2e CI job builds
+// the binary and sets it.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"syscall"
+	"testing"
+	"time"
+
+	"beliefdb/client"
+)
+
+const e2eSchema = "R(k:text,v:text)"
+
+// freePort reserves an ephemeral port long enough to read it back. The
+// small close-to-listen race is acceptable in CI's private network ns.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// spawnServer starts a beliefserver process logging to its own file under
+// dir's parent, and registers a SIGTERM+reap cleanup.
+func spawnServer(t *testing.T, bin, logName string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	logf, err := os.Create(filepath.Join(t.TempDir(), logName+".log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		logf.Close()
+		if cmd.ProcessState != nil {
+			return // already reaped (e.g. the killed primary)
+		}
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	return cmd
+}
+
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s never came up: %v", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitE2EConverged polls ReplicaStatus until both replicas report the
+// primary's committed position (the primary must be quiesced).
+func waitE2EConverged(t *testing.T, rt *client.Routed) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		pst, err := rt.Primary().ReplicaStatus(ctx)
+		if err == nil && pst.Role == "primary" {
+			caught := 0
+			for _, rep := range rt.Replicas() {
+				rst, err := rep.ReplicaStatus(ctx)
+				if err == nil && rst.Position == pst.Position {
+					caught++
+				}
+			}
+			if caught == len(rt.Replicas()) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never converged; primary status: %+v (%v)", pst, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// queryKeys runs the scan on one node and returns the sorted first column.
+func queryKeys(t *testing.T, cli *client.Client) []string {
+	t.Helper()
+	res, err := cli.Query(context.Background(), "select * from R;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		keys[i] = fmt.Sprintf("%v", row[0])
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func TestE2EFailover(t *testing.T) {
+	bin := os.Getenv("BELIEFDB_REPL_BIN")
+	if bin == "" {
+		t.Skip("set BELIEFDB_REPL_BIN to a beliefserver binary to run the process-level failover test")
+	}
+
+	root := t.TempDir()
+	pAddr, f1Addr, f2Addr := freePort(t), freePort(t), freePort(t)
+	pDir := filepath.Join(root, "primary")
+
+	primary := spawnServer(t, bin, "primary", "-addr", pAddr, "-db", pDir, "-schema", e2eSchema)
+	waitTCP(t, pAddr)
+	spawnServer(t, bin, "replica1", "-addr", f1Addr, "-db", filepath.Join(root, "replica1"), "-schema", e2eSchema, "-follow", pAddr)
+	spawnServer(t, bin, "replica2", "-addr", f2Addr, "-db", filepath.Join(root, "replica2"), "-schema", e2eSchema, "-follow", pAddr)
+	waitTCP(t, f1Addr)
+	waitTCP(t, f2Addr)
+
+	rt, err := client.DialRouted(pAddr, []string{f1Addr, f2Addr}, client.Options{
+		MaxRetries:      200,
+		RetryBackoff:    25 * time.Millisecond,
+		RetryMaxBackoff: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx := context.Background()
+
+	if _, err := rt.AddUser(ctx, "u1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rt.ExecBatch(ctx, batchScript(fmt.Sprintf("pre%d", i), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitE2EConverged(t, rt)
+
+	// Crash the primary for real — SIGKILL, no drain, no WAL flush beyond
+	// what each commit already fsynced — and reap it.
+	if err := primary.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Wait()
+
+	// A write issued during the outage retries on its idempotency token
+	// until the restarted primary answers.
+	batchDone := make(chan error, 1)
+	go func() {
+		_, err := rt.ExecBatch(ctx, batchScript("during", 4))
+		batchDone <- err
+	}()
+	time.Sleep(300 * time.Millisecond)
+	spawnServer(t, bin, "primary2", "-addr", pAddr, "-db", pDir, "-schema", e2eSchema)
+	waitTCP(t, pAddr)
+	if err := <-batchDone; err != nil {
+		t.Fatalf("batch across SIGKILL failover: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rt.ExecBatch(ctx, batchScript(fmt.Sprintf("post%d", i), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitE2EConverged(t, rt)
+
+	// Exactly once across the crash: every batch's rows exist exactly once
+	// on the recovered primary, and both replicas serve the identical set.
+	want := queryKeys(t, rt.Primary())
+	seen := map[string]bool{}
+	for _, k := range want {
+		if seen[k] {
+			t.Fatalf("duplicate row %q on recovered primary", k)
+		}
+		seen[k] = true
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[fmt.Sprintf("during-%d", i)] {
+			t.Fatalf("outage-window batch row during-%d missing after failover", i)
+		}
+	}
+	for i, rep := range rt.Replicas() {
+		if got := queryKeys(t, rep); !slices.Equal(got, want) {
+			t.Fatalf("replica%d diverged:\n got %v\nwant %v", i+1, got, want)
+		}
+	}
+}

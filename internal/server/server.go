@@ -34,6 +34,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"beliefdb"
@@ -59,12 +60,21 @@ const DefaultCommitWindow = 200 * time.Microsecond
 // A Server serves the wire protocol over one belief database. Create with
 // New, start with Serve, stop with Shutdown.
 type Server struct {
-	db         *beliefdb.DB
+	// db is swapped atomically: a replica resyncing from a snapshot closes
+	// the old handle (which keeps serving reads) and publishes a freshly
+	// recovered one, while request handlers load whichever is current. A
+	// primary never swaps.
+	db         atomic.Pointer[beliefdb.DB]
 	maxFrame   int
 	info       string
 	window     time.Duration
 	reqTimeout time.Duration
 	logf       func(format string, args ...interface{})
+
+	// follower is non-nil in replica mode: the server refuses mutations,
+	// answers only read queries (against the watermark its follower has
+	// applied), and keeps db in sync by replaying the primary's WAL stream.
+	follower *Follower
 
 	// Accept gate (WithMaxConns): a slot is taken before Accept, so past
 	// the bound the server simply stops accepting and excess clients queue
@@ -132,13 +142,13 @@ func WithLogger(logf func(format string, args ...interface{})) Option {
 // concurrent clients' batches share WAL fsyncs.
 func New(db *beliefdb.DB, opts ...Option) *Server {
 	s := &Server{
-		db:       db,
 		maxFrame: wire.DefaultMaxFrame,
 		info:     "beliefdb",
 		window:   DefaultCommitWindow,
 		conns:    make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
 	}
+	s.db.Store(db)
 	for _, o := range opts {
 		o(s)
 	}
@@ -148,6 +158,14 @@ func New(db *beliefdb.DB, opts ...Option) *Server {
 	db.SetGroupCommitWindow(s.window)
 	return s
 }
+
+// DB returns the server's current database handle. On a replica the handle
+// changes across snapshot resyncs; callers must not cache it across
+// requests.
+func (s *Server) DB() *beliefdb.DB { return s.db.Load() }
+
+// Replica reports whether the server runs in read-only replica mode.
+func (s *Server) Replica() bool { return s.follower != nil }
 
 // Serve accepts connections on ln until Shutdown (which returns nil here)
 // or a listener failure. Each connection is handled on its own goroutine.
@@ -240,6 +258,11 @@ func (s *Server) shuttingDown() bool {
 // error. The database is not touched either way — closing it is the
 // caller's next step, after Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.follower != nil {
+		// Stop replaying before draining handlers, so no apply races the
+		// caller's subsequent DB().Close().
+		s.follower.stopFollowing()
+	}
 	s.mu.Lock()
 	if !s.shutdown {
 		close(s.stop)
@@ -321,6 +344,13 @@ func (s *Server) handle(conn net.Conn) {
 			s.abort(w, bw, err)
 			return
 		}
+		// A follow request dedicates the connection to streaming WAL
+		// records until the peer goes away or the server shuts down; there
+		// is no further request to read.
+		if req.Kind == wire.KindFollowWAL {
+			s.serveFollow(w, bw, req)
+			return
+		}
 		// The per-request deadline covers the whole response write: a
 		// client that stops draining cannot pin the handler forever.
 		if s.reqTimeout > 0 {
@@ -372,6 +402,8 @@ func classify(err error) wire.ErrCode {
 		return wire.CodeReadOnly
 	case errors.Is(err, beliefdb.ErrParse):
 		return wire.CodeParse
+	case errors.Is(err, beliefdb.ErrStaleRead):
+		return wire.CodeStaleRead
 	default:
 		return wire.CodeInternal
 	}
@@ -427,20 +459,55 @@ func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) (err error) {
 	if panicHook != nil {
 		panicHook(req)
 	}
+	db := s.DB()
 	switch req.Kind {
-	case wire.KindQuery, wire.KindExec:
-		res, err := s.db.ExecScript(req.Text)
+	case wire.KindQuery:
+		if s.follower != nil {
+			if err := s.replicaReadCheck(req); err != nil {
+				return w.Write(s.errFrame(err))
+			}
+			// The check may have raced a resync swap; serve from whichever
+			// handle is current (the superseded one still answers reads, so
+			// either is consistent — the swapped-in one is just fresher).
+			db = s.DB()
+		}
+		res, err := db.ExecScript(req.Text)
 		if err != nil {
 			return w.Write(s.errFrame(err))
 		}
-		return s.writeResult(w, res)
+		return s.writeResult(w, res, 0, 0)
+
+	case wire.KindExec:
+		if s.follower != nil {
+			// A pure-SELECT script is a read wearing Exec clothing (the
+			// shell's remote path sends everything as Exec); serve it like
+			// a query. Anything mutating is refused.
+			if err := s.replicaReadCheck(req); err != nil {
+				return w.Write(s.errFrame(err))
+			}
+			db = s.DB() // a resync may have swapped the handle
+			res, err := db.ExecScript(req.Text)
+			if err != nil {
+				return w.Write(s.errFrame(err))
+			}
+			return s.writeResult(w, res, 0, 0)
+		}
+		res, err := db.ExecScript(req.Text)
+		if err != nil {
+			return w.Write(s.errFrame(err))
+		}
+		epoch, pos := position(db)
+		return s.writeResult(w, res, epoch, pos)
 
 	case wire.KindExecBatch:
+		if s.follower != nil {
+			return w.Write(s.errFrame(errReplicaWrite))
+		}
 		// Compile outside any lock, then commit through the coalescer:
 		// batches from concurrent connections share one WAL fsync. The
 		// client's idempotency token rides along, so a retried batch
 		// (dropped ack, reconnect) applies exactly once.
-		b, err := s.db.ParseBatch(req.Text)
+		b, err := db.ParseBatch(req.Text)
 		if err != nil {
 			return w.Write(s.errFrame(err))
 		}
@@ -451,28 +518,51 @@ func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) (err error) {
 			ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
 			defer cancel()
 		}
-		res, err := s.db.SubmitBatch(ctx, b)
+		res, err := db.SubmitBatch(ctx, b)
 		if err != nil {
 			return w.Write(s.errFrame(err))
 		}
+		epoch, pos := position(db)
 		return w.Write(wire.Msg{
 			Kind:    wire.KindBatchDone,
 			Applied: uint64(res.Applied),
 			Changed: uint64(res.Changed),
+			Epoch:   epoch,
+			Pos:     pos,
 		})
 
 	case wire.KindAddUser:
-		uid, err := s.db.AddUser(req.Text)
+		if s.follower != nil {
+			return w.Write(s.errFrame(errReplicaWrite))
+		}
+		uid, err := db.AddUser(req.Text)
 		if err != nil {
 			return w.Write(s.errFrame(err))
 		}
-		return w.Write(wire.Msg{Kind: wire.KindUserAdded, UID: int64(uid)})
+		epoch, pos := position(db)
+		return w.Write(wire.Msg{Kind: wire.KindUserAdded, UID: int64(uid), Epoch: epoch, Pos: pos})
 
 	case wire.KindCheckpoint:
-		if err := s.db.Checkpoint(); err != nil {
+		if s.follower != nil {
+			return w.Write(s.errFrame(errReplicaWrite))
+		}
+		if err := db.Checkpoint(); err != nil {
 			return w.Write(s.errFrame(err))
 		}
-		return w.Write(wire.Msg{Kind: wire.KindOK})
+		epoch, pos := position(db)
+		return w.Write(wire.Msg{Kind: wire.KindOK, Epoch: epoch, Pos: pos})
+
+	case wire.KindReplicaStatus:
+		if s.follower != nil {
+			epoch, pos := s.follower.Cursor()
+			connected := uint64(0)
+			if s.follower.Connected() {
+				connected = 1
+			}
+			return w.Write(wire.Msg{Kind: wire.KindStatus, Info: "replica", Epoch: epoch, Pos: pos, Affected: connected})
+		}
+		epoch, pos := position(db)
+		return w.Write(wire.Msg{Kind: wire.KindStatus, Info: "primary", Epoch: epoch, Pos: pos, Affected: 1})
 
 	case wire.KindPing:
 		return w.Write(wire.Msg{Kind: wire.KindPong})
@@ -492,7 +582,7 @@ func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) (err error) {
 // wire limit and kill the connection mid-stream; a single row that cannot
 // fit any frame is answered with an in-stream Error (which the client
 // treats as the request's failure) instead of a dead connection.
-func (s *Server) writeResult(w *wire.Writer, res *beliefdb.Result) error {
+func (s *Server) writeResult(w *wire.Writer, res *beliefdb.Result, epoch, pos uint64) error {
 	affected := uint64(0)
 	if res != nil {
 		affected = uint64(res.Affected)
@@ -534,5 +624,49 @@ func (s *Server) writeResult(w *wire.Writer, res *beliefdb.Result) error {
 			return err
 		}
 	}
-	return w.Write(wire.Msg{Kind: wire.KindResultEnd, Affected: affected})
+	return w.Write(wire.Msg{Kind: wire.KindResultEnd, Affected: affected, Epoch: epoch, Pos: pos})
+}
+
+// position reports the database's committed WAL position — the watermark a
+// write acknowledgement carries so the client's later reads can insist a
+// replica has caught up to it. Any position at or past the write's own is a
+// correct (merely conservative) watermark, so reading it after the commit
+// is sound. In-memory databases have no position; their acks carry zeros.
+func position(db *beliefdb.DB) (epoch, pos uint64) {
+	if !db.Durable() {
+		return 0, 0
+	}
+	epoch, pos, err := db.Store().WALStatus()
+	if err != nil {
+		return 0, 0
+	}
+	return epoch, pos
+}
+
+// errReplicaWrite classifies every mutation attempted on a replica: the
+// wrapped ErrClosed maps it to the stable read-only wire code.
+var errReplicaWrite = fmt.Errorf("server: replica is read-only; write to the primary: %w", beliefdb.ErrClosed)
+
+// replicaReadCheck vets a Query against the replica contract: the script
+// must be pure SELECTs (DML applied outside the replication stream would
+// silently fork the replica from its primary), and when the request carries
+// a read-your-writes watermark the follower must have applied at least that
+// far — otherwise the refusal carries the stale-read code and the client
+// falls back to the primary.
+func (s *Server) replicaReadCheck(req wire.Msg) error {
+	readOnly, err := beliefdb.ReadOnlyScript(req.Text)
+	if err != nil {
+		return err
+	}
+	if !readOnly {
+		return errReplicaWrite
+	}
+	if req.Epoch != 0 || req.Pos != 0 {
+		epoch, pos := s.follower.Cursor()
+		if epoch < req.Epoch || (epoch == req.Epoch && pos < req.Pos) {
+			return fmt.Errorf("server: replica applied (%d, %d), watermark (%d, %d): %w",
+				epoch, pos, req.Epoch, req.Pos, beliefdb.ErrStaleRead)
+		}
+	}
+	return nil
 }

@@ -376,6 +376,22 @@ func (r *Reader) Count(minBytes uint64) uint64 {
 	return n
 }
 
+// Bytes reads a length-prefixed byte slice, copied out of the buffer so
+// the result stays valid after the reader's backing payload is reused.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.Fail("truncated byte field (%d of %d bytes)", len(r.b), n)
+		return nil
+	}
+	b := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return b
+}
+
 // Str reads a length-prefixed string.
 func (r *Reader) Str() string {
 	n := r.Uvarint()

@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tailImage builds a WAL image (header + records) in memory and returns
+// the raw bytes plus the encoded payload of every record in order.
+func tailImage(t *testing.T, epoch uint64, ops []Op) ([]byte, [][]byte) {
+	t.Helper()
+	sink := &MemSink{}
+	log, err := NewLog(sink, epoch)
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	var payloads [][]byte
+	for _, op := range ops {
+		if err := log.Append(op); err != nil {
+			t.Fatalf("Append %s: %v", op.Kind, err)
+		}
+		payloads = append(payloads, op.Encode(nil))
+	}
+	return append([]byte(nil), sink.Buf...), payloads
+}
+
+func tailOps(n int) []Op {
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			ops = append(ops, AddUser("user-with-a-longer-name-"+string(rune('a'+i%26))))
+		case 1:
+			ops = append(ops, SQL("insert into _d values (1, 2)"))
+		default:
+			ops = append(ops, Rebuild())
+		}
+	}
+	return ops
+}
+
+// TestTailByteCutSweep streams a WAL to a follower-side Tail through every
+// possible byte-level cut point: for each prefix length L of the file, the
+// Tail must hand out exactly the records whose frames are complete within
+// L bytes — never a torn one, never an error — and, once the remainder is
+// appended, the rest, with no gap and no duplicate.
+func TestTailByteCutSweep(t *testing.T) {
+	image, payloads := tailImage(t, 7, tailOps(9))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bdb")
+
+	// Precompute how many whole records fit in each prefix length.
+	complete := make([]int, len(image)+1)
+	off := HeaderLen
+	n := 0
+	for i := range complete {
+		for n < len(payloads) && off+8+len(payloads[n]) <= i {
+			off += 8 + len(payloads[n])
+			n++
+		}
+		complete[i] = n
+	}
+
+	for cut := 0; cut <= len(image); cut++ {
+		if err := os.WriteFile(path, image[:cut], 0o644); err != nil {
+			t.Fatalf("cut %d: write: %v", cut, err)
+		}
+		tail := OpenTail(path)
+		got, rotated, err := tail.Read(7, 0, uint64(len(payloads)), 1<<20)
+		if err != nil {
+			t.Fatalf("cut %d: Read: %v", cut, err)
+		}
+		if rotated {
+			t.Fatalf("cut %d: unexpected rotation", cut)
+		}
+		want := complete[cut]
+		if cut < HeaderLen {
+			want = 0
+		}
+		if len(got) != want {
+			t.Fatalf("cut %d: got %d records, want %d", cut, len(got), want)
+		}
+		for i, p := range got {
+			if !bytes.Equal(p, payloads[i]) {
+				t.Fatalf("cut %d: record %d mismatch", cut, i)
+			}
+		}
+
+		// Append the remainder and resume from the same Tail: the stream
+		// must continue exactly after the already-delivered records.
+		if err := os.WriteFile(path, image, 0o644); err != nil {
+			t.Fatalf("cut %d: complete: %v", cut, err)
+		}
+		rest, rotated, err := tail.Read(7, uint64(want), uint64(len(payloads)), 1<<20)
+		if err != nil || rotated {
+			t.Fatalf("cut %d: resume: rotated=%v err=%v", cut, rotated, err)
+		}
+		if len(rest) != len(payloads)-want {
+			t.Fatalf("cut %d: resumed %d records, want %d", cut, len(rest), len(payloads)-want)
+		}
+		for i, p := range rest {
+			if !bytes.Equal(p, payloads[want+i]) {
+				t.Fatalf("cut %d: resumed record %d mismatch", cut, i)
+			}
+		}
+		tail.Close()
+	}
+}
+
+// TestTailRotationDetected truncates and restamps the file under a live
+// Tail — what a checkpoint does — and expects rotated, then a clean read
+// of the new epoch from index zero.
+func TestTailRotationDetected(t *testing.T) {
+	oldImage, oldPayloads := tailImage(t, 2, tailOps(5))
+	newImage, newPayloads := tailImage(t, 3, tailOps(4))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bdb")
+	if err := os.WriteFile(path, oldImage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tail := OpenTail(path)
+	defer tail.Close()
+	got, rotated, err := tail.Read(2, 0, 3, 1<<20)
+	if err != nil || rotated || len(got) != 3 {
+		t.Fatalf("old epoch read: %d records, rotated=%v, err=%v", len(got), rotated, err)
+	}
+
+	// Checkpoint: truncate in place and restamp with the next epoch.
+	if err := os.WriteFile(path, newImage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rotated, err = tail.Read(2, 3, uint64(len(oldPayloads)), 1<<20)
+	if err != nil {
+		t.Fatalf("post-rotation read: %v", err)
+	}
+	if !rotated {
+		t.Fatalf("rotation not detected")
+	}
+	got, rotated, err = tail.Read(3, 0, uint64(len(newPayloads)), 1<<20)
+	if err != nil || rotated || len(got) != len(newPayloads) {
+		t.Fatalf("new epoch read: %d records, rotated=%v, err=%v", len(got), rotated, err)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, newPayloads[i]) {
+			t.Fatalf("new epoch record %d mismatch", i)
+		}
+	}
+}
+
+// TestTailMaxBytes bounds a single Read by payload bytes but always makes
+// progress: at least one record per call, and the full sequence arrives
+// across calls.
+func TestTailMaxBytes(t *testing.T) {
+	image, payloads := tailImage(t, 0, tailOps(8))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bdb")
+	if err := os.WriteFile(path, image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tail := OpenTail(path)
+	defer tail.Close()
+
+	var got [][]byte
+	for from := uint64(0); from < uint64(len(payloads)); {
+		recs, rotated, err := tail.Read(0, from, uint64(len(payloads)), 1)
+		if err != nil || rotated {
+			t.Fatalf("Read: rotated=%v err=%v", rotated, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("no progress at %d", from)
+		}
+		got = append(got, recs...)
+		from += uint64(len(recs))
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(got), len(payloads))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}

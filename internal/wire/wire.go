@@ -51,7 +51,11 @@ import (
 // refuses a Hello carrying a different version: the framing may survive
 // revisions but field layouts need not. Revision 2 added the machine-
 // readable code on Error and the idempotency token on ExecBatch.
-const ProtoVersion = 2
+// Revision 3 added replication: the FollowWAL and ReplicaStatus requests,
+// the snapshot/record stream frames, the WAL position (epoch, applied
+// record count) on every successful write acknowledgement, and the
+// read-your-writes watermark on Query.
+const ProtoVersion = 3
 
 // DefaultMaxFrame bounds a frame's payload unless the caller chooses
 // otherwise: large enough for generous batches and row chunks, far below
@@ -75,16 +79,34 @@ const (
 	KindAddUser    Kind = 5 // Name: register a community member
 	KindCheckpoint Kind = 6 // snapshot a durable store and truncate its WAL
 	KindPing       Kind = 7 // liveness probe
+	// KindFollowWAL turns the connection into a replication stream: the
+	// server answers with an unbounded sequence of SnapBegin/SnapChunk/
+	// SnapEnd and WALRecs frames instead of a single response. Epoch + Pos
+	// carry the follower's resume cursor (the WAL position it has fully
+	// applied); a cursor the primary cannot serve from its live WAL — a
+	// rotated epoch, a position past the committed count — is answered with
+	// a snapshot resync.
+	KindFollowWAL Kind = 8
+	// KindReplicaStatus asks a server for its replication position; both
+	// roles answer (a primary reports its committed WAL position).
+	KindReplicaStatus Kind = 9
 
 	KindServerHello Kind = 16 // Version + Info: accepts the session
 	KindError       Kind = 17 // Text: the request failed; the connection stays usable
 	KindRowHeader   Kind = 18 // Cols: starts a streamed result set
 	KindRowChunk    Kind = 19 // Rows: a bounded slice of the result set
-	KindResultEnd   Kind = 20 // Affected: ends a result (streamed or row-less)
-	KindBatchDone   Kind = 21 // Applied + Changed: an ExecBatch committed
-	KindUserAdded   Kind = 22 // UID: an AddUser succeeded
-	KindOK          Kind = 23 // a fieldless request (Checkpoint) succeeded
+	KindResultEnd   Kind = 20 // Affected + Epoch/Pos: ends a result (streamed or row-less)
+	KindBatchDone   Kind = 21 // Applied + Changed + Epoch/Pos: an ExecBatch committed
+	KindUserAdded   Kind = 22 // UID + Epoch/Pos: an AddUser succeeded
+	KindOK          Kind = 23 // Epoch/Pos: a fieldless request (Checkpoint) succeeded
 	KindPong        Kind = 24 // answer to Ping
+	// Replication stream frames (responses to FollowWAL) and the status
+	// response.
+	KindSnapBegin Kind = 25 // Epoch + Pos + Affected: a snapshot resync starts; the cursor it installs and its total byte size
+	KindSnapChunk Kind = 26 // Data: one bounded slice of the encoded snapshot
+	KindSnapEnd   Kind = 27 // the snapshot resync is complete
+	KindWALRecs   Kind = 28 // Epoch + Pos + Recs: committed WAL record payloads starting at record index Pos
+	KindStatus    Kind = 29 // Info (role) + Epoch + Pos + Affected (1 = stream connected): answer to ReplicaStatus
 )
 
 func (k Kind) String() string {
@@ -103,6 +125,10 @@ func (k Kind) String() string {
 		return "Checkpoint"
 	case KindPing:
 		return "Ping"
+	case KindFollowWAL:
+		return "FollowWAL"
+	case KindReplicaStatus:
+		return "ReplicaStatus"
 	case KindServerHello:
 		return "ServerHello"
 	case KindError:
@@ -121,6 +147,16 @@ func (k Kind) String() string {
 		return "OK"
 	case KindPong:
 		return "Pong"
+	case KindSnapBegin:
+		return "SnapBegin"
+	case KindSnapChunk:
+		return "SnapChunk"
+	case KindSnapEnd:
+		return "SnapEnd"
+	case KindWALRecs:
+		return "WALRecs"
+	case KindStatus:
+		return "Status"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -149,6 +185,12 @@ const (
 	// closed or otherwise permanently read-only (distinct from the fault-
 	// induced CodeDegraded).
 	CodeReadOnly ErrCode = 3
+	// CodeStaleRead marks a read refused by a replica because its applied
+	// WAL position is behind the watermark the client attached to the
+	// request (read-your-writes). The client's routing layer falls back to
+	// another replica or the primary; retrying the same replica later can
+	// also succeed once it catches up.
+	CodeStaleRead ErrCode = 4
 )
 
 func (c ErrCode) String() string {
@@ -161,6 +203,8 @@ func (c ErrCode) String() string {
 		return "degraded"
 	case CodeReadOnly:
 		return "read-only"
+	case CodeStaleRead:
+		return "stale-read"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
@@ -172,16 +216,28 @@ func (c ErrCode) String() string {
 type Msg struct {
 	Kind     Kind
 	Version  uint32        // Hello, ServerHello
-	Info     string        // ServerHello: human-readable server identity
+	Info     string        // ServerHello: server identity; Status: role ("primary"/"replica")
 	Text     string        // Query/Exec/ExecBatch: BeliefSQL; AddUser: name; Error: message
 	Code     ErrCode       // Error: stable machine-readable class
 	Token    string        // ExecBatch: client-generated idempotency token ("" = none)
 	Cols     []string      // RowHeader
 	Rows     [][]val.Value // RowChunk
-	Affected uint64        // ResultEnd
+	Affected uint64        // ResultEnd; SnapBegin: snapshot byte size; Status: 1 = stream connected
 	Applied  uint64        // BatchDone
 	Changed  uint64        // BatchDone
 	UID      int64         // UserAdded
+
+	// Epoch and Pos are a WAL position: (log epoch, applied record count).
+	// On FollowWAL they are the follower's resume cursor; on Query an
+	// optional read-your-writes watermark (0,0 = unconstrained); on
+	// SnapBegin/WALRecs/Status the stream or server position; on
+	// ResultEnd/BatchDone/UserAdded/OK the server's committed position
+	// after the request, which routed clients use as their next watermark.
+	Epoch uint64
+	Pos   uint64
+
+	Data []byte   // SnapChunk: one slice of the encoded snapshot
+	Recs [][]byte // WALRecs: encoded WAL record payloads (wal.Op encodings)
 }
 
 // Convenience constructors for the common messages.
@@ -211,6 +267,19 @@ func ExecBatch(script, token string) Msg {
 // AddUser returns a user-registration request.
 func AddUser(name string) Msg { return Msg{Kind: KindAddUser, Text: name} }
 
+// QueryAt returns a row-returning request carrying a read-your-writes
+// watermark: a replica whose applied WAL position is behind (epoch, pos)
+// answers with CodeStaleRead instead of serving a stale result.
+func QueryAt(text string, epoch, pos uint64) Msg {
+	return Msg{Kind: KindQuery, Text: text, Epoch: epoch, Pos: pos}
+}
+
+// FollowWAL returns the replication-stream request with the follower's
+// resume cursor (0, 0 when it has nothing).
+func FollowWAL(epoch, pos uint64) Msg {
+	return Msg{Kind: KindFollowWAL, Epoch: epoch, Pos: pos}
+}
+
 // Errorf returns an error response with the catch-all internal code.
 func Errorf(format string, args ...interface{}) Msg {
 	return Msg{Kind: KindError, Text: fmt.Sprintf(format, args...)}
@@ -230,11 +299,18 @@ func (m Msg) Encode(dst []byte) []byte {
 	case KindServerHello:
 		dst = binary.AppendUvarint(dst, uint64(m.Version))
 		dst = wal.AppendString(dst, m.Info)
-	case KindQuery, KindExec, KindAddUser:
+	case KindQuery:
+		dst = wal.AppendString(dst, m.Text)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
+	case KindExec, KindAddUser:
 		dst = wal.AppendString(dst, m.Text)
 	case KindExecBatch:
 		dst = wal.AppendString(dst, m.Text)
 		dst = wal.AppendString(dst, m.Token)
+	case KindFollowWAL:
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
 	case KindError:
 		dst = append(dst, byte(m.Code))
 		dst = wal.AppendString(dst, m.Text)
@@ -253,12 +329,41 @@ func (m Msg) Encode(dst []byte) []byte {
 		}
 	case KindResultEnd:
 		dst = binary.AppendUvarint(dst, m.Affected)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
 	case KindBatchDone:
 		dst = binary.AppendUvarint(dst, m.Applied)
 		dst = binary.AppendUvarint(dst, m.Changed)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
 	case KindUserAdded:
 		dst = binary.AppendVarint(dst, m.UID)
-	case KindCheckpoint, KindPing, KindOK, KindPong:
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
+	case KindOK:
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
+	case KindSnapBegin:
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
+		dst = binary.AppendUvarint(dst, m.Affected)
+	case KindSnapChunk:
+		dst = binary.AppendUvarint(dst, uint64(len(m.Data)))
+		dst = append(dst, m.Data...)
+	case KindWALRecs:
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Recs)))
+		for _, rec := range m.Recs {
+			dst = binary.AppendUvarint(dst, uint64(len(rec)))
+			dst = append(dst, rec...)
+		}
+	case KindStatus:
+		dst = wal.AppendString(dst, m.Info)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Pos)
+		dst = binary.AppendUvarint(dst, m.Affected)
+	case KindCheckpoint, KindPing, KindPong, KindReplicaStatus, KindSnapEnd:
 		// no fields
 	}
 	return dst
@@ -277,11 +382,18 @@ func Decode(payload []byte) (Msg, error) {
 	case KindServerHello:
 		m.Version = uint32(r.Uvarint())
 		m.Info = r.Str()
-	case KindQuery, KindExec, KindAddUser:
+	case KindQuery:
+		m.Text = r.Str()
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
+	case KindExec, KindAddUser:
 		m.Text = r.Str()
 	case KindExecBatch:
 		m.Text = r.Str()
 		m.Token = r.Str()
+	case KindFollowWAL:
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
 	case KindError:
 		m.Code = ErrCode(r.Byte())
 		m.Text = r.Str()
@@ -307,12 +419,39 @@ func Decode(payload []byte) (Msg, error) {
 		}
 	case KindResultEnd:
 		m.Affected = r.Uvarint()
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
 	case KindBatchDone:
 		m.Applied = r.Uvarint()
 		m.Changed = r.Uvarint()
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
 	case KindUserAdded:
 		m.UID = r.Varint()
-	case KindCheckpoint, KindPing, KindOK, KindPong:
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
+	case KindOK:
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
+	case KindSnapBegin:
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
+		m.Affected = r.Uvarint()
+	case KindSnapChunk:
+		m.Data = r.Bytes()
+	case KindWALRecs:
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
+		n := r.Count(1)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			m.Recs = append(m.Recs, r.Bytes())
+		}
+	case KindStatus:
+		m.Info = r.Str()
+		m.Epoch = r.Uvarint()
+		m.Pos = r.Uvarint()
+		m.Affected = r.Uvarint()
+	case KindCheckpoint, KindPing, KindPong, KindReplicaStatus, KindSnapEnd:
 		// no fields
 	default:
 		r.Fail("unknown message opcode %d", m.Kind)

@@ -33,21 +33,45 @@ func sampleMsgs() []Msg {
 			{val.Bool(true), val.Str("")},
 		}},
 		{Kind: KindResultEnd, Affected: 42},
+		{Kind: KindResultEnd, Affected: 1, Epoch: 3, Pos: 107},
 		{Kind: KindBatchDone, Applied: 10, Changed: 9},
+		{Kind: KindBatchDone, Applied: 2, Changed: 2, Epoch: 1, Pos: 55},
 		{Kind: KindUserAdded, UID: -3},
+		{Kind: KindUserAdded, UID: 12, Epoch: 9, Pos: 4},
 		{Kind: KindOK},
+		{Kind: KindOK, Epoch: 2, Pos: 99},
 		{Kind: KindPong},
+		QueryAt("select S.species from Sightings S", 4, 321),
+		FollowWAL(0, 0),
+		FollowWAL(7, 1<<40),
+		{Kind: KindReplicaStatus},
+		{Kind: KindSnapBegin, Epoch: 5, Pos: 1200, Affected: 1 << 20},
+		{Kind: KindSnapChunk, Data: []byte("snapshot bytes \x00\xff")},
+		{Kind: KindSnapChunk, Data: nil},
+		{Kind: KindSnapEnd},
+		{Kind: KindWALRecs, Epoch: 5, Pos: 1200, Recs: [][]byte{{1, 2, 3}, {}, {0xff}}},
+		{Kind: KindWALRecs, Epoch: 0, Pos: 0, Recs: nil},
+		{Kind: KindStatus, Info: "replica", Epoch: 5, Pos: 1200, Affected: 1},
+		{Kind: KindStatus, Info: "primary", Epoch: 2, Pos: 33},
+		ErrorMsg(CodeStaleRead, "replica at (1, 10), watermark (1, 12)"),
 	}
 }
 
 func msgsEqual(a, b Msg) bool {
 	if a.Kind != b.Kind || a.Version != b.Version || a.Info != b.Info || a.Text != b.Text ||
 		a.Code != b.Code || a.Token != b.Token ||
-		a.Affected != b.Affected || a.Applied != b.Applied || a.Changed != b.Changed || a.UID != b.UID {
+		a.Affected != b.Affected || a.Applied != b.Applied || a.Changed != b.Changed || a.UID != b.UID ||
+		a.Epoch != b.Epoch || a.Pos != b.Pos {
 		return false
 	}
-	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) {
+	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) ||
+		!bytes.Equal(a.Data, b.Data) || len(a.Recs) != len(b.Recs) {
 		return false
+	}
+	for i := range a.Recs {
+		if !bytes.Equal(a.Recs[i], b.Recs[i]) {
+			return false
+		}
 	}
 	for i := range a.Cols {
 		if a.Cols[i] != b.Cols[i] {
