@@ -5,13 +5,15 @@
 // write/load), the group-commit ingest benchmark (fsyncs per statement at
 // several batch sizes), and the client/server ingest benchmark (fsyncs
 // per statement at several concurrent-client counts through a live
-// beliefserver), and the mixed read-under-write benchmark (parallel
+// beliefserver), the mixed read-under-write benchmark (parallel
 // content queries racing a streaming batch writer, tracking reader latency
-// under ingest), which have no counterpart in the paper.
+// under ingest), and the range-query benchmark (ordered-index range walks
+// and top-k vs. full scans across a selectivity sweep), which have no
+// counterpart in the paper.
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-replicas N] [-mixed] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-replicas N] [-mixed] [-ranges] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
 //
 // -replicas measures the WAL-shipping read-replica fleet: ingest through
 // the primary with N followers attached, reporting replica-served read
@@ -80,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		serveN  = fs.Int("serve", 0, "run the client/server ingest benchmark comparing N concurrent clients against 1 (with -all alone: 1, 4, 16)")
 		replN   = fs.Int("replicas", 0, "run the read-replica benchmark with N WAL-shipping followers (with -all alone: 1, 2, 4)")
 		mixed   = fs.Bool("mixed", false, "run the mixed read-under-write benchmark (parallel content queries vs. a streaming batch writer)")
+		ranges  = fs.Bool("ranges", false, "run the range-query benchmark (ordered-index walks and top-k vs. full scans)")
 		chaos   = fs.Bool("chaos", false, "run the seeded chaos schedule against a live server and report invariant violations (not part of -all)")
 		seed    = fs.Int64("seed", 0, "override the chaos fault-schedule seed")
 		all     = fs.Bool("all", false, "run everything except -chaos")
@@ -93,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *replN > 0 || *mixed || *chaos || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *replN > 0 || *mixed || *ranges || *chaos || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -375,6 +378,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 				})
 		}
 		emit(bench.RenderMixed(rows, nm, mm), recs)
+	}
+
+	if *all || *ranges {
+		nr := 20000
+		if *full {
+			nr = 100000
+		}
+		if *n > 0 {
+			nr = *n * 20 // default -n values are small; ranges needs a big table
+		}
+		rr := 5
+		if *qreps > 0 {
+			rr = *qreps
+		}
+		rows, err := bench.RunRanges(nr, []float64{0.001, 0.01, 0.1}, rr, progress)
+		if err != nil {
+			return err
+		}
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs, benchRecord{
+				Name:    fmt.Sprintf("ranges/%s", r.Label),
+				NsPerOp: r.IndexedNs,
+				Value:   r.Speedup,
+				Unit:    "x_vs_scan",
+			})
+		}
+		emit(bench.RenderRanges(rows, nr), recs)
 	}
 
 	// Chaos is deliberately outside -all: it measures robustness, not

@@ -376,6 +376,7 @@ func meta(sh *shell, line string) bool {
   \users           list users
   \world PATH      show a belief world (PATH like Bob.Alice; empty = root)
   \translate Q     show the SQL a BeliefSQL SELECT compiles to
+  \explain Q       show the access path the planner picks for a SELECT
   \sql STMT        run plain SQL on the internal schema
   \stats           representation size
   \statements      list explicit belief statements
@@ -429,6 +430,12 @@ func meta(sh *shell, line string) bool {
 			break
 		}
 		fmt.Println(sql)
+	case "explain":
+		if arg == "" {
+			fmt.Println("usage: \\explain SELECT ...")
+			break
+		}
+		run(sh.sess, "EXPLAIN "+arg)
 	case "sql":
 		res, err := db.SQL(arg)
 		if err != nil {

@@ -400,9 +400,11 @@ func TestWALSchemaMismatchRejected(t *testing.T) {
 	}
 }
 
-// TestDurableRejectsRawDDL: schema-changing SQL is refused on a durable
-// database — the snapshot format persists only the schema declared at open
-// time, so journaled DDL would be silently dropped at the next checkpoint.
+// TestDurableRejectsRawDDL: table-changing SQL is refused on a durable
+// database — the snapshot format persists only the relations declared at
+// open time, so journaled CREATE/DROP TABLE would be silently dropped at
+// the next checkpoint. Index DDL is the exception: snapshot v2 records
+// index definitions, so CREATE INDEX is journaled and allowed.
 func TestDurableRejectsRawDDL(t *testing.T) {
 	dir := t.TempDir()
 	db, err := beliefdb.OpenAt(dir, natureSchema())
@@ -413,12 +415,14 @@ func TestDurableRejectsRawDDL(t *testing.T) {
 	for _, ddl := range []string{
 		`create table notes (x int)`,
 		`drop table Users`,
-		`create index ix on Sightings_star (sid)`,
 		`insert into Users values (5, 'ok'); create table sneaky (x int)`,
 	} {
 		if _, err := db.SQL(ddl); err == nil {
 			t.Errorf("durable SQL(%q) should be rejected", ddl)
 		}
+	}
+	if _, err := db.SQL(`create index ix on Sightings_star (sid)`); err != nil {
+		t.Errorf("durable CREATE INDEX should be journaled, got %v", err)
 	}
 	// The batch with the sneaky CREATE was aborted before its INSERT ran.
 	res, err := db.SQL(`select U.uid from Users U where U.uid = 5`)

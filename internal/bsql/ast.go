@@ -70,7 +70,15 @@ type Update struct {
 	Where  sqlparser.Expr
 }
 
-func (Select) beliefStmt() {}
+// Explain is EXPLAIN SELECT ...: the query is translated through Algorithm 1
+// like any BeliefSQL SELECT, but the engine reports the planner's chosen
+// access paths instead of the query result.
+type Explain struct {
+	Query Select
+}
+
+func (Select) beliefStmt()  {}
+func (Explain) beliefStmt() {}
 func (Insert) beliefStmt() {}
 func (Delete) beliefStmt() {}
 func (Update) beliefStmt() {}

@@ -121,6 +121,12 @@ func (tr *Translator) ExecStmt(stmt Statement) (*query.Result, error) {
 			return nil, err
 		}
 		return tr.st.DB().Query(sql)
+	case Explain:
+		sql, err := tr.TranslateSelect(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		return tr.st.DB().Query("EXPLAIN " + sql)
 	case Insert:
 		return tr.execInsert(s)
 	case Delete:

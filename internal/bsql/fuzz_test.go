@@ -57,6 +57,9 @@ func FuzzBeliefSQL(f *testing.F) {
 		`insert into not Sightings values ('x')`,
 		`select x from`,
 		`select T.k from BELIEF 'Alice' BELIEF 'Alice' Sightings T`,
+		`explain select S.sid from BELIEF 'Alice' Sightings S where S.sid >= 's1' order by S.sid limit 2`,
+		`explain select S.species from Sightings S where S.date > '6-01-08' and S.date <= '6-30-08'`,
+		`explain insert into Sightings values ('x','y','z','d','l')`,
 		``,
 	}
 	for _, s := range seeds {

@@ -84,6 +84,18 @@ func parseStatement(p *sqlparser.Parser) (Statement, error) {
 	switch {
 	case p.IsKeyword("select"):
 		return parseSelect(p)
+	case p.IsKeyword("explain"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if !p.IsKeyword("select") {
+			return nil, p.Errorf("expected SELECT after EXPLAIN, got %q", p.Tok().Text)
+		}
+		stmt, err := parseSelect(p)
+		if err != nil {
+			return nil, err
+		}
+		return Explain{Query: stmt.(Select)}, nil
 	case p.IsKeyword("insert"):
 		return parseInsert(p)
 	case p.IsKeyword("delete"):
@@ -91,7 +103,7 @@ func parseStatement(p *sqlparser.Parser) (Statement, error) {
 	case p.IsKeyword("update"):
 		return parseUpdate(p)
 	default:
-		return nil, p.Errorf("expected SELECT, INSERT, DELETE or UPDATE, got %q", p.Tok().Text)
+		return nil, p.Errorf("expected SELECT, EXPLAIN, INSERT, DELETE or UPDATE, got %q", p.Tok().Text)
 	}
 }
 

@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"sort"
+
+	"beliefdb/internal/val"
+)
+
+// Copy-on-write B-tree backing ordered secondary indexes. Like the pmap
+// trie it supports O(1) structural sharing: freeze copies the root pointer,
+// after which the single writer diverges via path copying. Every node
+// records the epoch in which it became writer-private; a node whose epoch
+// matches the writer's current epoch is provably unreachable from any
+// published snapshot and may be mutated in place, so a commit round pays
+// O(delta · depth) node copies, not O(index).
+//
+// Leaves hold one btEntry per distinct key — the key's row-id slice uses
+// the same priv-epoch discipline as idxBucket: appends may land on a shared
+// array (they only write beyond every published length), removals copy the
+// array once per epoch and then shrink in place. Inner nodes hold children
+// plus each child's minimum key, and every node caches its subtree's
+// distinct-key count, which makes range cardinality (the planner's
+// selectivity input) an O(depth) rank query instead of a walk.
+
+// btMax is the maximum number of entries in a leaf or children in an inner
+// node; a node exceeding it splits in half.
+const btMax = 32
+
+// btEntry is one distinct key of a leaf with the ids of all rows holding
+// it. priv records the epoch in which the ids array became private to the
+// writer (fresh allocation or removal copy).
+type btEntry struct {
+	priv uint64
+	key  []val.Value
+	ids  []RowID
+}
+
+// btNode is a B-tree node. Leaves have entries and no children; inner
+// nodes have children and mins (mins[i] is the smallest key reachable
+// under children[i]). keys counts the distinct keys in the subtree.
+type btNode struct {
+	epoch    uint64
+	entries  []btEntry
+	mins     [][]val.Value
+	children []*btNode
+	keys     int
+}
+
+func (nd *btNode) leaf() bool { return nd.children == nil }
+
+// min returns the smallest key in the subtree.
+func (nd *btNode) min() []val.Value {
+	if nd.leaf() {
+		return nd.entries[0].key
+	}
+	return nd.mins[0]
+}
+
+// own returns the node if it became writer-private in the current epoch,
+// else a clone with fresh slices the writer may mutate in place.
+func (nd *btNode) own(epoch uint64) *btNode {
+	if nd.epoch == epoch {
+		return nd
+	}
+	c := &btNode{epoch: epoch, keys: nd.keys}
+	if nd.leaf() {
+		c.entries = make([]btEntry, len(nd.entries))
+		copy(c.entries, nd.entries)
+	} else {
+		c.mins = make([][]val.Value, len(nd.mins))
+		copy(c.mins, nd.mins)
+		c.children = make([]*btNode, len(nd.children))
+		copy(c.children, nd.children)
+	}
+	return c
+}
+
+// btCmpVal is val.Compare extended to a total order: values of
+// incomparable kinds (a mixed-type column, which the schema checker
+// normally prevents) order by kind tag.
+func btCmpVal(a, b val.Value) int {
+	if c, ok := val.Compare(a, b); ok {
+		return c
+	}
+	switch ak, bk := a.Kind(), b.Kind(); {
+	case ak < bk:
+		return -1
+	case ak > bk:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// btCmpKeys orders two full composite keys lexicographically.
+func btCmpKeys(a, b []val.Value) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if c := btCmpVal(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// btCmpBound compares a full key against a bound that may cover only a
+// prefix of the key columns: only the bound's columns participate, so every
+// key sharing the prefix compares equal to it.
+func btCmpBound(key, bound []val.Value) int {
+	for i := range bound {
+		if c := btCmpVal(key[i], bound[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// addID appends id to the entry's id slice under the priv-epoch discipline.
+func (e *btEntry) addID(epoch uint64, id RowID) {
+	if len(e.ids) == cap(e.ids) {
+		e.priv = epoch // append reallocates: the array becomes private
+	}
+	e.ids = append(e.ids, id)
+}
+
+// dropID removes id from the entry's id slice: in place when the array is
+// writer-private this epoch, else via a copy (a swap-remove on a shared
+// array would rewrite entries a snapshot is reading).
+func (e *btEntry) dropID(epoch uint64, id RowID) {
+	if e.priv == epoch {
+		for j := range e.ids {
+			if e.ids[j] == id {
+				e.ids[j] = e.ids[len(e.ids)-1]
+				e.ids = e.ids[:len(e.ids)-1]
+				return
+			}
+		}
+		return
+	}
+	e.ids = removeIDCopy(e.ids, id)
+	e.priv = epoch
+}
+
+// btInsert adds (key, id) under nd, path-copying shared nodes. It returns
+// the (possibly cloned) node, a right sibling when the node split, and
+// whether a new distinct key was created.
+func btInsert(nd *btNode, epoch uint64, key []val.Value, id RowID) (n, split *btNode, added bool) {
+	if nd == nil {
+		return &btNode{
+			epoch:   epoch,
+			entries: []btEntry{{priv: epoch, key: key, ids: []RowID{id}}},
+			keys:    1,
+		}, nil, true
+	}
+	nd = nd.own(epoch)
+	if nd.leaf() {
+		i := sort.Search(len(nd.entries), func(i int) bool {
+			return btCmpKeys(nd.entries[i].key, key) >= 0
+		})
+		if i < len(nd.entries) && btCmpKeys(nd.entries[i].key, key) == 0 {
+			nd.entries[i].addID(epoch, id)
+			return nd, nil, false
+		}
+		nd.entries = append(nd.entries, btEntry{})
+		copy(nd.entries[i+1:], nd.entries[i:])
+		nd.entries[i] = btEntry{priv: epoch, key: key, ids: []RowID{id}}
+		nd.keys++
+		if len(nd.entries) > btMax {
+			mid := len(nd.entries) / 2
+			right := &btNode{
+				epoch:   epoch,
+				entries: append([]btEntry(nil), nd.entries[mid:]...),
+			}
+			right.keys = len(right.entries)
+			nd.entries = nd.entries[:mid]
+			nd.keys = len(nd.entries)
+			return nd, right, true
+		}
+		return nd, nil, true
+	}
+	// Descend into the last child whose min is <= key (child 0 also absorbs
+	// keys below the current global minimum).
+	ci := sort.Search(len(nd.mins), func(i int) bool {
+		return btCmpKeys(nd.mins[i], key) > 0
+	}) - 1
+	if ci < 0 {
+		ci = 0
+	}
+	child, childSplit, added := btInsert(nd.children[ci], epoch, key, id)
+	nd.children[ci] = child
+	nd.mins[ci] = child.min()
+	if added {
+		nd.keys++
+	}
+	if childSplit != nil {
+		nd.children = append(nd.children, nil)
+		copy(nd.children[ci+2:], nd.children[ci+1:])
+		nd.children[ci+1] = childSplit
+		nd.mins = append(nd.mins, nil)
+		copy(nd.mins[ci+2:], nd.mins[ci+1:])
+		nd.mins[ci+1] = childSplit.min()
+		if len(nd.children) > btMax {
+			mid := len(nd.children) / 2
+			right := &btNode{
+				epoch:    epoch,
+				mins:     append([][]val.Value(nil), nd.mins[mid:]...),
+				children: append([]*btNode(nil), nd.children[mid:]...),
+			}
+			for _, ch := range right.children {
+				right.keys += ch.keys
+			}
+			nd.mins = nd.mins[:mid]
+			nd.children = nd.children[:mid]
+			nd.keys -= right.keys
+			return nd, right, added
+		}
+	}
+	return nd, nil, added
+}
+
+// btRemove drops (key, id) under nd, path-copying shared nodes. It returns
+// the node (nil when it emptied) and whether the key's last id vanished.
+func btRemove(nd *btNode, epoch uint64, key []val.Value, id RowID) (n *btNode, removed bool) {
+	if nd == nil {
+		return nil, false
+	}
+	if nd.leaf() {
+		i := sort.Search(len(nd.entries), func(i int) bool {
+			return btCmpKeys(nd.entries[i].key, key) >= 0
+		})
+		if i >= len(nd.entries) || btCmpKeys(nd.entries[i].key, key) != 0 {
+			return nd, false
+		}
+		nd = nd.own(epoch)
+		e := &nd.entries[i]
+		e.dropID(epoch, id)
+		if len(e.ids) > 0 {
+			return nd, false
+		}
+		nd.entries = append(nd.entries[:i], nd.entries[i+1:]...)
+		nd.keys--
+		if len(nd.entries) == 0 {
+			return nil, true
+		}
+		return nd, true
+	}
+	ci := sort.Search(len(nd.mins), func(i int) bool {
+		return btCmpKeys(nd.mins[i], key) > 0
+	}) - 1
+	if ci < 0 {
+		return nd, false
+	}
+	child, removed := btRemove(nd.children[ci], epoch, key, id)
+	if child == nd.children[ci] && !removed {
+		return nd, false
+	}
+	nd = nd.own(epoch)
+	if child == nil {
+		nd.children = append(nd.children[:ci], nd.children[ci+1:]...)
+		nd.mins = append(nd.mins[:ci], nd.mins[ci+1:]...)
+	} else {
+		nd.children[ci] = child
+		nd.mins[ci] = child.min()
+	}
+	if removed {
+		nd.keys--
+	}
+	if len(nd.children) == 0 {
+		return nil, removed
+	}
+	// Deletion never rebalances (nodes may run underfull), but a chain of
+	// single-child inner nodes collapses so depth stays bounded by inserts.
+	if len(nd.children) == 1 {
+		return nd.children[0], removed
+	}
+	return nd, removed
+}
+
+// btGet returns the id slice stored under the exact key, or nil.
+func btGet(nd *btNode, key []val.Value) []RowID {
+	for nd != nil && !nd.leaf() {
+		ci := sort.Search(len(nd.mins), func(i int) bool {
+			return btCmpKeys(nd.mins[i], key) > 0
+		}) - 1
+		if ci < 0 {
+			return nil
+		}
+		nd = nd.children[ci]
+	}
+	if nd == nil {
+		return nil
+	}
+	i := sort.Search(len(nd.entries), func(i int) bool {
+		return btCmpKeys(nd.entries[i].key, key) >= 0
+	})
+	if i < len(nd.entries) && btCmpKeys(nd.entries[i].key, key) == 0 {
+		return nd.entries[i].ids
+	}
+	return nil
+}
+
+// btInRange reports whether a key satisfies the (possibly open-ended,
+// possibly prefix-length) bounds.
+func btInRange(key, lo []val.Value, loIncl bool, hi []val.Value, hiIncl bool) bool {
+	if lo != nil {
+		if c := btCmpBound(key, lo); c < 0 || (c == 0 && !loIncl) {
+			return false
+		}
+	}
+	if hi != nil {
+		if c := btCmpBound(key, hi); c > 0 || (c == 0 && !hiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// btAscend walks the distinct keys within the bounds in ascending order,
+// stopping early when fn returns false. Either bound may be nil (open) or a
+// prefix of the key columns. It returns false on early stop.
+func btAscend(nd *btNode, lo []val.Value, loIncl bool, hi []val.Value, hiIncl bool, fn func(key []val.Value, ids []RowID) bool) bool {
+	if nd == nil {
+		return true
+	}
+	if nd.leaf() {
+		i := 0
+		if lo != nil {
+			i = sort.Search(len(nd.entries), func(i int) bool {
+				c := btCmpBound(nd.entries[i].key, lo)
+				return c > 0 || (c == 0 && loIncl)
+			})
+		}
+		for ; i < len(nd.entries); i++ {
+			e := &nd.entries[i]
+			if hi != nil {
+				if c := btCmpBound(e.key, hi); c > 0 || (c == 0 && !hiIncl) {
+					return true
+				}
+			}
+			if !fn(e.key, e.ids) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, ch := range nd.children {
+		// Every key in child i is below mins[i+1]; a sibling min still
+		// strictly under the lower bound means the whole child is too.
+		if lo != nil && i+1 < len(nd.children) && btCmpBound(nd.mins[i+1], lo) < 0 {
+			continue
+		}
+		if hi != nil {
+			if c := btCmpBound(nd.mins[i], hi); c > 0 || (c == 0 && !hiIncl) {
+				return true
+			}
+		}
+		if !btAscend(ch, lo, loIncl, hi, hiIncl, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// btDescend is btAscend in descending key order.
+func btDescend(nd *btNode, lo []val.Value, loIncl bool, hi []val.Value, hiIncl bool, fn func(key []val.Value, ids []RowID) bool) bool {
+	if nd == nil {
+		return true
+	}
+	if nd.leaf() {
+		for i := len(nd.entries) - 1; i >= 0; i-- {
+			e := &nd.entries[i]
+			if hi != nil {
+				if c := btCmpBound(e.key, hi); c > 0 || (c == 0 && !hiIncl) {
+					continue
+				}
+			}
+			if lo != nil {
+				if c := btCmpBound(e.key, lo); c < 0 || (c == 0 && !loIncl) {
+					return true
+				}
+			}
+			if !fn(e.key, e.ids) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := len(nd.children) - 1; i >= 0; i-- {
+		// Every key in child i is below mins[i+1]; a sibling min still
+		// strictly under the lower bound means this child — and all the
+		// smaller ones the descent would visit next — is below the range.
+		if lo != nil && i+1 < len(nd.children) && btCmpBound(nd.mins[i+1], lo) < 0 {
+			return true
+		}
+		if hi != nil {
+			if c := btCmpBound(nd.mins[i], hi); c > 0 || (c == 0 && !hiIncl) {
+				continue
+			}
+		}
+		if !btDescend(nd.children[i], lo, loIncl, hi, hiIncl, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// btRank counts the distinct keys strictly below bound (inclusive of keys
+// equal to it when incl). Subtree counts make this O(depth · fanout).
+func btRank(nd *btNode, bound []val.Value, incl bool) int {
+	if nd == nil {
+		return 0
+	}
+	if nd.leaf() {
+		n := 0
+		for i := range nd.entries {
+			c := btCmpBound(nd.entries[i].key, bound)
+			if c < 0 || (incl && c == 0) {
+				n++
+			} else {
+				break
+			}
+		}
+		return n
+	}
+	n := 0
+	for i, ch := range nd.children {
+		if i+1 < len(nd.children) {
+			// Keys in child i are below mins[i+1]; when that sibling min is
+			// itself below the bound the whole child counts.
+			c := btCmpBound(nd.mins[i+1], bound)
+			if c < 0 || (incl && c == 0) {
+				n += ch.keys
+				continue
+			}
+		}
+		n += btRank(ch, bound, incl)
+		break
+	}
+	return n
+}
+
+// btRangeKeys counts the distinct keys within the bounds.
+func btRangeKeys(nd *btNode, lo []val.Value, loIncl bool, hi []val.Value, hiIncl bool) int {
+	if nd == nil {
+		return 0
+	}
+	upper := nd.keys
+	if hi != nil {
+		upper = btRank(nd, hi, hiIncl)
+	}
+	lower := 0
+	if lo != nil {
+		lower = btRank(nd, lo, !loIncl)
+	}
+	if upper < lower {
+		return 0
+	}
+	return upper - lower
+}

@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"beliefdb/internal/val"
+)
+
+// btModel is a reference implementation: distinct key -> sorted ids.
+type btModel map[int64][]RowID
+
+func (m btModel) insert(k int64, id RowID) { m[k] = append(m[k], id) }
+
+func (m btModel) remove(k int64, id RowID) {
+	ids := m[k]
+	for i, v := range ids {
+		if v == id {
+			ids = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(m, k)
+	} else {
+		m[k] = ids
+	}
+}
+
+func (m btModel) sortedKeys() []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedIDs(ids []RowID) []RowID {
+	out := append([]RowID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func idsEqual(a, b []RowID) bool {
+	a, b = sortedIDs(a), sortedIDs(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func key1(k int64) []val.Value { return []val.Value{val.Int(k)} }
+
+// checkAgainstModel verifies the full in-order walk, Lookup, Len, and rank
+// counts agree with the model.
+func checkAgainstModel(t *testing.T, ix *Index, m btModel) {
+	t.Helper()
+	if ix.Len() != len(m) {
+		t.Fatalf("Len = %d, model has %d keys", ix.Len(), len(m))
+	}
+	want := m.sortedKeys()
+	var got []int64
+	ix.AscendRange(nil, true, nil, true, func(key []val.Value, ids []RowID) bool {
+		k := key[0].AsInt()
+		got = append(got, k)
+		if !idsEqual(ids, m[k]) {
+			t.Fatalf("key %d: ids %v, model %v", k, ids, m[k])
+		}
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk saw %d keys, model has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	var desc []int64
+	ix.DescendRange(nil, true, nil, true, func(key []val.Value, ids []RowID) bool {
+		desc = append(desc, key[0].AsInt())
+		return true
+	})
+	for i := range desc {
+		if desc[i] != want[len(want)-1-i] {
+			t.Fatalf("descend[%d] = %d, want %d", i, desc[i], want[len(want)-1-i])
+		}
+	}
+}
+
+func TestBtreeRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ix := newOrderedIndex("ix", []int{0})
+	m := btModel{}
+	var epoch uint64
+	live := make(map[RowID]int64)
+	next := RowID(0)
+	for step := 0; step < 6000; step++ {
+		if rng.Intn(50) == 0 {
+			epoch++ // simulate a freeze boundary
+		}
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			var id RowID
+			for cand := range live {
+				id = cand
+				break
+			}
+			k := live[id]
+			ix.remove(epoch, key1(k), id)
+			m.remove(k, id)
+			delete(live, id)
+			continue
+		}
+		k := int64(rng.Intn(400))
+		id := next
+		next++
+		ix.insert(epoch, key1(k), id)
+		m.insert(k, id)
+		live[id] = k
+	}
+	checkAgainstModel(t, ix, m)
+
+	// Random range queries: walk results and rank counts must match the
+	// model's filtered view under every inclusivity combination.
+	for q := 0; q < 200; q++ {
+		lo, hi := int64(rng.Intn(400)), int64(rng.Intn(400))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		loIncl, hiIncl := rng.Intn(2) == 0, rng.Intn(2) == 0
+		var want []int64
+		for _, k := range m.sortedKeys() {
+			if (k > lo || (loIncl && k == lo)) && (k < hi || (hiIncl && k == hi)) {
+				want = append(want, k)
+			}
+		}
+		var got []int64
+		ix.AscendRange(key1(lo), loIncl, key1(hi), hiIncl, func(key []val.Value, ids []RowID) bool {
+			got = append(got, key[0].AsInt())
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("range [%d,%d] incl=(%v,%v): got %d keys, want %d", lo, hi, loIncl, hiIncl, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range [%d,%d]: got[%d]=%d want %d", lo, hi, i, got[i], want[i])
+			}
+		}
+		if n := ix.RangeKeys(key1(lo), loIncl, key1(hi), hiIncl); n != len(want) {
+			t.Fatalf("RangeKeys [%d,%d] incl=(%v,%v) = %d, want %d", lo, hi, loIncl, hiIncl, n, len(want))
+		}
+	}
+
+	// Open-ended bounds.
+	if n := ix.RangeKeys(nil, true, nil, true); n != len(m) {
+		t.Fatalf("open RangeKeys = %d, want %d", n, len(m))
+	}
+	var belowCnt int
+	ix.AscendRange(nil, true, key1(100), false, func(key []val.Value, ids []RowID) bool {
+		belowCnt++
+		return true
+	})
+	if n := ix.RangeKeys(nil, true, key1(100), false); n != belowCnt {
+		t.Fatalf("RangeKeys(<100) = %d, walk saw %d", n, belowCnt)
+	}
+}
+
+func TestBtreeEarlyStop(t *testing.T) {
+	ix := newOrderedIndex("ix", []int{0})
+	for i := 0; i < 500; i++ {
+		ix.insert(0, key1(int64(i)), RowID(i))
+	}
+	var seen int
+	ix.AscendRange(nil, true, nil, true, func(key []val.Value, ids []RowID) bool {
+		seen++
+		return seen < 7
+	})
+	if seen != 7 {
+		t.Fatalf("early-stop walk visited %d keys, want 7", seen)
+	}
+	seen = 0
+	var first int64 = -1
+	ix.DescendRange(nil, true, nil, true, func(key []val.Value, ids []RowID) bool {
+		if first < 0 {
+			first = key[0].AsInt()
+		}
+		seen++
+		return seen < 3
+	})
+	if first != 499 || seen != 3 {
+		t.Fatalf("descend early-stop: first=%d seen=%d", first, seen)
+	}
+}
+
+func TestBtreeCompositeKeyPrefixBounds(t *testing.T) {
+	ix := newOrderedIndex("ix", []int{0, 1})
+	id := RowID(0)
+	for a := int64(0); a < 40; a++ {
+		for b := int64(0); b < 3; b++ {
+			ix.insert(0, []val.Value{val.Int(a), val.Str(string(rune('a' + b)))}, id)
+			id++
+		}
+	}
+	// A prefix bound [5] must match every (5, *) key.
+	var got [][2]string
+	ix.AscendRange([]val.Value{val.Int(5)}, true, []val.Value{val.Int(6)}, true, func(key []val.Value, ids []RowID) bool {
+		got = append(got, [2]string{key[0].String(), key[1].String()})
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("prefix range [5,6] saw %d keys, want 6: %v", len(got), got)
+	}
+	if got[0] != [2]string{"5", "a"} || got[5] != [2]string{"6", "c"} {
+		t.Fatalf("prefix range order wrong: %v", got)
+	}
+	if n := ix.RangeKeys([]val.Value{val.Int(5)}, true, []val.Value{val.Int(6)}, true); n != 6 {
+		t.Fatalf("prefix RangeKeys = %d, want 6", n)
+	}
+	if n := ix.RangeKeys([]val.Value{val.Int(5)}, false, []val.Value{val.Int(6)}, false); n != 0 {
+		t.Fatalf("exclusive prefix RangeKeys = %d, want 0", n)
+	}
+}
+
+// TestBtreeFreezeIsolation proves published snapshots never observe later
+// writes: a frozen table's ordered index keeps its exact contents while the
+// live table churns through inserts, deletes, and updates.
+func TestBtreeFreezeIsolation(t *testing.T) {
+	c := NewCatalog()
+	s := mustSchema(t, []Column{
+		{Name: "id", Type: val.KindInt},
+		{Name: "score", Type: val.KindInt},
+	})
+	tb, err := c.CreateTable("scores", s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateOrderedIndex("scores_by_score", []string{"score"}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	insert := func(id, score int64) {
+		if _, err := tb.Insert(row(val.Int(id), val.Int(score))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 300; i++ {
+		insert(i, int64(rng.Intn(50)))
+	}
+
+	snap := func(ix *Index) map[int64][]RowID {
+		out := map[int64][]RowID{}
+		ix.AscendRange(nil, true, nil, true, func(key []val.Value, ids []RowID) bool {
+			out[key[0].AsInt()] = append([]RowID(nil), ids...)
+			return true
+		})
+		return out
+	}
+
+	frozen := tb.freeze()
+	fix := frozen.Indexes()["scores_by_score"]
+	before := snap(fix)
+
+	// Churn the live table across several more freeze epochs.
+	for round := 0; round < 5; round++ {
+		for i := int64(0); i < 100; i++ {
+			insert(1000*int64(round+1)+i, int64(rng.Intn(50)))
+		}
+		tb.Scan(func(id RowID, r []val.Value) bool {
+			if rng.Intn(4) == 0 {
+				nr := append([]val.Value(nil), r...)
+				nr[1] = val.Int(int64(rng.Intn(50)))
+				if err := tb.Update(id, nr); err != nil {
+					t.Fatal(err)
+				}
+			} else if rng.Intn(8) == 0 {
+				if err := tb.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return true
+		})
+		tb.freeze()
+	}
+
+	after := snap(fix)
+	if len(after) != len(before) {
+		t.Fatalf("frozen index changed: %d keys before churn, %d after", len(before), len(after))
+	}
+	for k, ids := range before {
+		if !idsEqual(after[k], ids) {
+			t.Fatalf("frozen index key %d changed: %v -> %v", k, ids, after[k])
+		}
+	}
+
+	// And the live index still agrees with a fresh scan of the live table.
+	lix := tb.Indexes()["scores_by_score"]
+	wantKeys := map[int64]int{}
+	tb.Scan(func(id RowID, r []val.Value) bool {
+		wantKeys[r[1].AsInt()]++
+		return true
+	})
+	if lix.Len() != len(wantKeys) {
+		t.Fatalf("live index Len = %d, scan found %d distinct scores", lix.Len(), len(wantKeys))
+	}
+	gotRows := 0
+	lix.AscendRange(nil, true, nil, true, func(key []val.Value, ids []RowID) bool {
+		gotRows += len(ids)
+		return true
+	})
+	if gotRows != tb.Len() {
+		t.Fatalf("live index holds %d rows, table has %d", gotRows, tb.Len())
+	}
+}
+
+// TestOrderedIndexTxnRollback checks the ordered shape through the
+// transaction undo path (unindex/reindex).
+func TestOrderedIndexTxnRollback(t *testing.T) {
+	c, tb := newPeople(t)
+	if _, err := tb.CreateOrderedIndex("people_by_age", []string{"age"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if _, err := tb.Insert(row(val.Int(i), val.Str("p"), val.Int(i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := tb.Indexes()["people_by_age"]
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", ix.Len())
+	}
+	txn, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(row(val.Int(100), val.Str("q"), val.Int(99))); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := tb.LookupPK(val.Int(3))
+	if err := tb.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := tb.LookupPK(val.Int(4))
+	if err := tb.Update(id2, row(val.Int(4), val.Str("p"), val.Int(77))); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 5 {
+		t.Fatalf("after rollback Len = %d, want 5", ix.Len())
+	}
+	if ids := ix.Lookup([]val.Value{val.Int(99)}); len(ids) != 0 {
+		t.Fatalf("rolled-back insert still indexed: %v", ids)
+	}
+	if ids := ix.Lookup([]val.Value{val.Int(3)}); len(ids) != 4 {
+		t.Fatalf("age 3 has %d rows after rollback, want 4", len(ids))
+	}
+}

@@ -24,20 +24,29 @@ type idxLeaf struct {
 	buckets []idxBucket
 }
 
-// Index is a secondary hash index over one or more columns. Buckets are
-// keyed by the composite 64-bit hash of the indexed column values and group
-// their entries per distinct key, so colliding distinct keys never merge.
-// Unlike the primary key, it permits duplicates. Storage is a persistent
-// trie so frozen snapshots share structure with the live index.
+// Index is a secondary index over one or more columns, in one of two
+// shapes. The default hash shape keys buckets by the composite 64-bit hash
+// of the indexed column values and groups entries per distinct key, so
+// colliding distinct keys never merge. The ordered shape keeps the same
+// per-key id slices in a copy-on-write B-tree sorted by the column values,
+// adding range scans, in-order walks, and rank-based range cardinality.
+// Unlike the primary key, both permit duplicates, and both are persistent
+// structures: frozen snapshots share storage with the live index.
 type Index struct {
-	name string
-	cols []int
-	m    pmap[*idxLeaf]
-	keys int // number of distinct keys across all buckets
+	name    string
+	cols    []int
+	ordered bool
+	m       pmap[*idxLeaf] // hash shape
+	tree    *btNode        // ordered shape
+	keys    int            // number of distinct keys
 }
 
 func newIndex(name string, cols []int) *Index {
 	return &Index{name: name, cols: cols}
+}
+
+func newOrderedIndex(name string, cols []int) *Index {
+	return &Index{name: name, cols: cols, ordered: true}
 }
 
 // Name returns the index name.
@@ -45,6 +54,18 @@ func (ix *Index) Name() string { return ix.name }
 
 // Cols returns the indexed column positions.
 func (ix *Index) Cols() []int { return ix.cols }
+
+// Ordered reports whether the index is the ordered (B-tree) shape.
+func (ix *Index) Ordered() bool { return ix.ordered }
+
+// indexKey extracts the indexed columns of a row as a composite key.
+func (ix *Index) indexKey(row []val.Value) []val.Value {
+	key := make([]val.Value, len(ix.cols))
+	for i, c := range ix.cols {
+		key[i] = row[c]
+	}
+	return key
+}
 
 // rowMatchesKey reports whether row's indexed columns equal the bucket key.
 func (ix *Index) rowMatchesKey(row, key []val.Value) bool {
@@ -78,6 +99,23 @@ func (l *idxLeaf) own(epoch uint64) *idxLeaf {
 }
 
 func (ix *Index) insert(epoch uint64, row []val.Value, id RowID) {
+	if ix.ordered {
+		root, split, added := btInsert(ix.tree, epoch, ix.indexKey(row), id)
+		if split != nil {
+			// The root overflowed: grow the tree by one level.
+			root = &btNode{
+				epoch:    epoch,
+				mins:     [][]val.Value{root.min(), split.min()},
+				children: []*btNode{root, split},
+				keys:     root.keys + split.keys,
+			}
+		}
+		ix.tree = root
+		if added {
+			ix.keys++
+		}
+		return
+	}
 	h := hashCols(row, ix.cols)
 	l, ok := ix.m.get(h)
 	if !ok {
@@ -122,6 +160,14 @@ func (ix *Index) insert(epoch uint64, row []val.Value, id RowID) {
 }
 
 func (ix *Index) remove(epoch uint64, row []val.Value, id RowID) {
+	if ix.ordered {
+		root, removed := btRemove(ix.tree, epoch, ix.indexKey(row), id)
+		ix.tree = root
+		if removed {
+			ix.keys--
+		}
+		return
+	}
 	h := hashCols(row, ix.cols)
 	l, ok := ix.m.get(h)
 	if !ok {
@@ -173,6 +219,9 @@ func (ix *Index) remove(epoch uint64, row []val.Value, id RowID) {
 // Lookup returns the ids of all rows whose indexed columns equal vs.
 // The returned slice is owned by the index and must not be mutated.
 func (ix *Index) Lookup(vs []val.Value) []RowID {
+	if ix.ordered {
+		return btGet(ix.tree, vs)
+	}
 	if l, ok := ix.m.get(hashVals(vs)); ok {
 		for _, b := range l.buckets {
 			if val.RowsEqual(b.key, vs) {
@@ -185,3 +234,32 @@ func (ix *Index) Lookup(vs []val.Value) []RowID {
 
 // Len returns the number of distinct keys in the index.
 func (ix *Index) Len() int { return ix.keys }
+
+// AscendRange walks the distinct keys of an ordered index within the
+// bounds in ascending key order, invoking fn with each key and the ids of
+// the rows holding it, stopping early when fn returns false. Either bound
+// may be nil (open side) or cover only a prefix of the indexed columns.
+// The key and id slices are owned by the index and must not be mutated.
+// It is a no-op on a hash index.
+func (ix *Index) AscendRange(lo []val.Value, loIncl bool, hi []val.Value, hiIncl bool, fn func(key []val.Value, ids []RowID) bool) {
+	if ix.ordered {
+		btAscend(ix.tree, lo, loIncl, hi, hiIncl, fn)
+	}
+}
+
+// DescendRange is AscendRange in descending key order.
+func (ix *Index) DescendRange(lo []val.Value, loIncl bool, hi []val.Value, hiIncl bool, fn func(key []val.Value, ids []RowID) bool) {
+	if ix.ordered {
+		btDescend(ix.tree, lo, loIncl, hi, hiIncl, fn)
+	}
+}
+
+// RangeKeys counts the distinct keys of an ordered index within the
+// bounds — the planner's exact range-selectivity input, answered in
+// O(depth) from subtree counts. It returns 0 on a hash index.
+func (ix *Index) RangeKeys(lo []val.Value, loIncl bool, hi []val.Value, hiIncl bool) int {
+	if !ix.ordered {
+		return 0
+	}
+	return btRangeKeys(ix.tree, lo, loIncl, hi, hiIncl)
+}

@@ -172,7 +172,10 @@ func (t *Table) freeze() *Table {
 	}
 	f.indexes = make(map[string]*Index, len(t.indexes))
 	for n, ix := range t.indexes {
-		f.indexes[n] = &Index{name: ix.name, cols: ix.cols, m: ix.m, keys: ix.keys}
+		f.indexes[n] = &Index{
+			name: ix.name, cols: ix.cols, ordered: ix.ordered,
+			m: ix.m, tree: ix.tree, keys: ix.keys,
+		}
 	}
 	t.epoch++
 	t.dirty = false
@@ -401,6 +404,16 @@ func (t *Table) Scan(fn func(id RowID, row []val.Value) bool) {
 
 // CreateIndex builds a secondary hash index over the named columns.
 func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
+	return t.createIndex(name, cols, false)
+}
+
+// CreateOrderedIndex builds a secondary ordered (B-tree) index over the
+// named columns, enabling range scans and in-order walks.
+func (t *Table) CreateOrderedIndex(name string, cols []string) (*Index, error) {
+	return t.createIndex(name, cols, true)
+}
+
+func (t *Table) createIndex(name string, cols []string, ordered bool) (*Index, error) {
 	if _, dup := t.indexes[name]; dup {
 		return nil, fmt.Errorf("engine: index %q already exists on %s", name, t.name)
 	}
@@ -414,6 +427,9 @@ func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
 	}
 	t.markDirty()
 	idx := newIndex(name, pos)
+	if ordered {
+		idx = newOrderedIndex(name, pos)
+	}
 	t.Scan(func(id RowID, row []val.Value) bool {
 		idx.insert(t.epoch, row, id)
 		return true

@@ -34,6 +34,8 @@ func Run(cat *engine.Catalog, stmt sqlparser.Statement) (*Result, error) {
 		return runInsert(cat, s)
 	case sqlparser.Select:
 		return runSelect(cat, s)
+	case sqlparser.Explain:
+		return runExplain(cat, s)
 	case sqlparser.Delete:
 		return runDelete(cat, s)
 	case sqlparser.Update:
@@ -87,7 +89,13 @@ func runCreateIndex(cat *engine.Catalog, s sqlparser.CreateIndex) (*Result, erro
 	if t == nil {
 		return nil, fmt.Errorf("query: no table %q", s.Table)
 	}
-	if _, err := t.CreateIndex(s.Name, s.Cols); err != nil {
+	var err error
+	if s.Ordered {
+		_, err = t.CreateOrderedIndex(s.Name, s.Cols)
+	} else {
+		_, err = t.CreateIndex(s.Name, s.Cols)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return &Result{}, nil
@@ -257,6 +265,22 @@ func matchRows(t *engine.Table, alias string, where sqlparser.Expr) ([]engine.Ro
 }
 
 func runSelect(cat *engine.Catalog, s sqlparser.Select) (*Result, error) {
+	return runSelectPlan(cat, s, nil)
+}
+
+// runExplain executes the query with a plan recorder attached and returns
+// the recorded access-path decisions instead of the query result. Running
+// for real (rather than dry-planning) keeps the output honest: the greedy
+// join order depends on actual materialized sizes.
+func runExplain(cat *engine.Catalog, s sqlparser.Explain) (*Result, error) {
+	rec := &planRecorder{}
+	if _, err := runSelectPlan(cat, s.Query, rec); err != nil {
+		return nil, err
+	}
+	return rec.result(), nil
+}
+
+func runSelectPlan(cat *engine.Catalog, s sqlparser.Select, rec *planRecorder) (*Result, error) {
 	bindings := make([]binding, 0, len(s.From))
 	for _, ref := range s.From {
 		t := cat.Table(ref.Table)
@@ -264,10 +288,6 @@ func runSelect(cat *engine.Catalog, s sqlparser.Select) (*Result, error) {
 			return nil, fmt.Errorf("query: no table %q", ref.Table)
 		}
 		bindings = append(bindings, binding{alias: ref.Name(), table: t})
-	}
-	src, err := planJoins(bindings, s.Where)
-	if err != nil {
-		return nil, err
 	}
 
 	items, err := expandStars(s.Items, bindings)
@@ -279,6 +299,26 @@ func runSelect(cat *engine.Catalog, s sqlparser.Select) (*Result, error) {
 	for _, it := range items {
 		if containsAggregate(it.Expr) {
 			hasAgg = true
+		}
+	}
+
+	// Single-table ORDER BY can come straight off an ordered index, making
+	// the sort free and a LIMIT an early-stopping top-k walk.
+	var src *rowSet
+	preOrdered := false
+	if len(bindings) == 1 && !hasAgg && !s.Distinct && len(s.OrderBy) > 0 {
+		os, ok, err := orderedScan(bindings[0], s, rec)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			src, preOrdered = os, true
+		}
+	}
+	if src == nil {
+		src, err = planJoins(bindings, s.Where, rec)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -296,7 +336,7 @@ func runSelect(cat *engine.Catalog, s sqlparser.Select) (*Result, error) {
 		out.Rows = dedupeRows(out.Rows)
 	}
 
-	if len(s.OrderBy) > 0 {
+	if len(s.OrderBy) > 0 && !preOrdered {
 		if err := orderRows(s, items, src, out, hasAgg); err != nil {
 			return nil, err
 		}

@@ -2,22 +2,12 @@ package query
 
 import (
 	"fmt"
-	"os"
+	"strings"
 
 	"beliefdb/internal/engine"
 	"beliefdb/internal/sqlparser"
 	"beliefdb/internal/val"
 )
-
-// tracePlan enables join-order tracing to stderr when the environment
-// variable BELIEFDB_TRACE_PLAN is non-empty.
-var tracePlan = os.Getenv("BELIEFDB_TRACE_PLAN") != ""
-
-func tracef(format string, args ...interface{}) {
-	if tracePlan {
-		fmt.Fprintf(os.Stderr, "plan: "+format+"\n", args...)
-	}
-}
 
 // rowSet is a materialized intermediate relation.
 type rowSet struct {
@@ -51,13 +41,24 @@ type constEq struct {
 	v   val.Value
 }
 
+// rangeBound is one inequality conjunct on a column, normalized to
+// column-on-left form: col <op> v.
+type rangeBound struct {
+	col string
+	op  string // "<", "<=", ">", ">="
+	v   val.Value
+}
+
 // tableCtx is the per-binding planning state.
 type tableCtx struct {
 	b        binding
 	schema   relSchema // single-table schema (qualified by alias)
 	constEqs []constEq
-	filters  []sqlparser.Expr // all single-table conjuncts (includes constEqs)
+	bounds   []rangeBound     // inequality conjuncts usable for range access
+	filters  []sqlparser.Expr // all single-table conjuncts (includes constEqs/bounds)
 	mat      *rowSet          // materialized filtered rows, lazily computed
+	path     *accessPath      // chosen access path, lazily computed
+	rec      *planRecorder    // EXPLAIN sink; nil when not explaining
 }
 
 func tableSchema(b binding) relSchema {
@@ -97,6 +98,69 @@ func asConstEq(e sqlparser.Expr) (sqlparser.ColumnRef, val.Value, bool) {
 	return sqlparser.ColumnRef{}, val.Value{}, false
 }
 
+// asRangeBound recognizes col <op> literal inequality conjuncts (either
+// order; a literal on the left flips the operator).
+func asRangeBound(e sqlparser.Expr) (sqlparser.ColumnRef, string, val.Value, bool) {
+	be, ok := e.(sqlparser.BinaryExpr)
+	if !ok {
+		return sqlparser.ColumnRef{}, "", val.Value{}, false
+	}
+	switch be.Op {
+	case "<", "<=", ">", ">=":
+	default:
+		return sqlparser.ColumnRef{}, "", val.Value{}, false
+	}
+	if c, ok := be.L.(sqlparser.ColumnRef); ok {
+		if l, ok := be.R.(sqlparser.Literal); ok {
+			return c, be.Op, l.Val, true
+		}
+	}
+	if c, ok := be.R.(sqlparser.ColumnRef); ok {
+		if l, ok := be.L.(sqlparser.Literal); ok {
+			flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+			return c, flip[be.Op], l.Val, true
+		}
+	}
+	return sqlparser.ColumnRef{}, "", val.Value{}, false
+}
+
+// colInterval is the merged interval of every range bound on one column.
+type colInterval struct {
+	lo, hi         *val.Value // nil = open side
+	loIncl, hiIncl bool
+}
+
+// interval folds tc's range bounds on the named column into one interval,
+// keeping the tightest bound per side.
+func (tc *tableCtx) interval(col string) colInterval {
+	var iv colInterval
+	for i := range tc.bounds {
+		rb := &tc.bounds[i]
+		if rb.col != col {
+			continue
+		}
+		switch rb.op {
+		case ">", ">=":
+			incl := rb.op == ">="
+			if iv.lo == nil {
+				iv.lo, iv.loIncl = &rb.v, incl
+			} else if c, ok := val.Compare(rb.v, *iv.lo); ok &&
+				(c > 0 || (c == 0 && !incl)) {
+				iv.lo, iv.loIncl = &rb.v, incl
+			}
+		case "<", "<=":
+			incl := rb.op == "<="
+			if iv.hi == nil {
+				iv.hi, iv.hiIncl = &rb.v, incl
+			} else if c, ok := val.Compare(rb.v, *iv.hi); ok &&
+				(c < 0 || (c == 0 && !incl)) {
+				iv.hi, iv.hiIncl = &rb.v, incl
+			}
+		}
+	}
+	return iv
+}
+
 // asJoinEdge recognizes colref = colref conjuncts across two bindings.
 func asJoinEdge(e sqlparser.Expr, schema relSchema) (joinEdge, bool) {
 	be, ok := e.(sqlparser.BinaryExpr)
@@ -125,79 +189,240 @@ func asJoinEdge(e sqlparser.Expr, schema relSchema) (joinEdge, bool) {
 	}, true
 }
 
+// pathKind enumerates the candidate access paths for one base table.
+type pathKind int
+
+const (
+	pathScan    pathKind = iota // full table scan
+	pathPK                      // primary-key point lookup
+	pathEqProbe                 // secondary index probe, all columns const-eq bound
+	pathRange                   // ordered-index range walk (eq prefix + interval)
+)
+
+func (k pathKind) String() string {
+	switch k {
+	case pathPK:
+		return "pk probe"
+	case pathEqProbe:
+		return "eq probe"
+	case pathRange:
+		return "range walk"
+	default:
+		return "full scan"
+	}
+}
+
+// rangeWalkPenalty is the per-row multiplier charged to an ordered-index
+// range walk relative to a sequential scan: walked rows are fetched through
+// the id indirection in key order rather than streamed page by page. With a
+// factor of 3 a predicate selecting more than a third of the table falls
+// back to the full scan.
+const rangeWalkPenalty = 3.0
+
+// accessPath is one costed way to produce a base table's filtered rows.
+type accessPath struct {
+	kind           pathKind
+	idx            *engine.Index // pathEqProbe/pathRange
+	pkVal          val.Value     // pathPK
+	eqVals         []val.Value   // pathEqProbe: one value per index column
+	lo, hi         []val.Value   // pathRange: composite bounds (possibly prefix, possibly nil)
+	loIncl, hiIncl bool
+	est            float64 // estimated rows fetched before residual filters
+	cost           float64 // estimated work
+}
+
+// detail renders the path for EXPLAIN output.
+func (p *accessPath) detail() string {
+	var sb strings.Builder
+	if p.idx != nil {
+		fmt.Fprintf(&sb, "index=%s", p.idx.Name())
+	}
+	if p.kind == pathRange {
+		bound := func(vs []val.Value) string {
+			parts := make([]string, len(vs))
+			for i, v := range vs {
+				parts[i] = v.SQL()
+			}
+			return strings.Join(parts, ",")
+		}
+		sb.WriteString(" range=")
+		if p.lo != nil {
+			if p.loIncl {
+				sb.WriteString("[")
+			} else {
+				sb.WriteString("(")
+			}
+			sb.WriteString(bound(p.lo))
+		} else {
+			sb.WriteString("(")
+		}
+		sb.WriteString("..")
+		if p.hi != nil {
+			sb.WriteString(bound(p.hi))
+			if p.hiIncl {
+				sb.WriteString("]")
+			} else {
+				sb.WriteString(")")
+			}
+		} else {
+			sb.WriteString(")")
+		}
+	}
+	if sb.Len() > 0 {
+		fmt.Fprintf(&sb, " est=%d", int(p.est))
+	} else {
+		fmt.Fprintf(&sb, "est=%d", int(p.est))
+	}
+	return sb.String()
+}
+
+// accessPath chooses the cheapest candidate path for the binding, caching
+// the result. Candidates are costed from the exact distinct-key counts the
+// indexes maintain (Index.Len, ordered-index range ranks) and the table
+// cardinality; ties between equally cheap index probes break toward the
+// more selective index (higher Len), then toward the wider one.
+func (tc *tableCtx) accessPath() *accessPath {
+	if tc.path != nil {
+		return tc.path
+	}
+	t := tc.b.table
+	sch := t.Schema()
+	n := float64(t.Len())
+	best := &accessPath{kind: pathScan, est: n, cost: n}
+
+	better := func(p *accessPath) bool {
+		if p.cost != best.cost {
+			return p.cost < best.cost
+		}
+		if best.kind == pathScan {
+			return true
+		}
+		pl, bl := 0, 0
+		if p.idx != nil {
+			pl = p.idx.Len()
+		}
+		if best.idx != nil {
+			bl = best.idx.Len()
+		}
+		if pl != bl {
+			return pl > bl // more distinct keys = more selective
+		}
+		if p.idx != nil && best.idx != nil {
+			return len(p.idx.Cols()) > len(best.idx.Cols())
+		}
+		return false
+	}
+	consider := func(p *accessPath) {
+		if better(p) {
+			best = p
+		}
+	}
+
+	eqOn := make(map[int]val.Value, len(tc.constEqs))
+	for _, ce := range tc.constEqs {
+		eqOn[sch.ColumnIndex(ce.col)] = ce.v
+	}
+	if pk := t.PKCol(); pk >= 0 {
+		if v, ok := eqOn[pk]; ok {
+			consider(&accessPath{kind: pathPK, pkVal: v, est: 1, cost: 1})
+		}
+	}
+	for _, idx := range t.Indexes() {
+		cols := idx.Cols()
+		perKey := n
+		if k := idx.Len(); k > 0 {
+			perKey = n / float64(k)
+		}
+		// Longest prefix of the index columns bound by const-eq conjuncts.
+		p := 0
+		for p < len(cols) {
+			if _, ok := eqOn[cols[p]]; !ok {
+				break
+			}
+			p++
+		}
+		if p == len(cols) {
+			vals := make([]val.Value, len(cols))
+			for i, c := range cols {
+				vals[i] = eqOn[c]
+			}
+			consider(&accessPath{kind: pathEqProbe, idx: idx, eqVals: vals, est: perKey, cost: perKey})
+			continue
+		}
+		if !idx.Ordered() {
+			continue
+		}
+		// Ordered index with a partial prefix: an eq prefix and/or an
+		// interval on the next column yield a bounded range walk.
+		iv := tc.interval(sch.Columns[cols[p]].Name)
+		if p == 0 && iv.lo == nil && iv.hi == nil {
+			continue
+		}
+		prefix := make([]val.Value, p)
+		for i := 0; i < p; i++ {
+			prefix[i] = eqOn[cols[i]]
+		}
+		ap := &accessPath{kind: pathRange, idx: idx, loIncl: true, hiIncl: true}
+		if iv.lo != nil {
+			ap.lo = append(append([]val.Value(nil), prefix...), *iv.lo)
+			ap.loIncl = iv.loIncl
+		} else if p > 0 {
+			ap.lo = prefix
+		}
+		if iv.hi != nil {
+			ap.hi = append(append([]val.Value(nil), prefix...), *iv.hi)
+			ap.hiIncl = iv.hiIncl
+		} else if p > 0 {
+			ap.hi = prefix
+		}
+		keys := float64(idx.RangeKeys(ap.lo, ap.loIncl, ap.hi, ap.hiIncl))
+		ap.est = keys * perKey
+		ap.cost = rangeWalkPenalty * ap.est
+		consider(ap)
+	}
+	tc.path = best
+	return best
+}
+
 // estimate guesses the post-filter cardinality of a base table.
 func (tc *tableCtx) estimate() int {
 	if tc.mat != nil {
 		return len(tc.mat.rows)
 	}
 	n := tc.b.table.Len()
-	if len(tc.constEqs) == 0 {
+	switch p := tc.accessPath(); p.kind {
+	case pathPK:
+		return 1
+	case pathEqProbe, pathRange:
+		return int(p.est) + 1
+	default:
+		if len(tc.constEqs) > 0 {
+			return n/3 + 1
+		}
 		if len(tc.filters) > 0 {
 			return n/2 + 1
 		}
 		return n
 	}
-	pk := tc.b.table.PKCol()
-	for _, ce := range tc.constEqs {
-		if pk >= 0 && tc.b.table.Schema().ColumnIndex(ce.col) == pk {
-			return 1
-		}
-	}
-	if idx := tc.bestIndex(); idx != nil {
-		if k := idx.Len(); k > 0 {
-			return n/k + 1
-		}
-		return 1
-	}
-	return n/3 + 1
 }
 
-// coveredByPK reports whether a const-eq binds the primary key.
-func (tc *tableCtx) coveredByPK() bool {
-	pk := tc.b.table.PKCol()
-	if pk < 0 {
-		return false
-	}
-	for _, ce := range tc.constEqs {
-		if tc.b.table.Schema().ColumnIndex(ce.col) == pk {
-			return true
-		}
+// pointwise reports whether the chosen path is a point-ish lookup cheap
+// enough to materialize eagerly during singleton folding.
+func (tc *tableCtx) pointwise() bool {
+	switch tc.accessPath().kind {
+	case pathPK, pathEqProbe:
+		return true
 	}
 	return false
 }
 
-// bestIndex picks the secondary index with the most columns all bound by
-// const-eq conjuncts.
-func (tc *tableCtx) bestIndex() *engine.Index {
-	bound := make(map[int]bool)
-	sch := tc.b.table.Schema()
-	for _, ce := range tc.constEqs {
-		bound[sch.ColumnIndex(ce.col)] = true
-	}
-	var best *engine.Index
-	for _, idx := range tc.b.table.Indexes() {
-		ok := true
-		for _, c := range idx.Cols() {
-			if !bound[c] {
-				ok = false
-				break
-			}
-		}
-		if ok && (best == nil || len(idx.Cols()) > len(best.Cols())) {
-			best = idx
-		}
-	}
-	return best
-}
-
-// materialize scans (or index-probes) the base table, applying pushdown
-// filters, and caches the result.
+// materialize produces the base table's filtered rows via the chosen
+// access path and caches the result.
 func (tc *tableCtx) materialize() (*rowSet, error) {
 	if tc.mat != nil {
 		return tc.mat, nil
 	}
 	t := tc.b.table
-	sch := t.Schema()
 	var preds []compiledExpr
 	for _, f := range tc.filters {
 		p, err := compileExpr(f, tc.schema)
@@ -220,121 +445,143 @@ func (tc *tableCtx) materialize() (*rowSet, error) {
 		out.rows = append(out.rows, row)
 		return true, nil
 	}
-	// Primary-key point lookup.
-	pk := t.PKCol()
-	if pk >= 0 {
-		for _, ce := range tc.constEqs {
-			if sch.ColumnIndex(ce.col) == pk {
-				if id, ok := t.LookupPK(ce.v); ok {
-					if _, err := emit(t.Get(id)); err != nil {
-						return nil, err
-					}
-				}
-				tc.mat = out
-				return out, nil
-			}
-		}
-	}
-	// Secondary index point lookup.
-	if idx := tc.bestIndex(); idx != nil {
-		vals := make([]val.Value, len(idx.Cols()))
-		for i, c := range idx.Cols() {
-			for _, ce := range tc.constEqs {
-				if sch.ColumnIndex(ce.col) == c {
-					vals[i] = ce.v
-					break
-				}
-			}
-		}
-		for _, id := range idx.Lookup(vals) {
+	ap := tc.accessPath()
+	switch ap.kind {
+	case pathPK:
+		if id, ok := t.LookupPK(ap.pkVal); ok {
 			if _, err := emit(t.Get(id)); err != nil {
 				return nil, err
 			}
 		}
-		tc.mat = out
-		return out, nil
-	}
-	// Full scan.
-	var scanErr error
-	t.Scan(func(_ engine.RowID, row []val.Value) bool {
-		if _, err := emit(row); err != nil {
-			scanErr = err
-			return false
+	case pathEqProbe:
+		for _, id := range ap.idx.Lookup(ap.eqVals) {
+			if _, err := emit(t.Get(id)); err != nil {
+				return nil, err
+			}
 		}
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
+	case pathRange:
+		var walkErr error
+		ap.idx.AscendRange(ap.lo, ap.loIncl, ap.hi, ap.hiIncl, func(_ []val.Value, ids []engine.RowID) bool {
+			for _, id := range ids {
+				if _, err := emit(t.Get(id)); err != nil {
+					walkErr = err
+					return false
+				}
+			}
+			return true
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	default:
+		var scanErr error
+		t.Scan(func(_ engine.RowID, row []val.Value) bool {
+			if _, err := emit(row); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
 	}
+	tc.rec.record(tc.b.alias, ap.kind.String(), ap.detail(), len(out.rows))
 	tc.mat = out
 	return out, nil
 }
 
-// planJoins materializes and joins all FROM bindings, applying pushdown,
-// join edges, and residual conjuncts. It returns the joined row set.
-func planJoins(bindings []binding, where sqlparser.Expr) (*rowSet, error) {
+// buildCtxs creates the per-binding planning state for a FROM list.
+func buildCtxs(bindings []binding, rec *planRecorder) (map[string]*tableCtx, []string, relSchema, error) {
 	full := relSchema{}
 	ctxs := make(map[string]*tableCtx, len(bindings))
 	var order []string
 	for _, b := range bindings {
 		if _, dup := ctxs[b.alias]; dup {
-			return nil, fmt.Errorf("query: duplicate table binding %q", b.alias)
+			return nil, nil, nil, fmt.Errorf("query: duplicate table binding %q", b.alias)
 		}
-		tc := &tableCtx{b: b, schema: tableSchema(b)}
+		tc := &tableCtx{b: b, schema: tableSchema(b), rec: rec}
 		ctxs[b.alias] = tc
 		order = append(order, b.alias)
 		full = append(full, tc.schema...)
 	}
+	return ctxs, order, full, nil
+}
 
-	var edges []*joinEdge
-	var residuals []*residual
-	var constTrue = true
-	if where != nil {
-		for _, conj := range splitAnd(where, nil) {
-			refs := make(map[string]bool)
-			if err := exprRefs(conj, full, refs); err != nil {
-				return nil, err
-			}
-			switch len(refs) {
-			case 0:
-				p, err := compileExpr(conj, relSchema{})
-				if err != nil {
-					return nil, err
-				}
-				ok, err := truthy(p, nil)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					constTrue = false
-				}
-			case 1:
-				var alias string
-				for a := range refs {
-					alias = a
-				}
-				tc := ctxs[alias]
-				tc.filters = append(tc.filters, conj)
-				if c, v, ok := asConstEq(conj); ok {
-					// Resolve the unqualified case to be sure of the column.
-					i, err := full.find(c)
-					if err == nil && full[i].rel == alias {
-						tc.constEqs = append(tc.constEqs, constEq{col: full[i].name, v: v})
-					}
-				}
-			case 2:
-				if e, ok := asJoinEdge(conj, full); ok {
-					edges = append(edges, &e)
-					continue
-				}
-				residuals = append(residuals, &residual{refs: refs, expr: conj})
-			default:
-				residuals = append(residuals, &residual{refs: refs, expr: conj})
-			}
+// classifyWhere splits a WHERE conjunction into per-binding filters
+// (recording const-eq and range conjuncts on their tableCtx), join edges,
+// residual predicates, and a constant-truth verdict.
+func classifyWhere(where sqlparser.Expr, full relSchema, ctxs map[string]*tableCtx) (edges []*joinEdge, residuals []*residual, constTrue bool, err error) {
+	constTrue = true
+	if where == nil {
+		return nil, nil, true, nil
+	}
+	for _, conj := range splitAnd(where, nil) {
+		refs := make(map[string]bool)
+		if err := exprRefs(conj, full, refs); err != nil {
+			return nil, nil, false, err
 		}
+		switch len(refs) {
+		case 0:
+			p, err := compileExpr(conj, relSchema{})
+			if err != nil {
+				return nil, nil, false, err
+			}
+			ok, err := truthy(p, nil)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if !ok {
+				constTrue = false
+			}
+		case 1:
+			var alias string
+			for a := range refs {
+				alias = a
+			}
+			tc := ctxs[alias]
+			tc.filters = append(tc.filters, conj)
+			if c, v, ok := asConstEq(conj); ok {
+				// Resolve the unqualified case to be sure of the column.
+				i, err := full.find(c)
+				if err == nil && full[i].rel == alias {
+					tc.constEqs = append(tc.constEqs, constEq{col: full[i].name, v: v})
+				}
+			} else if c, op, v, ok := asRangeBound(conj); ok {
+				i, err := full.find(c)
+				if err == nil && full[i].rel == alias {
+					tc.bounds = append(tc.bounds, rangeBound{col: full[i].name, op: op, v: v})
+				}
+			}
+		case 2:
+			if e, ok := asJoinEdge(conj, full); ok {
+				edges = append(edges, &e)
+				continue
+			}
+			residuals = append(residuals, &residual{refs: refs, expr: conj})
+		default:
+			residuals = append(residuals, &residual{refs: refs, expr: conj})
+		}
+	}
+	return edges, residuals, constTrue, nil
+}
+
+// planJoins materializes and joins all FROM bindings, applying pushdown,
+// join edges, and residual conjuncts. It returns the joined row set. When
+// rec is non-nil every access-path and join decision is recorded for
+// EXPLAIN output.
+func planJoins(bindings []binding, where sqlparser.Expr, rec *planRecorder) (*rowSet, error) {
+	ctxs, order, full, err := buildCtxs(bindings, rec)
+	if err != nil {
+		return nil, err
+	}
+	edges, residuals, constTrue, err := classifyWhere(where, full, ctxs)
+	if err != nil {
+		return nil, err
 	}
 	if !constTrue {
 		// A constant-false conjunct empties the result.
+		rec.record("", "empty", "constant-false predicate", 0)
 		return &rowSet{schema: full}, nil
 	}
 
@@ -368,7 +615,6 @@ func planJoins(bindings []binding, where sqlparser.Expr) (*rowSet, error) {
 	}
 	joined[start] = true
 	removeRemaining(start)
-	tracef("start %s -> %d rows", start, len(cur.rows))
 
 	// Eagerly fold in near-singleton tables (point lookups on constants):
 	// crossing with at most a couple of rows is free and seeds join edges
@@ -381,7 +627,7 @@ func planJoins(bindings []binding, where sqlparser.Expr) (*rowSet, error) {
 		if tc.mat != nil || len(tc.constEqs) == 0 {
 			continue
 		}
-		if tc.coveredByPK() || tc.bestIndex() != nil {
+		if tc.pointwise() {
 			if _, err := tc.materialize(); err != nil {
 				return nil, err
 			}
@@ -410,7 +656,6 @@ func planJoins(bindings []binding, where sqlparser.Expr) (*rowSet, error) {
 			joined[a] = true
 			removeRemaining(a)
 			folded = true
-			tracef("fold %s (%d edges) -> %d rows", a, len(active), len(cur.rows))
 		}
 		if !folded {
 			break
@@ -544,7 +789,6 @@ func planJoins(bindings []binding, where sqlparser.Expr) (*rowSet, error) {
 		}
 		joined[next] = true
 		removeRemaining(next)
-		tracef("join %s (%d edges, connected=%v) -> %d rows", next, len(active), len(connected) > 0, len(cur.rows))
 		cur, err = applyResiduals(cur)
 		if err != nil {
 			return nil, err
@@ -603,6 +847,7 @@ func joinNext(cur *rowSet, tc *tableCtx, edges []*joinEdge) (*rowSet, error) {
 				emit(l, r)
 			}
 		}
+		tc.rec.record(tc.b.alias, "cross join", "", len(out.rows))
 		return out, nil
 	}
 
@@ -610,11 +855,12 @@ func joinNext(cur *rowSet, tc *tableCtx, edges []*joinEdge) (*rowSet, error) {
 	// materialized and an index (or the primary key) covers a subset of the
 	// join/const columns.
 	if tc.mat == nil {
-		ok, err := indexJoin(cur, tc, pairs, emit)
+		ok, detail, err := indexJoin(cur, tc, pairs, emit)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
+			tc.rec.record(tc.b.alias, "index join", detail, len(out.rows))
 			return out, nil
 		}
 	}
@@ -649,12 +895,14 @@ func joinNext(cur *rowSet, tc *tableCtx, edges []*joinEdge) (*rowSet, error) {
 			emit(l, r)
 		}
 	}
+	tc.rec.record(tc.b.alias, "hash join", "", len(out.rows))
 	return out, nil
 }
 
 // indexJoin attempts an index nested-loop join, calling emit for every
-// joined row pair; it reports ok=false when no suitable index exists.
-func indexJoin(cur *rowSet, tc *tableCtx, pairs []joinPair, emit func(l, r []val.Value)) (bool, error) {
+// joined row pair; it reports ok=false when no suitable index exists. The
+// detail string names the probe structure for EXPLAIN.
+func indexJoin(cur *rowSet, tc *tableCtx, pairs []joinPair, emit func(l, r []val.Value)) (bool, string, error) {
 	t := tc.b.table
 	sch := t.Schema()
 	joinCols := make(map[int]int) // right col -> left offset
@@ -670,7 +918,7 @@ func indexJoin(cur *rowSet, tc *tableCtx, pairs []joinPair, emit func(l, r []val
 	for _, f := range tc.filters {
 		p, err := compileExpr(f, tc.schema)
 		if err != nil {
-			return false, err
+			return false, "", err
 		}
 		preds = append(preds, p)
 	}
@@ -700,11 +948,11 @@ func indexJoin(cur *rowSet, tc *tableCtx, pairs []joinPair, emit func(l, r []val
 			for _, l := range cur.rows {
 				if id, found := t.LookupPK(l[leftOff]); found {
 					if _, err := checkEmit(l, t.Get(id)); err != nil {
-						return false, err
+						return false, "", err
 					}
 				}
 			}
-			return true, nil
+			return true, "pk", nil
 		}
 	}
 	// Secondary index whose columns are all join or const columns; prefer
@@ -733,7 +981,7 @@ func indexJoin(cur *rowSet, tc *tableCtx, pairs []joinPair, emit func(l, r []val
 		}
 	}
 	if best == nil {
-		return false, nil
+		return false, "", nil
 	}
 	vals := make([]val.Value, len(best.Cols()))
 	for _, l := range cur.rows {
@@ -746,9 +994,9 @@ func indexJoin(cur *rowSet, tc *tableCtx, pairs []joinPair, emit func(l, r []val
 		}
 		for _, id := range best.Lookup(vals) {
 			if _, err := checkEmit(l, t.Get(id)); err != nil {
-				return false, err
+				return false, "", err
 			}
 		}
 	}
-	return true, nil
+	return true, "index=" + best.Name(), nil
 }

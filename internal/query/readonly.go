@@ -9,9 +9,11 @@ import "beliefdb/internal/sqlparser"
 // only read-only statement; CREATE/DROP/INSERT/UPDATE/DELETE and the
 // transaction-control statements all require the exclusive writer lock
 // (BEGIN/COMMIT/ROLLBACK manipulate the catalog's single active Txn).
+// EXPLAIN executes its SELECT for real but discards the rows, so it is
+// read-only too.
 func ReadOnly(stmt sqlparser.Statement) bool {
 	switch stmt.(type) {
-	case sqlparser.Select:
+	case sqlparser.Select, sqlparser.Explain:
 		return true
 	default:
 		return false

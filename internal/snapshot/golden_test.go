@@ -18,7 +18,7 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-const goldenSnap = "testdata/v1.snap"
+const goldenSnap = "testdata/v2.snap"
 
 func TestGoldenSnapshot(t *testing.T) {
 	img := sampleModel().Encode()
@@ -57,5 +57,27 @@ func TestGoldenSnapshot(t *testing.T) {
 	future[len(Magic)]++
 	if _, err := Decode(future); err == nil {
 		t.Error("bumped version byte with stale checksum was accepted")
+	}
+}
+
+// TestGoldenSnapshotV1 pins backward compatibility: a version-1 image (no
+// index section) written before the v2 bump keeps decoding, with Indexes
+// empty. The fixture is frozen — it must never be regenerated.
+func TestGoldenSnapshotV1(t *testing.T) {
+	want, err := os.ReadFile("testdata/v1.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Indexes) != 0 {
+		t.Errorf("v1 image decoded with %d index defs, want 0", len(got.Indexes))
+	}
+	wantModel := sampleModel()
+	wantModel.Indexes = nil
+	if !reflect.DeepEqual(got, wantModel) {
+		t.Errorf("v1 fixture decodes to a different model:\ngot %+v", got)
 	}
 }

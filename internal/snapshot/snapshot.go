@@ -6,12 +6,17 @@
 // snapshot and truncates the WAL; recovery loads the snapshot and replays
 // the WAL tail.
 //
-// # File layout (version 1)
+// # File layout (version 2)
 //
 //	offset 0  magic   "BDBSNAP\x00" (8 bytes)
 //	offset 8  version 1 byte
 //	offset 9  body    varint/length-prefixed sections, see Encode
 //	tail      CRC-32C 4 bytes little-endian over version + body
+//
+// Version 2 appends an index-definition section after the relations: the
+// secondary indexes (hash or ordered) present on every internal table, so
+// user-created indexes survive a checkpoint. Version 1 images (no index
+// section) still decode, with Indexes empty.
 //
 // The body is written in a canonical order (users by uid, worlds by wid,
 // edges by (wid, uid), tuples by tid, valuations by (wid, tid, sign)), so
@@ -36,7 +41,7 @@ import (
 // then be rejected loudly (see the golden-file tests).
 const (
 	Magic   = "BDBSNAP\x00"
-	Version = 1
+	Version = 2
 )
 
 // Column is one attribute of an external relation, as recorded in the
@@ -95,6 +100,15 @@ type VRow struct {
 	Expl     string // "y" or "n"
 }
 
+// IndexDef is one secondary index on an internal table, recorded by name so
+// recovery can recreate it (built-in indexes load-match by name instead).
+type IndexDef struct {
+	Table   string
+	Name    string
+	Cols    []string // indexed column names, in index order
+	Ordered bool     // B-tree shape (range scans) vs hash shape
+}
+
 // RelData is the definition plus contents of one belief relation.
 type RelData struct {
 	Def  Relation
@@ -130,6 +144,7 @@ type Model struct {
 	Users      []User // logical user catalog
 	Paths      []PathEntry
 	Rels       []RelData
+	Indexes    []IndexDef // canonical order: table order, then name
 }
 
 // All primitive encoding (strings, bools, tagged values) goes through
@@ -209,6 +224,17 @@ func (m *Model) Encode() []byte {
 		}
 	}
 
+	body = binary.AppendUvarint(body, uint64(len(m.Indexes)))
+	for _, ix := range m.Indexes {
+		body = wal.AppendString(body, ix.Table)
+		body = wal.AppendString(body, ix.Name)
+		body = wal.AppendBool(body, ix.Ordered)
+		body = binary.AppendUvarint(body, uint64(len(ix.Cols)))
+		for _, c := range ix.Cols {
+			body = wal.AppendString(body, c)
+		}
+	}
+
 	dst = append(dst, body...)
 	return binary.LittleEndian.AppendUint32(dst, wal.Checksum(body))
 }
@@ -226,8 +252,9 @@ func Decode(data []byte) (*Model, error) {
 	if wal.Checksum(body) != sum {
 		return nil, fmt.Errorf("snapshot: checksum mismatch (corrupt image)")
 	}
-	if body[0] != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d)", body[0], Version)
+	ver := body[0]
+	if ver != Version && ver != 1 {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (supported: 1..%d)", ver, Version)
 	}
 
 	d := wal.NewReader(body[1:])
@@ -295,6 +322,17 @@ func Decode(data []byte) (*Model, error) {
 			})
 		}
 		m.Rels = append(m.Rels, r)
+	}
+	if ver >= 2 {
+		nIdx := d.Count(3)
+		for i := uint64(0); i < nIdx && d.Err() == nil; i++ {
+			ix := IndexDef{Table: d.Str(), Name: d.Str(), Ordered: d.Bool()}
+			nc := d.Count(1)
+			for j := uint64(0); j < nc && d.Err() == nil; j++ {
+				ix.Cols = append(ix.Cols, d.Str())
+			}
+			m.Indexes = append(m.Indexes, ix)
+		}
 	}
 	if d.Err() == nil && d.Len() != 0 {
 		d.Fail("%d trailing bytes", d.Len())

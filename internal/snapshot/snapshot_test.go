@@ -57,6 +57,11 @@ func sampleModel() *Model {
 				V:    nil,
 			},
 		},
+		Indexes: []IndexDef{
+			{Table: "S_star", Name: "S_star_key", Cols: []string{"sid"}},
+			{Table: "S_star", Name: "S_star_sid_n", Cols: []string{"sid", "n"}, Ordered: true},
+			{Table: "Users", Name: "Users_ix0", Cols: []string{"name"}},
+		},
 	}
 }
 

@@ -22,11 +22,20 @@ type CreateTable struct {
 	Cols []ColumnDef
 }
 
-// CreateIndex is CREATE INDEX name ON table (cols...).
+// CreateIndex is CREATE [ORDERED] INDEX name ON table (cols...).
+// Ordered selects the B-tree shape (range scans, sorted walks) over the
+// default hash shape.
 type CreateIndex struct {
-	Name  string
-	Table string
-	Cols  []string
+	Name    string
+	Table   string
+	Cols    []string
+	Ordered bool
+}
+
+// Explain is EXPLAIN SELECT ...: run the planner over the query and return
+// the chosen access path per binding as rows instead of executing it.
+type Explain struct {
+	Query Select
 }
 
 // DropTable is DROP TABLE name.
@@ -106,6 +115,7 @@ type (
 
 func (CreateTable) stmt() {}
 func (CreateIndex) stmt() {}
+func (Explain) stmt()     {}
 func (DropTable) stmt()   {}
 func (Insert) stmt()      {}
 func (Select) stmt()      {}

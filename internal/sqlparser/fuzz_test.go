@@ -23,6 +23,11 @@ func FuzzParse(f *testing.F) {
 		"SELECT x FROM t WHERE c IS NOT NULL AND d IS NULL",
 		"CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20), w FLOAT, ok BOOL)",
 		"CREATE INDEX i ON t (a, b)",
+		"CREATE ORDERED INDEX oi ON t (ts, k)",
+		"SELECT x FROM t WHERE a >= 10 AND a < 20 AND b = 'x'",
+		"SELECT x FROM t WHERE ts > 5 ORDER BY ts DESC LIMIT 7",
+		"EXPLAIN SELECT x FROM t WHERE a = 1 ORDER BY b LIMIT 3",
+		"EXPLAIN CREATE INDEX i ON t (a)",
 		"DROP TABLE t",
 		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
 		"UPDATE t SET a = 1, b = 'x' WHERE c IS NOT NULL",

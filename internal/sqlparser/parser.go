@@ -142,6 +142,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 	switch {
 	case p.isKeyword("select"):
 		return p.parseSelect()
+	case p.isKeyword("explain"):
+		return p.parseExplain()
 	case p.isKeyword("insert"):
 		return p.parseInsert()
 	case p.isKeyword("delete"):
@@ -171,10 +173,33 @@ func (p *Parser) parseCreate() (Statement, error) {
 	case p.isKeyword("table"):
 		return p.parseCreateTable()
 	case p.isKeyword("index"):
-		return p.parseCreateIndex()
+		return p.parseCreateIndex(false)
+	case p.isKeyword("ordered"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("index") {
+			return nil, p.errf("expected INDEX after CREATE ORDERED")
+		}
+		return p.parseCreateIndex(true)
 	default:
-		return nil, p.errf("expected TABLE or INDEX after CREATE")
+		return nil, p.errf("expected TABLE or [ORDERED] INDEX after CREATE")
 	}
+}
+
+// parseExplain parses EXPLAIN SELECT ... — the only explainable statement.
+func (p *Parser) parseExplain() (Statement, error) {
+	if err := p.advance(); err != nil { // EXPLAIN
+		return nil, err
+	}
+	if !p.isKeyword("select") {
+		return nil, p.errf("expected SELECT after EXPLAIN")
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return Explain{Query: stmt.(Select)}, nil
 }
 
 func typeFromName(name string) (val.Kind, bool) {
@@ -257,7 +282,7 @@ func (p *Parser) parseCreateTable() (Statement, error) {
 	return CreateTable{Name: name, Cols: cols}, nil
 }
 
-func (p *Parser) parseCreateIndex() (Statement, error) {
+func (p *Parser) parseCreateIndex(ordered bool) (Statement, error) {
 	if err := p.advance(); err != nil { // INDEX
 		return nil, err
 	}
@@ -293,7 +318,7 @@ func (p *Parser) parseCreateIndex() (Statement, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
-	return CreateIndex{Name: name, Table: table, Cols: cols}, nil
+	return CreateIndex{Name: name, Table: table, Cols: cols, Ordered: ordered}, nil
 }
 
 func (p *Parser) parseDrop() (Statement, error) {

@@ -212,13 +212,15 @@ func openAt(dir string, rels []Relation, lazy bool) (st *Store, err error) {
 	st.durable = true
 	// Route raw-SQL mutations (DB().Exec on the internal schema) through
 	// the WAL too; the hook runs under the shared writer lock before the
-	// statements execute, like every other logged mutation. DDL is refused:
-	// the snapshot format persists only the schema declared at open time,
-	// so a journaled CREATE/DROP would be lost at the next checkpoint.
+	// statements execute, like every other logged mutation. CREATE INDEX is
+	// journaled like any mutation and its definition survives checkpoints
+	// in the snapshot's index section. CREATE/DROP TABLE stay refused: the
+	// snapshot format persists only the belief schema declared at open
+	// time, so a journaled table would be lost at the next checkpoint.
 	st.db.SetMutationHook(func(sql string, stmts []sqlparser.Statement) error {
 		for _, s := range stmts {
 			switch s.(type) {
-			case sqlparser.CreateTable, sqlparser.CreateIndex, sqlparser.DropTable:
+			case sqlparser.CreateTable, sqlparser.DropTable:
 				return fmt.Errorf("store: %T is not supported on a durable database: "+
 					"snapshots persist only the belief schema declared at open time", s)
 			}
@@ -508,6 +510,35 @@ func (v *view) snapshotModel() *snapshot.Model {
 		})
 		m.Rels = append(m.Rels, rd)
 	}
+
+	// Index definitions of every internal table, built-ins included —
+	// recording them all keeps the render stateless; loading skips ones
+	// that already exist. Tables in schema order, names sorted per table.
+	type namedTable struct {
+		name string
+		t    *engine.Table
+	}
+	nts := []namedTable{{"Users", v.usersTable}, {"_d", v.d}, {"_e", v.e}, {"_s", v.s}}
+	for _, name := range v.relOrder {
+		ri := v.rels[name]
+		nts = append(nts, namedTable{name + "_star", ri.star}, namedTable{name + "_v", ri.v})
+	}
+	for _, nt := range nts {
+		ixs := nt.t.Indexes()
+		names := make([]string, 0, len(ixs))
+		for n := range ixs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ix := ixs[n]
+			def := snapshot.IndexDef{Table: nt.name, Name: n, Ordered: ix.Ordered()}
+			for _, c := range ix.Cols() {
+				def.Cols = append(def.Cols, nt.t.Schema().Columns[c].Name)
+			}
+			m.Indexes = append(m.Indexes, def)
+		}
+	}
 	return m
 }
 
@@ -610,5 +641,50 @@ func (st *Store) loadSnapshot(m *snapshot.Model) error {
 	st.nextWid = m.NextWid
 	st.nextTid = m.NextTid
 	st.n = int(m.N)
+
+	// Recreate the recorded secondary indexes. Built-ins (and anything else
+	// open() already made) are matched by name and verified; the rest —
+	// user-created via journaled CREATE [ORDERED] INDEX — are rebuilt from
+	// the rows loaded above, reproducing their kind.
+	for _, d := range m.Indexes {
+		t := st.cat.Table(d.Table)
+		if t == nil {
+			return fmt.Errorf("store: snapshot index %s on unknown table %s", d.Name, d.Table)
+		}
+		if ex, ok := t.Indexes()[d.Name]; ok {
+			if err := matchIndexDef(t, ex, d); err != nil {
+				return err
+			}
+			continue
+		}
+		var err error
+		if d.Ordered {
+			_, err = t.CreateOrderedIndex(d.Name, d.Cols)
+		} else {
+			_, err = t.CreateIndex(d.Name, d.Cols)
+		}
+		if err != nil {
+			return fmt.Errorf("store: recreating snapshot index %s.%s: %w", d.Table, d.Name, err)
+		}
+	}
+	return nil
+}
+
+// matchIndexDef verifies that an existing index has the definition the
+// snapshot recorded for its name.
+func matchIndexDef(t *engine.Table, ix *engine.Index, d snapshot.IndexDef) error {
+	ok := ix.Ordered() == d.Ordered && len(ix.Cols()) == len(d.Cols)
+	if ok {
+		for i, c := range ix.Cols() {
+			if t.Schema().Columns[c].Name != d.Cols[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("store: snapshot index %s.%s does not match the existing index of that name",
+			d.Table, d.Name)
+	}
 	return nil
 }
