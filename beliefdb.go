@@ -53,6 +53,7 @@ import (
 	"beliefdb/internal/bsql"
 	"beliefdb/internal/core"
 	"beliefdb/internal/query"
+	"beliefdb/internal/shard"
 	"beliefdb/internal/store"
 	"beliefdb/internal/val"
 )
@@ -401,6 +402,32 @@ func (b *Batch) Delete(path Path, sign Sign, t Tuple) {
 
 // Len reports how many statements the batch holds.
 func (b *Batch) Len() int { return len(b.ops) }
+
+// CheckShard verifies the batch belongs on shard self of a cluster
+// partitioned into shards parts with the given seed: every queued insert's
+// row key must hash to self. Deletes are exempt — they were resolved
+// against this shard's own state (ParseBatch matches DELETE ... WHERE
+// locally), so whatever they target lives here by construction; that is
+// what lets a router broadcast a DELETE to every shard and have each one
+// retract only its local matches. A sharded server runs this check before
+// committing, refusing mis-routed writes instead of silently splitting a
+// key across shards.
+func (b *Batch) CheckShard(seed uint64, shards, self int) error {
+	if err := shard.Validate(self, shards); err != nil {
+		return err
+	}
+	m := shard.Map{Count: shards, Seed: seed}
+	for _, op := range b.ops {
+		if op.Delete {
+			continue
+		}
+		if owner := m.Owner(op.Stmt.Tuple.Rel, op.Stmt.Tuple.Key()); owner != self {
+			return fmt.Errorf("beliefdb: key %s of %s belongs to shard %d, not shard %d",
+				op.Stmt.Tuple.Key().SQL(), op.Stmt.Tuple.Rel, owner, self)
+		}
+	}
+	return nil
+}
 
 // Batch applies a group of belief mutations atomically under one
 // writer-lock acquisition and one WAL commit — on a durable database the

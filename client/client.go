@@ -73,7 +73,25 @@ var (
 	// direct callers can retry or relax the watermark. Shared with the
 	// embedded API so either sentinel matches.
 	ErrStaleRead = beliefdb.ErrStaleRead
+	// ErrWrongShard: a shard server refused a write because a row key in
+	// it hashes to a different shard of the cluster. Retrying the same
+	// server is useless — route writes through beliefrouter, which owns
+	// the shard map.
+	ErrWrongShard = errors.New("client: key belongs to a different shard")
 )
+
+// ShardInfo is the shard map a server announces in its handshake: the
+// server's own shard id (-1 for a beliefrouter, which fronts the whole
+// cluster), the cluster's shard count, and the partition seed row keys are
+// hashed with. A server outside any sharded cluster announces Count 0.
+type ShardInfo struct {
+	ID    int
+	Count int
+	Seed  uint64
+}
+
+// Sharded reports whether the server is part of a sharded cluster.
+func (si ShardInfo) Sharded() bool { return si.Count > 0 }
 
 // Position is a point in the primary's WAL: the watermark write
 // acknowledgements carry and replicas are measured against. Positions are
@@ -161,6 +179,7 @@ type Client struct {
 	mu     sync.Mutex
 	idle   []*conn
 	closed bool
+	shard  ShardInfo // from the most recent handshake
 }
 
 // conn is one established, handshaken connection.
@@ -216,6 +235,9 @@ func (cli *Client) dial() (*conn, error) {
 			nc.Close()
 			return nil, fmt.Errorf("client: server %s speaks protocol %d, this client %d", cli.addr, m.Version, wire.ProtoVersion)
 		}
+		cli.mu.Lock()
+		cli.shard = ShardInfo{ID: int(m.ShardID), Count: int(m.ShardCount), Seed: m.ShardSeed}
+		cli.mu.Unlock()
 		return cn, nil
 	case wire.KindError:
 		nc.Close()
@@ -383,6 +405,8 @@ func (e errRemote) Is(target error) bool {
 		return e.code == wire.CodeParse
 	case ErrStaleRead:
 		return e.code == wire.CodeStaleRead
+	case ErrWrongShard:
+		return e.code == wire.CodeWrongShard
 	}
 	return false
 }
@@ -560,12 +584,30 @@ func (cli *Client) ExecBatch(ctx context.Context, script string) (BatchResult, e
 	return out, err
 }
 
+// ExecBatchToken is ExecBatch under a caller-supplied idempotency token
+// instead of a freshly generated one. Two uses: replaying a batch whose
+// first acknowledgement was lost beyond the automatic retries (the same
+// token makes the server answer with the original outcome), and routing —
+// beliefrouter derives one deterministic sub-token per shard from the
+// client's token, so a retried routed batch applies exactly once per shard
+// even when the first attempt committed on only some of them. An empty
+// token disables the exactly-once guarantee.
+func (cli *Client) ExecBatchToken(ctx context.Context, script, token string) (BatchResult, error) {
+	out, _, err := cli.execBatchTokenPos(ctx, script, token)
+	return out, err
+}
+
 // execBatchPos is ExecBatch also reporting the server's WAL position after
 // the batch committed.
 func (cli *Client) execBatchPos(ctx context.Context, script string) (BatchResult, Position, error) {
+	return cli.execBatchTokenPos(ctx, script, newToken())
+}
+
+// execBatchTokenPos is the shared batch round trip: a given token, the
+// committed WAL position reported back.
+func (cli *Client) execBatchTokenPos(ctx context.Context, script, token string) (BatchResult, Position, error) {
 	var out BatchResult
 	var pos Position
-	token := newToken()
 	err := cli.doRetry(ctx, func(cn *conn) error {
 		if err := cn.send(wire.ExecBatch(script, token)); err != nil {
 			return err
@@ -666,6 +708,16 @@ func (cli *Client) Checkpoint(ctx context.Context) error {
 // read.
 func (cli *Client) Ping(ctx context.Context) error {
 	return cli.fieldless(ctx, wire.Msg{Kind: wire.KindPing}, wire.KindPong)
+}
+
+// Shard returns the shard map the server announced in the most recent
+// connection handshake. The zero-Count ShardInfo means the server is not
+// sharded (or no connection has been established yet — Dial handshakes
+// eagerly, so after a successful Dial the value is authoritative).
+func (cli *Client) Shard() ShardInfo {
+	cli.mu.Lock()
+	defer cli.mu.Unlock()
+	return cli.shard
 }
 
 func (cli *Client) fieldless(ctx context.Context, req wire.Msg, want wire.Kind) error {

@@ -151,6 +151,18 @@ func (rt *Routed) ExecBatch(ctx context.Context, script string) (BatchResult, er
 	return out, err
 }
 
+// ExecBatchToken is ExecBatch under a caller-supplied idempotency token
+// (see Client.ExecBatchToken) and advances the watermark. beliefrouter
+// commits each shard's slice of a routed batch through this, so the
+// shard's watermark reflects the write for subsequent replica reads.
+func (rt *Routed) ExecBatchToken(ctx context.Context, script, token string) (BatchResult, error) {
+	out, pos, err := rt.primary.execBatchTokenPos(ctx, script, token)
+	if err == nil {
+		rt.advanceWatermark(pos)
+	}
+	return out, err
+}
+
 // AddUser registers a community member on the primary and advances the
 // watermark.
 func (rt *Routed) AddUser(ctx context.Context, name string) (UserID, error) {

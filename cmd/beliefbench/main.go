@@ -13,12 +13,18 @@
 //
 // Usage:
 //
-//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-replicas N] [-mixed] [-ranges] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
+//	beliefbench [-table1] [-figure6] [-table2] [-bounds] [-lazy] [-durability] [-batch N] [-serve N] [-replicas N] [-shards N] [-mixed] [-ranges] [-chaos] [-all] [-full] [-json] [-n N] [-reps R] [-qreps Q] [-seed S]
 //
 // -replicas measures the WAL-shipping read-replica fleet: ingest through
 // the primary with N followers attached, reporting replica-served read
 // latency, the worst replication lag sampled during ingest, and the
 // post-ingest catchup time.
+//
+// -shards measures the hash-partitioned cluster: concurrent writers
+// ingest through a beliefrouter fronting N shards (each shard its own
+// durable WAL, so commits parallelize), reporting ingest throughput and
+// the cost of scattered reads — a belief-world query merged by global
+// dedup, and a grouped aggregate recombined from per-shard partials.
 //
 // -chaos runs the seeded fault-injection schedule from internal/bench
 // against a live loopback server and exits non-zero on any invariant
@@ -81,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batchN  = fs.Int("batch", 0, "run the group-commit ingest benchmark comparing batch size N against size 1 (with -all alone: sizes 1, 16, 256)")
 		serveN  = fs.Int("serve", 0, "run the client/server ingest benchmark comparing N concurrent clients against 1 (with -all alone: 1, 4, 16)")
 		replN   = fs.Int("replicas", 0, "run the read-replica benchmark with N WAL-shipping followers (with -all alone: 1, 2, 4)")
+		shardN  = fs.Int("shards", 0, "run the sharding benchmark with N hash partitions behind a router (with -all alone: 1, 2, 4)")
 		mixed   = fs.Bool("mixed", false, "run the mixed read-under-write benchmark (parallel content queries vs. a streaming batch writer)")
 		ranges  = fs.Bool("ranges", false, "run the range-query benchmark (ordered-index walks and top-k vs. full scans)")
 		chaos   = fs.Bool("chaos", false, "run the seeded chaos schedule against a live server and report invariant violations (not part of -all)")
@@ -96,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *replN > 0 || *mixed || *ranges || *chaos || *all) {
+	if !(*table1 || *figure6 || *table2 || *bounds || *lazy || *durab || *batchN > 0 || *serveN > 0 || *replN > 0 || *shardN > 0 || *mixed || *ranges || *chaos || *all) {
 		*all = true
 	}
 	progress := func(string) {}
@@ -347,6 +354,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 				})
 		}
 		emit(bench.RenderReplicaBench(rows, nr, mr), recs)
+	}
+
+	if *all || *shardN > 0 {
+		nh, mh := 200, 10
+		if *full {
+			nh = 2000
+		}
+		if *n > 0 {
+			nh = *n
+		}
+		counts := []int{1, 2, 4}
+		switch {
+		case *shardN == 1:
+			counts = []int{1}
+		case *shardN > 1:
+			counts = []int{1, *shardN}
+		}
+		rows, err := bench.RunShardBench(nh, mh, 29, counts, 24, progress)
+		if err != nil {
+			return err
+		}
+		var recs []benchRecord
+		for _, r := range rows {
+			recs = append(recs,
+				benchRecord{
+					Name:    fmt.Sprintf("shards/s%d/ingest", r.Shards),
+					NsPerOp: r.IngestNsPer,
+					Value:   r.StmtsPerSec,
+					Unit:    "stmts_per_sec",
+				},
+				benchRecord{
+					Name:    fmt.Sprintf("shards/s%d/read", r.Shards),
+					NsPerOp: r.ReadNsPerOp,
+					Value:   r.AggNsPerOp,
+					Unit:    "agg_ns_per_op",
+				})
+		}
+		emit(bench.RenderShardBench(rows, nh, mh), recs)
 	}
 
 	if *all || *mixed {

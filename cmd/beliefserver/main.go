@@ -9,6 +9,15 @@
 //	beliefserver [-addr host:port] [-db dir] [-schema spec] [-demo]
 //	             [-max-conns N] [-request-timeout D] [-drain D]
 //	             [-follow primaryAddr]
+//	             [-shard-id I -shard-count N -shard-seed S]
+//
+// -shard-id/-shard-count/-shard-seed declare the server one shard of a
+// hash-partitioned cluster fronted by beliefrouter: the triple is announced
+// in the wire handshake, batch writes whose row keys hash to another shard
+// are refused, and Exec-path mutations are refused entirely (writes reach
+// shards only through the router's owner-checked batch routing). Every
+// server of one cluster must use the same -shard-count and -shard-seed; a
+// replica (-follow) of a shard repeats its primary's triple.
 //
 // -follow runs the process as a read replica of the primary beliefserver
 // at the given address: it bootstraps (or resumes) from its own -db
@@ -50,6 +59,7 @@ import (
 	"beliefdb"
 	"beliefdb/internal/paperex"
 	"beliefdb/internal/server"
+	"beliefdb/internal/shard"
 )
 
 func main() {
@@ -69,10 +79,20 @@ func run() error {
 		maxConn = flag.Int("max-conns", 0, "cap concurrent connections; excess dials wait in the listen backlog (0 = unlimited)")
 		reqTime = flag.Duration("request-timeout", 30*time.Second, "per-request deadline for batch commits and response writes (0 = none)")
 		follow  = flag.String("follow", "", "run as a read replica of the primary beliefserver at this address (requires -db)")
+		shardID = flag.Int("shard-id", 0, "this server's shard index in a hash-partitioned cluster (with -shard-count)")
+		shardN  = flag.Int("shard-count", 0, "number of shards in the cluster; 0 = unsharded")
+		shardS  = flag.Uint64("shard-seed", 0, "cluster-wide partition seed (must match on every shard and on beliefrouter's view)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+	if *shardN > 0 {
+		if err := shard.Validate(*shardID, *shardN); err != nil {
+			return err
+		}
+	} else if *shardID != 0 || *shardS != 0 {
+		return fmt.Errorf("-shard-id/-shard-seed need -shard-count")
 	}
 
 	opts := []server.Option{
@@ -89,6 +109,11 @@ func run() error {
 	}
 	if *reqTime > 0 {
 		opts = append(opts, server.WithRequestTimeout(*reqTime))
+	}
+	if *shardN > 0 {
+		// A replica of a shard carries its primary's shard identity, so the
+		// option applies in both modes.
+		opts = append(opts, server.WithShard(*shardID, *shardN, *shardS))
 	}
 
 	var srv *server.Server

@@ -1,0 +1,169 @@
+package beliefdb
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocsPresent walks every Go package in the module and fails if
+// any lacks a package doc comment. The doc belongs on exactly one file per
+// package (conventionally a file named after the package, or doc.go); any
+// non-test file with one satisfies the check.
+func TestPackageDocsPresent(t *testing.T) {
+	for _, dir := range goPackageDirs(t) {
+		files := parsePackageFiles(t, dir)
+		if len(files) == 0 {
+			continue
+		}
+		documented := false
+		for _, f := range files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package in %s has no package doc comment", dir)
+		}
+	}
+}
+
+// TestExportedSymbolsDocumented enforces doc comments on every exported
+// top-level symbol of the two public packages — the embedded beliefdb API
+// (module root) and the network client. Internal packages only need the
+// package doc; the public surface needs per-symbol docs.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	for _, dir := range []string{".", "client"} {
+		for _, f := range parsePackageFiles(t, dir) {
+			for _, decl := range f.Decls {
+				for _, miss := range undocumentedExported(decl) {
+					t.Errorf("%s: exported %s has no doc comment", dir, miss)
+				}
+			}
+		}
+	}
+}
+
+// undocumentedExported returns the exported names a top-level declaration
+// introduces without documentation. A grouped declaration's shared doc
+// comment covers its specs; a spec-level doc or trailing line comment also
+// counts.
+func undocumentedExported(decl ast.Decl) []string {
+	var miss []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return nil
+		}
+		if d.Doc == nil {
+			miss = append(miss, "func "+d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					miss = append(miss, "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						miss = append(miss, "var/const "+n.Name)
+					}
+				}
+			}
+		}
+	}
+	return miss
+}
+
+// exportedReceiver reports whether a method's receiver type is itself
+// exported; methods on unexported types are not public API.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch u := typ.(type) {
+		case *ast.StarExpr:
+			typ = u.X
+		case *ast.IndexExpr:
+			typ = u.X
+		case *ast.IndexListExpr:
+			typ = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// goPackageDirs lists every directory in the module that holds Go source,
+// skipping VCS metadata and testdata fixtures.
+func goPackageDirs(t *testing.T) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// parsePackageFiles parses the non-test Go files of one directory with
+// comments attached.
+func parsePackageFiles(t *testing.T, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s/%s: %v", dir, name, err)
+		}
+		files = append(files, f)
+	}
+	return files
+}

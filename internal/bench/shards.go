@@ -1,0 +1,203 @@
+// Sharding benchmark: the generated durability workload ingested through
+// a beliefrouter fronting 1, 2, or 4 hash-partitioned shards, measuring
+// what partitioning buys — concurrent writers commit to disjoint WALs, so
+// write throughput should scale with the shard count — and what the
+// scatter-gather read path costs (every query fans out to all shards and
+// merges).
+//
+// The whole cluster runs in one process, so the recorded scaling is
+// bounded by the host's cores: on a single-core machine the shards share
+// the CPU that parsing, routing, and applying all contend for, and the
+// only parallelism left to harvest is overlapping one shard's WAL fsync
+// with another's apply — worth ~1.1-1.3x from one shard to four, where
+// multi-core hardware (or one process per shard) parallelizes the apply
+// path itself. The records track the trajectory of the full routed write
+// path either way.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beliefdb"
+	"beliefdb/client"
+	"beliefdb/internal/core"
+	"beliefdb/internal/gen"
+	"beliefdb/internal/replication"
+	"beliefdb/internal/router"
+)
+
+// ShardBenchResult is one measured shard-count configuration.
+type ShardBenchResult struct {
+	Shards      int     // hash partitions behind the router
+	Writers     int     // concurrent writer goroutines
+	Stmts       int     // statements ingested
+	IngestNsPer float64 // wall time per ingested statement (all writers)
+	StmtsPerSec float64 // ingest throughput
+	ReadNsPerOp float64 // per-query wall time of a scattered belief read
+	AggNsPerOp  float64 // per-query wall time of a scattered merged aggregate
+	Reads       int     // queries timed per read figure
+}
+
+// RunShardBench ingests the n-statement generated workload through a
+// router once per shard count, with writers concurrent clients splitting
+// the stream — single-statement batches, so each shard's group commit and
+// fsync pipeline runs independently — then times scattered reads against
+// the loaded cluster: a belief-world query (concatenation merge) and a
+// grouped aggregate (partial-aggregate recombination).
+func RunShardBench(n, m int, seed int64, shardCounts []int, writers int, progress func(string)) ([]ShardBenchResult, error) {
+	cfg := durabilityConfig(m, seed, n)
+	_, stmts, err := gen.Statements(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	var out []ShardBenchResult
+	for _, shards := range shardCounts {
+		if shards < 1 {
+			return nil, fmt.Errorf("bench: shard count %d", shards)
+		}
+		res, err := shardIngestOnce(cfg, stmts, shards, writers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		if progress != nil {
+			progress(fmt.Sprintf("shards=%-2d %10.1f µs/stmt %10.0f stmts/s %10.1f µs/read %10.1f µs/agg",
+				res.Shards, res.IngestNsPer/1e3, res.StmtsPerSec, res.ReadNsPerOp/1e3, res.AggNsPerOp/1e3))
+		}
+	}
+	return out, nil
+}
+
+func shardIngestOnce(cfg gen.Config, stmts []core.Statement, shards, writers int) (ShardBenchResult, error) {
+	root, err := os.MkdirTemp("", "beliefdb-shards-*")
+	if err != nil {
+		return ShardBenchResult{}, err
+	}
+	defer os.RemoveAll(root)
+
+	// Both connection pools — bench client → router and router → shard
+	// primaries — must admit every writer concurrently, or the pool cap
+	// (default 4) becomes the bottleneck instead of the shards.
+	pool := client.Options{PoolSize: writers}
+	sc, err := replication.StartSharded(root, replication.ShardedConfig{
+		Schema:     beliefdb.Schema{Relations: []beliefdb.Relation{GenRelation()}},
+		Shards:     shards,
+		Seed:       uint64(cfg.Seed),
+		RouterOpts: []router.Option{router.WithClientOptions(pool)},
+	})
+	if err != nil {
+		return ShardBenchResult{}, err
+	}
+	defer sc.Close()
+
+	cli, err := sc.Dial(pool)
+	if err != nil {
+		return ShardBenchResult{}, err
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	userNames := make(map[core.UserID]string, cfg.Users)
+	for i := 1; i <= cfg.Users; i++ {
+		name := fmt.Sprintf("u%d", i)
+		uid, err := cli.AddUser(ctx, name)
+		if err != nil {
+			return ShardBenchResult{}, err
+		}
+		userNames[core.UserID(uid)] = name
+	}
+	scripts := make([]string, len(stmts))
+	for i, s := range stmts {
+		if scripts[i], err = renderInsert(s, userNames); err != nil {
+			return ShardBenchResult{}, err
+		}
+	}
+
+	// Concurrent ingest: writers goroutines race down the shared stream,
+	// each statement a single-statement batch through the router.
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		ingErr  error
+		errOnce sync.Once
+	)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scripts) {
+					return
+				}
+				if _, err := cli.ExecBatch(ctx, scripts[i]); err != nil {
+					errOnce.Do(func() { ingErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ingest := time.Since(start)
+	if ingErr != nil {
+		return ShardBenchResult{}, ingErr
+	}
+
+	// Scattered reads against the loaded cluster: a belief world
+	// (concatenation + dedup merge) and a grouped aggregate (partial
+	// recombination across shards).
+	const reads = 100
+	readQ := fmt.Sprintf("select * from BELIEF 'u1' %s;", gen.DefaultRel)
+	rstart := time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := cli.Query(ctx, readQ); err != nil {
+			return ShardBenchResult{}, err
+		}
+	}
+	readNs := float64(time.Since(rstart)) / reads
+
+	cols := gen.RelColumns()
+	aggQ := fmt.Sprintf("select T.%s, count(T.%s) from %s T group by T.%s;",
+		cols[1], cols[0], gen.DefaultRel, cols[1])
+	astart := time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := cli.Query(ctx, aggQ); err != nil {
+			return ShardBenchResult{}, err
+		}
+	}
+	aggNs := float64(time.Since(astart)) / reads
+
+	return ShardBenchResult{
+		Shards:      shards,
+		Writers:     writers,
+		Stmts:       len(stmts),
+		IngestNsPer: float64(ingest) / float64(len(stmts)),
+		StmtsPerSec: float64(len(stmts)) / ingest.Seconds(),
+		ReadNsPerOp: readNs,
+		AggNsPerOp:  aggNs,
+		Reads:       reads,
+	}, nil
+}
+
+// RenderShardBench prints the shard-count comparison.
+func RenderShardBench(rows []ShardBenchResult, n, m int) string {
+	var sb strings.Builder
+	writers := 0
+	if len(rows) > 0 {
+		writers = rows[0].Writers
+	}
+	fmt.Fprintf(&sb, "Sharding: durable ingest of n=%d single-statement batches (m=%d users, %d concurrent writers) through beliefrouter\n\n", n, m, writers)
+	fmt.Fprintf(&sb, "  %10s %14s %14s %14s %14s\n", "shards", "µs/stmt", "stmts/s", "µs/read", "µs/agg")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %10d %14.1f %14.0f %14.1f %14.1f\n",
+			r.Shards, r.IngestNsPer/1e3, r.StmtsPerSec, r.ReadNsPerOp/1e3, r.AggNsPerOp/1e3)
+	}
+	return sb.String()
+}

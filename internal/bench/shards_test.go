@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunShardBench smoke-tests the sharded ingest benchmark at a small
+// scale: both configurations ingest the whole workload through the router
+// and every timed figure is a real measurement.
+func TestRunShardBench(t *testing.T) {
+	rows, err := RunShardBench(60, 5, 19, []int{1, 2}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stmts != 60 {
+			t.Errorf("shards %d ingested %d statements, want 60", r.Shards, r.Stmts)
+		}
+		if r.StmtsPerSec <= 0 || r.IngestNsPer <= 0 || r.ReadNsPerOp <= 0 || r.AggNsPerOp <= 0 {
+			t.Errorf("shards %d: unmeasured figure in %+v", r.Shards, r)
+		}
+	}
+	out := RenderShardBench(rows, 60, 5)
+	if !strings.Contains(out, "Sharding") || !strings.Contains(out, "stmts/s") {
+		t.Errorf("render missing headline: %s", out)
+	}
+}

@@ -1,0 +1,188 @@
+package bsql
+
+import (
+	"fmt"
+	"strings"
+
+	"beliefdb/internal/sqlparser"
+)
+
+// This file renders parsed BeliefSQL statements back to parseable text.
+// The router (internal/router) uses it to rebuild per-shard scripts — an
+// INSERT's VALUES rows split by owning shard, a rewritten scatter query
+// with partial-aggregate items — from statement ASTs, so the renderings
+// must round-trip through Parse. Expressions already render themselves
+// (sqlparser's Expr.String produces parseable SQL, with string literals
+// escaped); this adds the BeliefSQL-specific statement shapes.
+
+// renderUser renders a literal user name as a string literal, escaping
+// embedded quotes (unlike BeliefRef.String, which is for error messages
+// only and does not escape).
+func renderUser(name string) string {
+	return "'" + strings.ReplaceAll(name, "'", "''") + "'"
+}
+
+// RenderRef renders a belief reference (FROM item or DML target) back to
+// parseable BeliefSQL.
+func RenderRef(ref BeliefRef) string {
+	var sb strings.Builder
+	for _, e := range ref.Path {
+		sb.WriteString("BELIEF ")
+		if e.IsRef {
+			sb.WriteString(e.Ref.String())
+		} else {
+			sb.WriteString(renderUser(e.Literal))
+		}
+		sb.WriteByte(' ')
+	}
+	if ref.Negated {
+		sb.WriteString("NOT ")
+	}
+	sb.WriteString(ref.Table)
+	if ref.Alias != "" {
+		sb.WriteString(" AS " + ref.Alias)
+	}
+	return sb.String()
+}
+
+func renderItem(it sqlparser.SelectItem) string {
+	switch {
+	case it.Star:
+		return "*"
+	case it.TableStar != "":
+		return it.TableStar + ".*"
+	default:
+		s := it.Expr.String()
+		if it.Alias != "" {
+			s += " AS " + it.Alias
+		}
+		return s
+	}
+}
+
+// RenderSelect renders a SELECT back to parseable BeliefSQL.
+func RenderSelect(sel Select) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range sel.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(renderItem(it))
+	}
+	sb.WriteString(" FROM ")
+	for i, ref := range sel.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(RenderRef(ref))
+	}
+	if sel.Where != nil {
+		sb.WriteString(" WHERE " + sel.Where.String())
+	}
+	if len(sel.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range sel.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range sel.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", sel.Limit)
+	}
+	return sb.String()
+}
+
+// Render renders any parsed BeliefSQL statement back to parseable text
+// (without a trailing semicolon).
+func Render(stmt Statement) string {
+	switch s := stmt.(type) {
+	case Select:
+		return RenderSelect(s)
+	case Explain:
+		return "EXPLAIN " + RenderSelect(s.Query)
+	case Insert:
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO " + RenderRef(s.Target) + " VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('(')
+			for j, e := range row {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(e.String())
+			}
+			sb.WriteByte(')')
+		}
+		return sb.String()
+	case Delete:
+		out := "DELETE FROM " + RenderRef(s.Target)
+		if s.Where != nil {
+			out += " WHERE " + s.Where.String()
+		}
+		return out
+	case Update:
+		var sb strings.Builder
+		sb.WriteString("UPDATE " + RenderRef(s.Target) + " SET ")
+		for i, a := range s.Set {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.Column + " = " + a.Value.String())
+		}
+		if s.Where != nil {
+			sb.WriteString(" WHERE " + s.Where.String())
+		}
+		return sb.String()
+	default:
+		// Statement is a closed interface; a new variant must be added here.
+		panic(fmt.Sprintf("bsql: Render: unsupported statement %T", stmt))
+	}
+}
+
+// Aggregated reports whether a SELECT is an aggregate query — it groups,
+// or a select item contains an aggregate call. Aggregated queries translate
+// without the implicit BCQ DISTINCT, and the scatter-gather merge combines
+// their per-shard partial aggregates instead of concatenating rows.
+func Aggregated(sel Select) bool {
+	if len(sel.GroupBy) > 0 {
+		return true
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil && containsAggCall(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsAggCall reports whether e is a direct aggregate function call
+// (COUNT/SUM/MIN/MAX/AVG), as opposed to merely containing one.
+func IsAggCall(e sqlparser.Expr) bool {
+	fc, ok := e.(sqlparser.FuncCall)
+	if !ok {
+		return false
+	}
+	switch strings.ToUpper(fc.Name) {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}

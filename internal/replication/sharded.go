@@ -1,0 +1,201 @@
+package replication
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"slices"
+	"strings"
+	"time"
+
+	"beliefdb"
+	"beliefdb/client"
+	"beliefdb/internal/router"
+	"beliefdb/internal/server"
+)
+
+// This file extends the replication test kit to sharded topologies: a
+// ShardedCluster is N shard Clusters — each its own primary with optional
+// replicas and fault proxy — behind one in-process beliefrouter, so tests
+// can drive the full client → router → shards → replicas path over real
+// loopback sockets and assert cross-shard equivalence, convergence, and
+// failure handling.
+
+// ShardedConfig shapes a ShardedCluster.
+type ShardedConfig struct {
+	Schema beliefdb.Schema
+	// Shards is the number of hash partitions (each one Cluster).
+	Shards int
+	// ReplicasPerShard brings up that many read replicas behind every
+	// shard's primary.
+	ReplicasPerShard int
+	// Seed is the cluster-wide partition seed.
+	Seed uint64
+	// Proxy fronts every shard's primary with a faults.Proxy (the router
+	// and the replicas connect through it), enabling per-shard kill and
+	// blackhole schedules.
+	Proxy bool
+	// ServerOpts apply to every server; the shard identity option is
+	// appended per shard.
+	ServerOpts []server.Option
+	// RouterOpts apply to the router.
+	RouterOpts []router.Option
+}
+
+// A ShardedCluster is a sharded beliefdb deployment in one process: shard
+// Clusters plus a router serving on its own loopback listener.
+type ShardedCluster struct {
+	cfg    ShardedConfig
+	shards []*Cluster
+
+	rt       *router.Router
+	ln       net.Listener
+	addr     string
+	serveErr chan error
+}
+
+// StartSharded brings up a sharded cluster under root (one subdirectory
+// per shard, with the Cluster layout inside).
+func StartSharded(root string, cfg ShardedConfig) (*ShardedCluster, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("replication: ShardedConfig.Shards must be positive")
+	}
+	sc := &ShardedCluster{cfg: cfg}
+	backends := make([]router.Backend, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		opts := append(append([]server.Option{}, cfg.ServerOpts...),
+			server.WithShard(i, cfg.Shards, cfg.Seed))
+		c, err := Start(filepath.Join(root, fmt.Sprintf("shard%d", i)), Config{
+			Schema:     cfg.Schema,
+			Replicas:   cfg.ReplicasPerShard,
+			Proxy:      cfg.Proxy,
+			ServerOpts: opts,
+		})
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		sc.shards = append(sc.shards, c)
+		primary := c.PrimaryAddr()
+		if cfg.Proxy {
+			primary = c.ProxyAddr()
+		}
+		backends[i] = router.Backend{Primary: primary, Replicas: c.ReplicaAddrs()}
+	}
+
+	rt, err := router.New(backends, cfg.RouterOpts...)
+	if err != nil {
+		sc.Close()
+		return nil, err
+	}
+	sc.rt = rt
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sc.Close()
+		return nil, err
+	}
+	sc.ln, sc.addr = ln, ln.Addr().String()
+	sc.serveErr = make(chan error, 1)
+	go func() { sc.serveErr <- rt.Serve(ln) }()
+	return sc, nil
+}
+
+// Close tears the whole deployment down: router first, then every shard.
+func (sc *ShardedCluster) Close() error {
+	var err error
+	if sc.rt != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = sc.rt.Shutdown(ctx)
+		cancel()
+		if serr := <-sc.serveErr; err == nil {
+			err = serr
+		}
+		sc.rt = nil
+	}
+	for _, c := range sc.shards {
+		if e := c.Close(); err == nil {
+			err = e
+		}
+	}
+	sc.shards = nil
+	return err
+}
+
+// Addr is the router's listener address — point clients here.
+func (sc *ShardedCluster) Addr() string { return sc.addr }
+
+// Router exposes the in-process router.
+func (sc *ShardedCluster) Router() *router.Router { return sc.rt }
+
+// Shard exposes shard i's Cluster, for per-shard fault schedules and
+// assertions.
+func (sc *ShardedCluster) Shard(i int) *Cluster { return sc.shards[i] }
+
+// Dial connects a plain client to the router.
+func (sc *ShardedCluster) Dial(opts ...client.Options) (*client.Client, error) {
+	return client.Dial(sc.addr, opts...)
+}
+
+// WaitConverged blocks until every shard's replicas have applied their
+// primary's committed position.
+func (sc *ShardedCluster) WaitConverged(timeout time.Duration) error {
+	for i, c := range sc.shards {
+		if err := c.WaitConverged(timeout); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EqualState verifies every shard's replicas match their primary.
+func (sc *ShardedCluster) EqualState() error {
+	for i, c := range sc.shards {
+		if err := c.EqualState(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Fingerprint renders the union of the shard primaries' dump lines in
+// canonical order with duplicates removed (the replicated Users rows
+// appear on every shard), so a sharded cluster holding the same beliefs
+// as a single node fingerprints identically to DumpFingerprint of that
+// node.
+func (sc *ShardedCluster) Fingerprint() (string, error) {
+	var lines []string
+	for i, c := range sc.shards {
+		dump, err := c.PrimaryDB().Dump()
+		if err != nil {
+			return "", fmt.Errorf("shard %d: %w", i, err)
+		}
+		for _, l := range strings.Split(strings.TrimRight(dump, "\n"), "\n") {
+			if l != "" {
+				lines = append(lines, l)
+			}
+		}
+	}
+	slices.Sort(lines)
+	lines = slices.Compact(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// DumpFingerprint canonicalizes one database's dump the same way, for
+// comparing a sharded cluster against a single-node reference.
+func DumpFingerprint(db *beliefdb.DB) (string, error) {
+	dump, err := db.Dump()
+	if err != nil {
+		return "", err
+	}
+	lines := strings.Split(strings.TrimRight(dump, "\n"), "\n")
+	var kept []string
+	for _, l := range lines {
+		if l != "" {
+			kept = append(kept, l)
+		}
+	}
+	slices.Sort(kept)
+	kept = slices.Compact(kept)
+	return strings.Join(kept, "\n") + "\n", nil
+}

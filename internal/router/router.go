@@ -1,0 +1,555 @@
+// Package router implements beliefrouter, the scatter-gather front door of
+// a hash-partitioned beliefdb cluster. A Router speaks the same wire
+// protocol as a beliefserver — clients cannot tell the difference except
+// for the ShardID -1 it announces — and fronts N shard servers, each of
+// which owns the row keys that hash to it under the cluster's partition
+// map (internal/shard) and may bring its own read replicas.
+//
+// Requests route as follows:
+//
+//   - Batch writes (ExecBatch) are split: each INSERT's VALUES rows go to
+//     the shard owning their row key, DELETEs broadcast to every shard
+//     (each shard resolves only its local matches), and the per-shard
+//     slices commit under tokens derived from the client's idempotency
+//     token, so a retried batch applies exactly once per shard even when a
+//     previous attempt committed on some shards and failed on others.
+//   - Queries over one partitioned relation fan out to every shard and the
+//     streamed results merge: concatenation plus a global DISTINCT pass
+//     for per-tuple results, partial-aggregate recombination for GROUP BY
+//     and aggregate queries, then ORDER BY/LIMIT — reusing the query
+//     layer's own post-processing (query.DedupeRows, query.SortRows) so
+//     the merged answer matches a single node's byte for byte.
+//   - Queries touching no partitioned relation (Users only, EXPLAIN) go to
+//     shard 0 alone.
+//   - AddUser broadcasts to every shard under one router-wide mutex, so
+//     the globally replicated Users table assigns the same uid everywhere.
+//
+// Reads go through each shard's replicas (client.Routed) carrying that
+// shard's read-your-writes watermark, which the router advances on every
+// write it routes there — a read after a routed write observes it on every
+// shard, wherever it is served.
+//
+// Why the merge is sound: the partition function hashes the row key, so
+// every belief annotation of one tuple — whatever its believer — lives on
+// one shard, and any single-relation BeliefSQL query decomposes into
+// per-tuple work. Cross-shard joins (two partitioned FROM items) are the
+// one shape that does not, and the router refuses them. See the Sharding
+// section of DESIGN.md.
+package router
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"beliefdb/client"
+	"beliefdb/internal/bsql"
+	"beliefdb/internal/shard"
+	"beliefdb/internal/wire"
+)
+
+// rowChunkSize bounds how many merged result rows travel in one RowChunk
+// frame, matching the server's streaming bound.
+const rowChunkSize = 256
+
+// A Backend names one shard: its primary server and any read replicas.
+type Backend struct {
+	Primary  string
+	Replicas []string
+}
+
+// A Router fronts a sharded cluster. Create with New, start with Serve,
+// stop with Shutdown (which also closes the shard connections).
+type Router struct {
+	shards []*client.Routed
+	smap   shard.Map
+
+	info       string
+	maxFrame   int
+	reqTimeout time.Duration
+	copts      []client.Options
+
+	// userMu serializes AddUser broadcasts: every shard sees registrations
+	// in the same order, so the replicated Users table assigns identical
+	// uids cluster-wide.
+	userMu sync.Mutex
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	stop     chan struct{}
+	handlers sync.WaitGroup
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithInfo sets the identity sent in the handshake.
+func WithInfo(info string) Option { return func(r *Router) { r.info = info } }
+
+// WithMaxFrame bounds the payload of a single protocol frame in both
+// directions (0 means wire.DefaultMaxFrame).
+func WithMaxFrame(n int) Option {
+	return func(r *Router) {
+		if n > 0 {
+			r.maxFrame = n
+		}
+	}
+}
+
+// WithRequestTimeout bounds each routed request, covering every backend
+// round trip it fans out to and the response write (0 = no deadline).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(r *Router) {
+		if d > 0 {
+			r.reqTimeout = d
+		}
+	}
+}
+
+// WithClientOptions sets the client options used for every backend
+// connection pool.
+func WithClientOptions(o client.Options) Option {
+	return func(r *Router) { r.copts = []client.Options{o} }
+}
+
+// New dials every shard and verifies the cluster's shard map: backend i
+// must announce shard identity i with the same shard count and partition
+// seed as every other backend. A backend that announces nothing (a plain
+// unsharded beliefserver) is refused — routing writes by a partition map
+// the server does not enforce would corrupt silently on misconfiguration.
+func New(backends []Backend, opts ...Option) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("router: no shard backends configured")
+	}
+	r := &Router{
+		info:     "beliefrouter",
+		maxFrame: wire.DefaultMaxFrame,
+		conns:    make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	for i, b := range backends {
+		rt, err := client.DialRouted(b.Primary, b.Replicas, r.copts...)
+		if err != nil {
+			r.closeShards()
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, rt)
+		si := rt.Primary().Shard()
+		if !si.Sharded() {
+			r.closeShards()
+			return nil, fmt.Errorf("router: server at %s announces no shard identity; start it with -shard-id/-shard-count/-shard-seed", b.Primary)
+		}
+		if si.ID != i {
+			r.closeShards()
+			return nil, fmt.Errorf("router: server at %s is shard %d, configured as shard %d", b.Primary, si.ID, i)
+		}
+		if si.Count != len(backends) {
+			r.closeShards()
+			return nil, fmt.Errorf("router: server at %s belongs to a %d-shard cluster, %d backends configured", b.Primary, si.Count, len(backends))
+		}
+		if i == 0 {
+			r.smap = shard.Map{Count: si.Count, Seed: si.Seed}
+		} else if si.Seed != r.smap.Seed {
+			r.closeShards()
+			return nil, fmt.Errorf("router: server at %s uses partition seed %#x, shard 0 uses %#x", b.Primary, si.Seed, r.smap.Seed)
+		}
+	}
+	return r, nil
+}
+
+// Map returns the cluster's partition map, as verified against the shards.
+func (r *Router) Map() shard.Map { return r.smap }
+
+// Shards exposes the per-shard routed clients, in shard order — for the
+// test harness; request routing should go through the wire protocol.
+func (r *Router) Shards() []*client.Routed { return r.shards }
+
+func (r *Router) closeShards() {
+	for _, s := range r.shards {
+		s.Close()
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil here)
+// or a listener failure. Each connection is handled on its own goroutine.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.shutdown {
+		r.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("router: Serve after Shutdown")
+	}
+	if r.ln != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("router: already serving")
+	}
+	r.ln = ln
+	r.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.shuttingDown() {
+				return nil
+			}
+			return fmt.Errorf("router: accept: %w", err)
+		}
+		if !r.track(conn) {
+			conn.Close() // raced Shutdown; refuse quietly
+			continue
+		}
+		go func() {
+			defer r.handlers.Done()
+			defer r.untrack(conn)
+			r.handle(conn)
+		}()
+	}
+}
+
+func (r *Router) track(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shutdown {
+		return false
+	}
+	r.conns[conn] = struct{}{}
+	r.handlers.Add(1)
+	return true
+}
+
+func (r *Router) untrack(conn net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, conn)
+	r.mu.Unlock()
+	conn.Close()
+}
+
+func (r *Router) shuttingDown() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shutdown
+}
+
+// Shutdown stops the router gracefully — close the listener, interrupt
+// idle connections, drain handlers mid-request (force-closing them if ctx
+// expires first) — and then closes the shard connections.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.shutdown {
+		close(r.stop)
+	}
+	r.shutdown = true
+	ln := r.ln
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		r.handlers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		r.mu.Lock()
+		for c := range r.conns {
+			c.Close()
+		}
+		r.mu.Unlock()
+		<-done
+		err = ctx.Err()
+	}
+	r.closeShards()
+	return err
+}
+
+// handle runs one connection: handshake, then the request loop, mirroring
+// the server's connection lifecycle (see internal/server).
+func (r *Router) handle(conn net.Conn) {
+	bw := bufio.NewWriter(conn)
+	rd := wire.NewReader(bufio.NewReader(conn), r.maxFrame)
+	w := wire.NewWriter(bw, r.maxFrame)
+
+	hello, err := rd.Read()
+	if err != nil {
+		r.abort(w, bw, err)
+		return
+	}
+	if hello.Kind != wire.KindHello {
+		w.Write(wire.Errorf("router: expected Hello, got %s", hello.Kind))
+		bw.Flush()
+		return
+	}
+	if hello.Version != wire.ProtoVersion {
+		w.Write(wire.Errorf("router: protocol version %d not supported (router speaks %d)",
+			hello.Version, wire.ProtoVersion))
+		bw.Flush()
+		return
+	}
+	sh := wire.ServerHello(r.info)
+	sh.ShardID = -1 // a router fronts the cluster, it is no shard itself
+	sh.ShardCount = uint64(r.smap.Count)
+	sh.ShardSeed = r.smap.Seed
+	if err := w.Write(sh); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	for {
+		req, err := rd.Read()
+		if err != nil {
+			r.abort(w, bw, err)
+			return
+		}
+		if r.reqTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(r.reqTimeout))
+		}
+		if err := r.serveRequest(w, req); err != nil {
+			bw.Flush()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if r.reqTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		if r.shuttingDown() {
+			return // drained the request that was already in flight
+		}
+	}
+}
+
+func (r *Router) abort(w *wire.Writer, bw *bufio.Writer, err error) {
+	if err == io.EOF || r.shuttingDown() {
+		return
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return
+	}
+	w.Write(wire.Errorf("router: dropping connection: %v", err))
+	bw.Flush()
+}
+
+// classify maps a routing failure to its stable wire error code. Failures
+// reported by shard servers arrive as client sentinels carrying the
+// shard's code; the router's own refusals (cross-shard joins, unsupported
+// statements) and parse failures classify directly.
+func classify(err error) wire.ErrCode {
+	switch {
+	case errors.Is(err, bsql.ErrParse) || errors.Is(err, client.ErrParse):
+		return wire.CodeParse
+	case errors.Is(err, client.ErrDegraded):
+		return wire.CodeDegraded
+	case errors.Is(err, client.ErrReadOnly):
+		return wire.CodeReadOnly
+	case errors.Is(err, client.ErrStaleRead):
+		return wire.CodeStaleRead
+	case errors.Is(err, client.ErrWrongShard):
+		return wire.CodeWrongShard
+	default:
+		return wire.CodeInternal
+	}
+}
+
+func errFrame(err error) wire.Msg {
+	return wire.ErrorMsg(classify(err), err.Error())
+}
+
+// reqContext bounds one routed request's backend fan-out.
+func (r *Router) reqContext() (context.Context, context.CancelFunc) {
+	if r.reqTimeout > 0 {
+		return context.WithTimeout(context.Background(), r.reqTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// serveRequest answers one request; the returned error reports a failure
+// to write the response (fatal for the connection). A panicking handler is
+// converted into an internal-error response and that connection's demise.
+func (r *Router) serveRequest(w *wire.Writer, req wire.Msg) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			w.Write(wire.ErrorMsg(wire.CodeInternal, fmt.Sprintf("router: internal error serving %s: %v", req.Kind, p)))
+			err = fmt.Errorf("router: panic serving %s: %v", req.Kind, p)
+		}
+	}()
+	ctx, cancel := r.reqContext()
+	defer cancel()
+	switch req.Kind {
+	case wire.KindQuery:
+		res, err := r.runReadScript(ctx, req.Text)
+		if err != nil {
+			return w.Write(errFrame(err))
+		}
+		return r.writeResult(w, res)
+
+	case wire.KindExec:
+		stmts, err := bsql.ParseAll(req.Text)
+		if err != nil {
+			return w.Write(errFrame(err))
+		}
+		if readOnlyStmts(stmts) {
+			res, err := r.runReadStmts(ctx, stmts)
+			if err != nil {
+				return w.Write(errFrame(err))
+			}
+			return r.writeResult(w, res)
+		}
+		// A mutating Exec routes like an untokened batch; the statements
+		// must all be batchable (INSERT/DELETE) for the split to apply.
+		br, err := r.routeBatchStmts(ctx, stmts, "")
+		if err != nil {
+			return w.Write(errFrame(err))
+		}
+		return w.Write(wire.Msg{Kind: wire.KindResultEnd, Affected: uint64(br.Applied)})
+
+	case wire.KindExecBatch:
+		br, err := r.routeBatch(ctx, req.Text, req.Token)
+		if err != nil {
+			return w.Write(errFrame(err))
+		}
+		return w.Write(wire.Msg{
+			Kind:    wire.KindBatchDone,
+			Applied: uint64(br.Applied),
+			Changed: uint64(br.Changed),
+		})
+
+	case wire.KindAddUser:
+		uid, err := r.addUser(ctx, req.Text)
+		if err != nil {
+			return w.Write(errFrame(err))
+		}
+		return w.Write(wire.Msg{Kind: wire.KindUserAdded, UID: int64(uid)})
+
+	case wire.KindCheckpoint:
+		if err := r.checkpointAll(ctx); err != nil {
+			return w.Write(errFrame(err))
+		}
+		return w.Write(wire.Msg{Kind: wire.KindOK})
+
+	case wire.KindReplicaStatus:
+		return w.Write(wire.Msg{Kind: wire.KindStatus, Info: "router", Affected: 1})
+
+	case wire.KindPing:
+		return w.Write(wire.Msg{Kind: wire.KindPong})
+
+	case wire.KindFollowWAL:
+		// Each shard has its own WAL; there is no cluster-wide stream to
+		// serve. Replicas follow their shard's primary directly.
+		w.Write(wire.ErrorMsg(wire.CodeInternal, "router: a router serves no WAL stream; replicas follow their shard's primary"))
+		return fmt.Errorf("router: FollowWAL on a router connection")
+
+	default:
+		w.Write(wire.Errorf("router: unexpected %s request", req.Kind))
+		return fmt.Errorf("router: unexpected %s request", req.Kind)
+	}
+}
+
+// writeResult streams one merged query result, chunked exactly like the
+// server's (row-count and encoded-byte bounds per frame).
+func (r *Router) writeResult(w *wire.Writer, res *client.Result) error {
+	affected := uint64(0)
+	if res != nil {
+		affected = uint64(res.Affected)
+	}
+	if res != nil && len(res.Columns) > 0 {
+		if err := w.Write(wire.Msg{Kind: wire.KindRowHeader, Cols: res.Columns}); err != nil {
+			return err
+		}
+		budget := r.maxFrame - r.maxFrame/8
+		start, bytes := 0, 0
+		flush := func(end int) error {
+			if end == start {
+				return nil
+			}
+			err := w.Write(wire.Msg{Kind: wire.KindRowChunk, Rows: res.Rows[start:end]})
+			start, bytes = end, 0
+			return err
+		}
+		for i, row := range res.Rows {
+			sz := wire.RowSize(row)
+			if sz > budget {
+				return w.Write(wire.Errorf("router: result row %d encodes to %d bytes, beyond the %d-byte frame limit", i, sz, r.maxFrame))
+			}
+			if bytes+sz > budget {
+				if err := flush(i); err != nil {
+					return err
+				}
+			}
+			bytes += sz
+			if i-start+1 >= rowChunkSize {
+				if err := flush(i + 1); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(len(res.Rows)); err != nil {
+			return err
+		}
+	}
+	return w.Write(wire.Msg{Kind: wire.KindResultEnd, Affected: affected})
+}
+
+func readOnlyStmts(stmts []bsql.Statement) bool {
+	for _, st := range stmts {
+		switch st.(type) {
+		case bsql.Select, bsql.Explain:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// runReadScript parses and runs a read-only script, returning the last
+// statement's result (like DB.ExecScript).
+func (r *Router) runReadScript(ctx context.Context, script string) (*client.Result, error) {
+	stmts, err := bsql.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	if !readOnlyStmts(stmts) {
+		return nil, fmt.Errorf("router: Query accepts only SELECT/EXPLAIN statements; route writes through Exec or ExecBatch")
+	}
+	return r.runReadStmts(ctx, stmts)
+}
+
+func (r *Router) runReadStmts(ctx context.Context, stmts []bsql.Statement) (*client.Result, error) {
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("router: empty script")
+	}
+	var last *client.Result
+	for _, st := range stmts {
+		res, err := r.runRead(ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}

@@ -1,0 +1,326 @@
+package router
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"beliefdb/client"
+	"beliefdb/internal/bsql"
+	"beliefdb/internal/query"
+	"beliefdb/internal/sqlparser"
+	"beliefdb/internal/val"
+)
+
+// This file decides where statements run: which shard owns a write's row
+// key, whether a query touches a partitioned relation (scatter to every
+// shard) or only the replicated Users table (any one shard answers), and
+// how a batch script splits into per-shard slices.
+
+// globalRef reports whether a FROM item or DML target reads the globally
+// replicated Users table rather than a hash-partitioned belief relation. A
+// belief path or negation can only apply to a belief relation, so those
+// shapes are never global.
+func globalRef(ref bsql.BeliefRef) bool {
+	return ref.Table == "Users" && len(ref.Path) == 0 && !ref.Negated
+}
+
+// partitionedFrom returns the indices of sel's FROM items over partitioned
+// relations.
+func partitionedFrom(sel bsql.Select) []int {
+	var out []int
+	for i, ref := range sel.From {
+		if !globalRef(ref) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// runRead routes one SELECT or EXPLAIN.
+func (r *Router) runRead(ctx context.Context, st bsql.Statement) (*client.Result, error) {
+	switch s := st.(type) {
+	case bsql.Explain:
+		// Plans are per-node; shard 0's is representative (all shards hold
+		// the same schema and indexes).
+		return r.shards[0].Query(ctx, bsql.Render(s))
+	case bsql.Select:
+		return r.runSelect(ctx, s)
+	default:
+		return nil, fmt.Errorf("router: unsupported read statement %T", st)
+	}
+}
+
+func (r *Router) runSelect(ctx context.Context, sel bsql.Select) (*client.Result, error) {
+	part := partitionedFrom(sel)
+	switch {
+	case len(part) == 0:
+		// Users-only query: the table is replicated on every shard, any one
+		// answers authoritatively.
+		return r.shards[0].Query(ctx, bsql.RenderSelect(sel))
+	case len(part) > 1:
+		return nil, fmt.Errorf("router: query joins %d partitioned relations; cross-shard joins are not supported (joins against Users are)", len(part))
+	case sel.From[part[0]].Negated && r.smap.Count > 1:
+		// A negated reference filters on the ABSENCE of a statement, and
+		// absence is shard-local knowledge: every shard except the statement's
+		// owner would pass the filter vacuously, so a union merge admits rows
+		// a single node rejects. (With a positive partitioned reference
+		// alongside it the query is already refused as a cross-shard join.)
+		return nil, fmt.Errorf("router: a negated reference cannot be the only partitioned relation in a scattered query (absence of a statement is only known on its owning shard)")
+	}
+	if r.smap.Count == 1 {
+		// One shard holds everything; no merge needed.
+		return r.shards[0].Query(ctx, bsql.RenderSelect(sel))
+	}
+	if bsql.Aggregated(sel) {
+		return r.runAggregate(ctx, sel)
+	}
+	return r.runConcat(ctx, sel)
+}
+
+// runConcat scatters a non-aggregated (implicitly DISTINCT) query and
+// merges by concatenation, global dedup, ORDER BY and LIMIT. The original
+// statement — ORDER BY and LIMIT included — goes to every shard: each
+// shard's result is already distinct, so the global top-k is always within
+// the union of per-shard top-k results and re-limiting after the merge is
+// sound (ties under ORDER BY may resolve differently than on one node).
+func (r *Router) runConcat(ctx context.Context, sel bsql.Select) (*client.Result, error) {
+	results, err := r.queryAll(ctx, bsql.RenderSelect(sel))
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]val.Value
+	for _, res := range results {
+		rows = append(rows, res.Rows...)
+	}
+	rows = query.DedupeRows(rows)
+	if len(sel.OrderBy) > 0 {
+		if err := query.SortRows(sel.OrderBy, sel.Items, results[0].Columns, rows); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit >= 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	return &client.Result{Columns: results[0].Columns, Rows: rows}, nil
+}
+
+// queryAll sends one statement to every shard concurrently, each through
+// its shard's replica-routed client (carrying that shard's read-your-writes
+// watermark), and returns the per-shard results in shard order.
+func (r *Router) queryAll(ctx context.Context, text string) ([]*client.Result, error) {
+	results := make([]*client.Result, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.shards[i].Query(ctx, text)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// newToken mirrors the client's batch-token generation for mutating Exec
+// scripts the router converts to batches.
+func newToken() string {
+	var b [16]byte
+	_, _ = rand.Read(b[:]) // never fails (and uniqueness, not secrecy, is the need)
+	return hex.EncodeToString(b[:])
+}
+
+// routeBatch splits a batch script by owning shard and commits the slices
+// in parallel under per-shard idempotency tokens.
+func (r *Router) routeBatch(ctx context.Context, script, token string) (client.BatchResult, error) {
+	stmts, err := bsql.ParseAll(script)
+	if err != nil {
+		return client.BatchResult{}, err
+	}
+	return r.routeBatchStmts(ctx, stmts, token)
+}
+
+func (r *Router) routeBatchStmts(ctx context.Context, stmts []bsql.Statement, token string) (client.BatchResult, error) {
+	per := make([][]string, len(r.shards))
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case bsql.Insert:
+			byShard := make(map[int][][]sqlparser.Expr)
+			for _, row := range s.Rows {
+				if len(row) == 0 {
+					return client.BatchResult{}, fmt.Errorf("router: INSERT row with no values")
+				}
+				key, err := constKey(row[0])
+				if err != nil {
+					return client.BatchResult{}, err
+				}
+				owner := r.smap.Owner(s.Target.Table, key)
+				byShard[owner] = append(byShard[owner], row)
+			}
+			for i := range r.shards {
+				if rows := byShard[i]; len(rows) > 0 {
+					per[i] = append(per[i], bsql.Render(bsql.Insert{Target: s.Target, Rows: rows}))
+				}
+			}
+		case bsql.Delete:
+			// A DELETE's matches can live anywhere; broadcast it and let
+			// each shard resolve its local matches (shard servers exempt
+			// deletes from the owner check for exactly this reason).
+			for i := range r.shards {
+				per[i] = append(per[i], bsql.Render(s))
+			}
+		default:
+			return client.BatchResult{}, fmt.Errorf("router: only INSERT and DELETE route as batch writes, got %s", bsql.Render(st))
+		}
+	}
+	if token == "" {
+		token = newToken()
+	}
+
+	// Commit the per-shard slices in parallel. The per-shard token is
+	// derived from the client's, so a client retry after a partial failure
+	// re-sends every slice and each shard applies its slice exactly once —
+	// already-committed shards answer from their token journal.
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		out  client.BatchResult
+		rerr error
+	)
+	for i := range r.shards {
+		if len(per[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			script := strings.Join(per[i], ";\n") + ";"
+			br, err := r.shards[i].ExecBatchToken(ctx, script, token+"/"+strconv.Itoa(i))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if rerr == nil {
+					rerr = fmt.Errorf("router: shard %d: %w", i, err)
+				}
+				return
+			}
+			out.Applied += br.Applied
+			out.Changed += br.Changed
+		}(i)
+	}
+	wg.Wait()
+	if rerr != nil {
+		return client.BatchResult{}, rerr
+	}
+	return out, nil
+}
+
+// constKey folds an INSERT row's key expression to its constant, with the
+// same folding the batch compiler applies (bsql's constValue): the router
+// and the shard's owner check must hash identical key values.
+func constKey(e sqlparser.Expr) (val.Value, error) {
+	switch ex := e.(type) {
+	case sqlparser.Literal:
+		return ex.Val, nil
+	case sqlparser.UnaryExpr:
+		if ex.Op == "-" {
+			v, err := constKey(ex.X)
+			if err != nil {
+				return val.Null(), err
+			}
+			switch v.Kind() {
+			case val.KindInt:
+				return val.Int(-v.AsInt()), nil
+			case val.KindFloat:
+				return val.Float(-v.AsFloat()), nil
+			}
+		}
+	}
+	return val.Null(), fmt.Errorf("router: VALUES entries must be constants, got %s", e.String())
+}
+
+// sqlQuote renders a string as a BeliefSQL string literal.
+func sqlQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// addUser broadcasts a user registration to every shard, serialized
+// router-wide so each shard's replicated Users table assigns uids in the
+// same order. A shard that already knows the name (a previous broadcast
+// that failed partway) resolves to its existing uid; the registration
+// succeeds only if every shard agrees on the uid.
+func (r *Router) addUser(ctx context.Context, name string) (client.UserID, error) {
+	r.userMu.Lock()
+	defer r.userMu.Unlock()
+
+	uids := make([]client.UserID, len(r.shards))
+	fresh := 0
+	for i, sh := range r.shards {
+		uid, err := sh.AddUser(ctx, name)
+		if err != nil {
+			// Perhaps the shard already has the user; resolve instead of
+			// failing, so a partially applied broadcast heals on retry.
+			luid, ok, lerr := r.lookupUser(ctx, i, name)
+			if lerr != nil || !ok {
+				return 0, fmt.Errorf("router: shard %d: %w", i, err)
+			}
+			uids[i] = luid
+			continue
+		}
+		uids[i] = uid
+		fresh++
+	}
+	for i := 1; i < len(uids); i++ {
+		if uids[i] != uids[0] {
+			return 0, fmt.Errorf("router: user %q has uid %d on shard 0 but %d on shard %d; the Users tables have diverged and need operator repair (see OPERATIONS.md)", name, uids[0], uids[i], i)
+		}
+	}
+	if fresh == 0 {
+		// Mirror a single node's duplicate-registration error once every
+		// shard already knows the name.
+		return 0, fmt.Errorf("router: user %q already exists", name)
+	}
+	return uids[0], nil
+}
+
+// lookupUser resolves a user name on one shard.
+func (r *Router) lookupUser(ctx context.Context, i int, name string) (client.UserID, bool, error) {
+	res, err := r.shards[i].Query(ctx, "select U.uid from Users U where U.name = "+sqlQuote(name))
+	if err != nil {
+		return 0, false, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || res.Rows[0][0].Kind() != val.KindInt {
+		return 0, false, nil
+	}
+	return client.UserID(res.Rows[0][0].AsInt()), true, nil
+}
+
+// checkpointAll checkpoints every shard's primary concurrently.
+func (r *Router) checkpointAll(ctx context.Context) error {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.shards[i].Checkpoint(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("router: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -76,6 +76,16 @@ type Server struct {
 	// applied), and keeps db in sync by replaying the primary's WAL stream.
 	follower *Follower
 
+	// Shard identity (WithShard): when shardCount > 0 the server is one
+	// shard of a hash-partitioned cluster. It announces the triple in its
+	// handshake, and refuses batch writes whose row keys hash to another
+	// shard — and Exec-path mutations entirely, since those bypass the
+	// per-key owner check (writes reach shards through beliefrouter's
+	// ExecBatch routing).
+	shardID    int
+	shardCount int
+	shardSeed  uint64
+
 	// Accept gate (WithMaxConns): a slot is taken before Accept, so past
 	// the bound the server simply stops accepting and excess clients queue
 	// in the OS listen backlog — backpressure instead of unbounded handler
@@ -136,6 +146,18 @@ func WithRequestTimeout(d time.Duration) Option {
 // logging.
 func WithLogger(logf func(format string, args ...interface{})) Option {
 	return func(s *Server) { s.logf = logf }
+}
+
+// WithShard declares the server to be shard id of a cluster hash-
+// partitioned into count shards with the given partition seed. The triple
+// is announced in the wire handshake; batch writes are checked against it
+// and refused with the wrong-shard code when a row key belongs elsewhere.
+// All servers of one cluster must share count and seed; a replica of a
+// shard carries its primary's identity.
+func WithShard(id, count int, seed uint64) Option {
+	return func(s *Server) {
+		s.shardID, s.shardCount, s.shardSeed = id, count, seed
+	}
 }
 
 // New returns a server over db and arms db's group-commit window so
@@ -329,7 +351,13 @@ func (s *Server) handle(conn net.Conn) {
 		bw.Flush()
 		return
 	}
-	if err := w.Write(wire.ServerHello(s.info)); err != nil {
+	sh := wire.ServerHello(s.info)
+	if s.shardCount > 0 {
+		sh.ShardID = int64(s.shardID)
+		sh.ShardCount = uint64(s.shardCount)
+		sh.ShardSeed = s.shardSeed
+	}
+	if err := w.Write(sh); err != nil {
 		return
 	}
 	if err := bw.Flush(); err != nil {
@@ -492,6 +520,19 @@ func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) (err error) {
 			}
 			return s.writeResult(w, res, 0, 0)
 		}
+		if s.shardCount > 0 {
+			// Exec-path DML bypasses the per-key owner check, so a sharded
+			// server only runs read-only Exec scripts; writes go through
+			// the router's owner-checked ExecBatch path.
+			readOnly, err := beliefdb.ReadOnlyScript(req.Text)
+			if err != nil {
+				return w.Write(s.errFrame(err))
+			}
+			if !readOnly {
+				return w.Write(wire.ErrorMsg(wire.CodeWrongShard,
+					"server: a sharded server accepts writes only as routed batches (ExecBatch via beliefrouter)"))
+			}
+		}
 		res, err := db.ExecScript(req.Text)
 		if err != nil {
 			return w.Write(s.errFrame(err))
@@ -510,6 +551,11 @@ func (s *Server) serveRequest(w *wire.Writer, req wire.Msg) (err error) {
 		b, err := db.ParseBatch(req.Text)
 		if err != nil {
 			return w.Write(s.errFrame(err))
+		}
+		if s.shardCount > 0 {
+			if err := b.CheckShard(s.shardSeed, s.shardCount, s.shardID); err != nil {
+				return w.Write(wire.ErrorMsg(wire.CodeWrongShard, err.Error()))
+			}
 		}
 		b.SetToken(req.Token)
 		ctx := context.Background()

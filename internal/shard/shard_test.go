@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"testing"
+
+	"beliefdb/internal/val"
+)
+
+func TestOwnerDeterministic(t *testing.T) {
+	m := Map{Count: 4, Seed: 0x9e3779b97f4a7c15}
+	for _, key := range []val.Value{val.Str("s1"), val.Int(42), val.Str(""), val.Null()} {
+		a := m.Owner("Sightings", key)
+		b := m.Owner("Sightings", key)
+		if a != b {
+			t.Fatalf("Owner not deterministic for %v: %d vs %d", key, a, b)
+		}
+		if a < 0 || a >= m.Count {
+			t.Fatalf("Owner(%v) = %d outside [0,%d)", key, a, m.Count)
+		}
+	}
+}
+
+func TestOwnerNumericCoercion(t *testing.T) {
+	// Int and Float holding the same number must route to the same shard,
+	// mirroring the store's key equality (Int(1) == Float(1.0)).
+	m := Map{Count: 7, Seed: 123}
+	if m.Owner("R", val.Int(5)) != m.Owner("R", val.Float(5.0)) {
+		t.Fatal("Int(5) and Float(5.0) routed to different shards")
+	}
+}
+
+func TestOwnerRelationFolded(t *testing.T) {
+	// The relation name participates in the hash: the same key in two
+	// relations should not be forced onto the same shard. With enough keys
+	// at least one must split (probabilistic but deterministic given seed).
+	m := Map{Count: 4, Seed: 99}
+	split := false
+	for i := 0; i < 64; i++ {
+		k := val.Int(int64(i))
+		if m.Owner("A", k) != m.Owner("B", k) {
+			split = true
+			break
+		}
+	}
+	if !split {
+		t.Fatal("relation name appears not to affect ownership")
+	}
+}
+
+func TestOwnerSeedMatters(t *testing.T) {
+	a := Map{Count: 4, Seed: 1}
+	b := Map{Count: 4, Seed: 2}
+	diff := false
+	for i := 0; i < 64; i++ {
+		k := val.Int(int64(i))
+		if a.Owner("R", k) != b.Owner("R", k) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seed appears not to affect ownership")
+	}
+}
+
+func TestOwnerBalance(t *testing.T) {
+	// 4 shards, 4096 string keys: every shard should own a non-trivial
+	// fraction. A pathological partition function fails loudly here.
+	m := Map{Count: 4, Seed: 0xdeadbeef}
+	counts := make([]int, m.Count)
+	for i := 0; i < 4096; i++ {
+		counts[m.Owner("Sightings", val.Str(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i))))]++
+	}
+	for s, c := range counts {
+		if c < 4096/m.Count/2 {
+			t.Fatalf("shard %d owns only %d of 4096 keys", s, c)
+		}
+	}
+}
+
+func TestSingleShardAndUnsharded(t *testing.T) {
+	for _, m := range []Map{{Count: 1, Seed: 7}, {Count: 0}} {
+		if got := m.Owner("R", val.Str("x")); got != 0 {
+			t.Fatalf("Map%+v.Owner = %d, want 0", m, got)
+		}
+	}
+	if (Map{}).Enabled() {
+		t.Fatal("zero Map reports Enabled")
+	}
+	if !(Map{Count: 2, Seed: 1}).Enabled() {
+		t.Fatal("2-shard Map reports not Enabled")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(0, 1); err != nil {
+		t.Fatalf("Validate(0,1): %v", err)
+	}
+	if err := Validate(3, 4); err != nil {
+		t.Fatalf("Validate(3,4): %v", err)
+	}
+	for _, c := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
+		if err := Validate(c[0], c[1]); err == nil {
+			t.Fatalf("Validate(%d,%d) accepted", c[0], c[1])
+		}
+	}
+}

@@ -55,7 +55,10 @@ import (
 // the snapshot/record stream frames, the WAL position (epoch, applied
 // record count) on every successful write acknowledgement, and the
 // read-your-writes watermark on Query.
-const ProtoVersion = 3
+// Revision 4 added sharding: the shard map (shard id/count/partition seed)
+// on ServerHello and the wrong-shard error code a shard server answers
+// with when a write's row key hashes to another shard.
+const ProtoVersion = 4
 
 // DefaultMaxFrame bounds a frame's payload unless the caller chooses
 // otherwise: large enough for generous batches and row chunks, far below
@@ -191,6 +194,12 @@ const (
 	// another replica or the primary; retrying the same replica later can
 	// also succeed once it catches up.
 	CodeStaleRead ErrCode = 4
+	// CodeWrongShard marks a write refused by a shard server because a row
+	// key in it hashes to a different shard under the cluster's partition
+	// map. Retrying the same server verbatim can never succeed; the writer
+	// must route the statement to the owning shard (normally by going
+	// through beliefrouter instead of dialing shards directly).
+	CodeWrongShard ErrCode = 5
 )
 
 func (c ErrCode) String() string {
@@ -205,6 +214,8 @@ func (c ErrCode) String() string {
 		return "read-only"
 	case CodeStaleRead:
 		return "stale-read"
+	case CodeWrongShard:
+		return "wrong-shard"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
@@ -226,6 +237,15 @@ type Msg struct {
 	Applied  uint64        // BatchDone
 	Changed  uint64        // BatchDone
 	UID      int64         // UserAdded
+
+	// The shard map, announced on ServerHello. ShardCount 0 means the
+	// server is not part of a sharded cluster and the other two fields are
+	// meaningless. A shard server reports its own ShardID in [0, count);
+	// a beliefrouter fronting the cluster reports ShardID -1 with the
+	// cluster's count and seed, so clients can tell the two apart.
+	ShardID    int64
+	ShardCount uint64
+	ShardSeed  uint64
 
 	// Epoch and Pos are a WAL position: (log epoch, applied record count).
 	// On FollowWAL they are the follower's resume cursor; on Query an
@@ -299,6 +319,9 @@ func (m Msg) Encode(dst []byte) []byte {
 	case KindServerHello:
 		dst = binary.AppendUvarint(dst, uint64(m.Version))
 		dst = wal.AppendString(dst, m.Info)
+		dst = binary.AppendUvarint(dst, m.ShardCount)
+		dst = binary.AppendVarint(dst, m.ShardID)
+		dst = binary.AppendUvarint(dst, m.ShardSeed)
 	case KindQuery:
 		dst = wal.AppendString(dst, m.Text)
 		dst = binary.AppendUvarint(dst, m.Epoch)
@@ -382,6 +405,9 @@ func Decode(payload []byte) (Msg, error) {
 	case KindServerHello:
 		m.Version = uint32(r.Uvarint())
 		m.Info = r.Str()
+		m.ShardCount = r.Uvarint()
+		m.ShardID = r.Varint()
+		m.ShardSeed = r.Uvarint()
 	case KindQuery:
 		m.Text = r.Str()
 		m.Epoch = r.Uvarint()

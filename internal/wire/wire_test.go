@@ -54,6 +54,9 @@ func sampleMsgs() []Msg {
 		{Kind: KindStatus, Info: "replica", Epoch: 5, Pos: 1200, Affected: 1},
 		{Kind: KindStatus, Info: "primary", Epoch: 2, Pos: 33},
 		ErrorMsg(CodeStaleRead, "replica at (1, 10), watermark (1, 12)"),
+		ErrorMsg(CodeWrongShard, "key 's1' of Sightings belongs to shard 2, this is shard 0"),
+		{Kind: KindServerHello, Version: ProtoVersion, Info: "shard 1/4", ShardCount: 4, ShardID: 1, ShardSeed: 0x9e3779b97f4a7c15},
+		{Kind: KindServerHello, Version: ProtoVersion, Info: "beliefrouter", ShardCount: 4, ShardID: -1, ShardSeed: 7},
 	}
 }
 
@@ -61,7 +64,8 @@ func msgsEqual(a, b Msg) bool {
 	if a.Kind != b.Kind || a.Version != b.Version || a.Info != b.Info || a.Text != b.Text ||
 		a.Code != b.Code || a.Token != b.Token ||
 		a.Affected != b.Affected || a.Applied != b.Applied || a.Changed != b.Changed || a.UID != b.UID ||
-		a.Epoch != b.Epoch || a.Pos != b.Pos {
+		a.Epoch != b.Epoch || a.Pos != b.Pos ||
+		a.ShardID != b.ShardID || a.ShardCount != b.ShardCount || a.ShardSeed != b.ShardSeed {
 		return false
 	}
 	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) ||

@@ -1,0 +1,123 @@
+package beliefdb
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The documentation set whose cross-references CI keeps honest: every
+// relative link must point at an existing file, and every #fragment must
+// match a real heading anchor in its target.
+var docFiles = []string{"README.md", "DESIGN.md", "OPERATIONS.md"}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks validates the repository documentation's internal
+// links. External http(s) URLs are skipped — CI has no network and their
+// liveness is not this repo's invariant.
+func TestMarkdownLinks(t *testing.T) {
+	anchors := map[string]map[string]bool{}
+	for _, f := range docFiles {
+		anchors[f] = headingAnchors(t, f)
+	}
+	for _, f := range docFiles {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripCodeBlocks(string(body)), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			if file == "" {
+				file = f // same-document fragment
+			}
+			if _, err := os.Stat(file); err != nil {
+				t.Errorf("%s: link target %q does not exist", f, target)
+				continue
+			}
+			if frag == "" {
+				continue
+			}
+			set := anchors[file]
+			if set == nil {
+				set = headingAnchors(t, file)
+				anchors[file] = set
+			}
+			if !set[frag] {
+				t.Errorf("%s: link %q names anchor #%s, which matches no heading in %s", f, target, frag, file)
+			}
+		}
+	}
+}
+
+// headingAnchors returns the GitHub-style anchor slugs of a markdown
+// file's headings: lowercase, punctuation dropped, spaces to hyphens, and
+// duplicate headings suffixed -1, -2, ...
+func headingAnchors(t *testing.T, file string) map[string]bool {
+	t.Helper()
+	body, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	counts := map[string]int{}
+	for _, line := range strings.Split(stripCodeBlocks(string(body)), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		if text == "" {
+			continue
+		}
+		slug := githubSlug(text)
+		if n := counts[slug]; n > 0 {
+			out[slug+"-"+strconv.Itoa(n)] = true
+		} else {
+			out[slug] = true
+		}
+		counts[slug]++
+	}
+	return out
+}
+
+// githubSlug mirrors GitHub's heading-anchor algorithm closely enough for
+// this repo's documents: markdown emphasis markers are stripped, letters
+// and digits are kept (lowercased), spaces and hyphens survive as hyphens,
+// and all other punctuation vanishes.
+func githubSlug(heading string) string {
+	heading = strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	var sb strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ' || r == '-':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+// stripCodeBlocks blanks fenced code blocks so ASCII diagrams and example
+// snippets can't produce false headings or false links.
+func stripCodeBlocks(body string) string {
+	lines := strings.Split(body, "\n")
+	fenced := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			lines[i] = ""
+			continue
+		}
+		if fenced {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
